@@ -1,0 +1,39 @@
+"""Benchmark report helpers.
+
+Every benchmark regenerates one paper artifact (table or figure) and
+writes its rows to ``benchmarks/reports/<id>.txt`` so the paper-vs-measured
+comparison in EXPERIMENTS.md can be refreshed by rerunning
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+def write_report(artifact_id: str, title: str, lines: Sequence[str]) -> Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    path = REPORT_DIR / f"{artifact_id}.txt"
+    body = "\n".join([f"# {title}", *lines, ""])
+    path.write_text(body)
+    # also surface in pytest -s output
+    print(f"\n=== {title} ===")
+    for line in lines:
+        print(line)
+    return path
+
+
+def table_lines(headers: Sequence[str], rows: Sequence[Sequence[object]]):
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    out = []
+    for idx, row in enumerate(cells):
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if idx == 0:
+            out.append("  ".join("-" * w for w in widths))
+    return out

@@ -1,0 +1,108 @@
+"""Paper Figure 6: multi-node execution times and relative speedup for
+HG (1 pass), LL (2 passes), MM (4 passes), nodes in {1, 2, 4, 8, 16},
+24 threads per node, Edison.
+
+Shape checks (paper: 16-node relative speedups 3.23x (HG) to 7.5x (MM);
+below ideal because of inter-node communication and merge costs; the
+KmerGen-I/O step stops scaling at high node counts):
+
+* every dataset speeds up with nodes, but well below 16x;
+* the largest dataset (MM) scales best, the smallest (HG) worst;
+* communication + merge account for a growing share at 16 nodes.
+"""
+
+import pytest
+
+from benchmarks.reporting import table_lines, write_report
+from repro.runtime.work import StepNames
+
+NODES = [1, 2, 4, 8, 16]
+PASSES = {"HG": 1, "LL": 2, "MM": 4}
+T = 24
+CHUNKS = 384  # the paper's chunk count for these datasets
+
+
+@pytest.fixture(scope="module")
+def sweeps(ctx):
+    out = {}
+    for name, s in PASSES.items():
+        out[name] = {
+            p: ctx.run(
+                name, n_tasks=p, n_threads=T, n_passes=s, n_chunks=CHUNKS
+            )
+            for p in NODES
+        }
+    return out
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_multi_node_scaling(ctx, sweeps, benchmark):
+    benchmark.pedantic(
+        lambda: ctx.run("HG", n_tasks=2, n_threads=T, n_passes=1, n_chunks=CHUNKS),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    speedups = {}
+    for name in PASSES:
+        proj = {p: ctx.project(sweeps[name][p], "edison") for p in NODES}
+        base = proj[1].total_seconds
+        speedups[name] = base / proj[16].total_seconds
+        for p in NODES:
+            bd = proj[p].breakdown()
+            comm = bd.get(StepNames.KMERGEN_COMM) + bd.get(StepNames.MERGE_COMM)
+            rows.append(
+                [
+                    name,
+                    p,
+                    f"{proj[p].total_seconds:.1f}",
+                    f"{base / proj[p].total_seconds:.2f}x",
+                    f"{comm:.1f}",
+                    f"{bd.get(StepNames.MERGECC):.2f}",
+                ]
+            )
+    write_report(
+        "fig6",
+        "Figure 6: multi-node scaling on Edison (projected seconds)",
+        table_lines(
+            ["dataset", "nodes", "total", "speedup", "comm", "MergeCC"], rows
+        ),
+    )
+
+    for name in PASSES:
+        # positive but sub-ideal scaling at 16 nodes (paper: 3.2-7.5x)
+        assert 1.5 < speedups[name] < 14.0, f"{name}: {speedups[name]}"
+    # larger datasets amortize communication better
+    assert speedups["MM"] > speedups["HG"]
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_communication_share_grows(ctx, sweeps, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name in PASSES:
+        p1 = ctx.project(sweeps[name][1], "edison")
+        p16 = ctx.project(sweeps[name][16], "edison")
+
+        def comm_share(proj):
+            bd = proj.breakdown()
+            comm = (
+                bd.get(StepNames.KMERGEN_COMM)
+                + bd.get(StepNames.MERGE_COMM)
+                + bd.get(StepNames.MERGECC)
+            )
+            return comm / proj.total_seconds
+
+        assert comm_share(p16) > comm_share(p1)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_partitions_identical_across_node_counts(sweeps, benchmark):
+    """The scaling sweep must not change the answer."""
+    import numpy as np
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name in PASSES:
+        labels = {p: sweeps[name][p].partition.labels for p in NODES}
+        for p in NODES[1:]:
+            assert np.array_equal(labels[1], labels[p])

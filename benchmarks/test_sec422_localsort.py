@@ -1,0 +1,73 @@
+"""Paper section 4.2.2: LocalSort vs the NUMA-aware radix sort of
+Polychroniou & Ross.
+
+"The NUMA-aware sort processes up to 196 million tuples per second,
+whereas our LocalSort implementation processes up to 154 million tuples
+per second, thereby achieving 78% performance."
+
+Here both sorters run on identical (64-bit k-mer, 32-bit id) tuple arrays;
+we report absolute tuples/s for this substrate and the ratio, asserting
+the ratio lands in a sane band around the paper's 0.78 (NumPy's fused
+native sort plays the tuned comparator; our radix pays Python-level pass
+orchestration).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.reporting import table_lines, write_report
+from repro.baselines.numa_sort import comparator_sort_tuples, sort_throughput
+from repro.kmers.codec import KmerArray
+from repro.kmers.engine import KmerTuples
+from repro.sort.radix import radix_sort_tuples
+
+N_TUPLES = 400_000
+
+
+@pytest.fixture(scope="module")
+def tuples():
+    rng = np.random.default_rng(4242)
+    lo = rng.integers(0, 1 << 54, size=N_TUPLES, dtype=np.uint64)
+    ids = rng.integers(0, N_TUPLES, size=N_TUPLES, dtype=np.uint32)
+    return KmerTuples(KmerArray(27, lo), ids)
+
+
+@pytest.mark.benchmark(group="sec422")
+def test_sec422_radix_sort_throughput(tuples, benchmark):
+    result = benchmark(lambda: radix_sort_tuples(tuples)[0])
+    assert len(result) == N_TUPLES
+
+
+@pytest.mark.benchmark(group="sec422")
+def test_sec422_comparator_throughput(tuples, benchmark):
+    result = benchmark(lambda: comparator_sort_tuples(tuples))
+    assert len(result) == N_TUPLES
+
+
+@pytest.mark.benchmark(group="sec422")
+def test_sec422_throughput_ratio(tuples, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ours = sort_throughput(lambda t: radix_sort_tuples(t)[0], tuples, repeats=3)
+    theirs = sort_throughput(comparator_sort_tuples, tuples, repeats=3)
+    ratio = ours / theirs
+    write_report(
+        "sec422",
+        "Section 4.2.2: LocalSort vs tuned comparator sort",
+        table_lines(
+            ["sorter", "tuples/s"],
+            [
+                ["LocalSort (radix)", f"{ours / 1e6:.1f} M"],
+                ["comparator (tuned)", f"{theirs / 1e6:.1f} M"],
+                ["ratio (paper: 0.78)", f"{ratio:.2f}"],
+            ],
+        ),
+    )
+    # our radix sort must be the same order of magnitude as the tuned
+    # sorter (paper: 78%); allow a wide substrate-dependent band
+    assert 0.1 < ratio < 10.0
+
+    # outputs agree exactly
+    a, _ = radix_sort_tuples(tuples)
+    b = comparator_sort_tuples(tuples)
+    assert np.array_equal(a.kmers.lo, b.kmers.lo)
+    assert np.array_equal(a.read_ids, b.read_ids)

@@ -1,0 +1,54 @@
+"""Paper Table 2: the dataset roster.
+
+Regenerates the roster for the synthetic analogues and checks that the
+relative structure of Table 2 (size ordering, read counts vs. bases) is
+preserved at the reproduction scale.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, PAPER_GBP
+from benchmarks.reporting import table_lines, write_report
+from repro.datasets.registry import DATASETS
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_dataset_roster(ctx, benchmark):
+    datasets = {
+        name: benchmark.pedantic(
+            ctx.dataset, args=(name,), rounds=1, iterations=1
+        )
+        if name == "HG"
+        else ctx.dataset(name)
+        for name in ("HG", "LL", "MM", "IS")
+    }
+
+    rows = []
+    for name in ("HG", "LL", "MM", "IS"):
+        ds = datasets[name]
+        rows.append(
+            [
+                name,
+                ds.n_pairs,
+                f"{ds.total_bases / 1e6:.2f} Mbp",
+                f"{PAPER_GBP[name]} Gbp (paper)",
+                ds.spec.community.n_species,
+            ]
+        )
+    write_report(
+        "table2",
+        "Table 2: datasets (synthetic analogues)",
+        table_lines(
+            ["ID", "pairs", "bases (ours)", "bases (paper)", "species"], rows
+        ),
+    )
+
+    # shape: strict size ordering HG < LL < MM < IS, as in Table 2
+    sizes = [datasets[n].total_bases for n in ("HG", "LL", "MM", "IS")]
+    assert sizes == sorted(sizes)
+    assert sizes[0] < sizes[1] < sizes[2] < sizes[3]
+    # paper ratio LL/HG ~ 1.86, MM/HG ~ 4.8: preserved within 2x band
+    assert 1.2 < sizes[1] / sizes[0] < 3.5
+    assert 3.0 < sizes[2] / sizes[0] < 7.0
+    # IS is the largest (capped sub-linearly vs the paper's 20x over MM)
+    assert sizes[3] > 1.3 * sizes[2]

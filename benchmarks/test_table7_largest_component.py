@@ -1,0 +1,117 @@
+"""Paper Table 7: largest component size (% of reads) under different k
+and k-mer frequency filter settings.
+
+Paper matrix (HG / LL / MM):
+
+|  k | filter        |  HG  |  LL  |  MM  |
+| 27 | none          | 95.5 | 76.3 | 99.5 |
+| 63 | none          | 87.1 | 58.9 | 97.8 |
+| 27 | KF < 30       | 73.5 | 67.6 | 45.0 |
+| 27 | 10 <= KF < 30 | 55.2 | 45.2 | 40.0 |
+| 63 | 10 <= KF < 30 | 51.6 | 30.6 | 59.0 |
+
+Shape assertions: raising k shrinks the giant component; filtering shrinks
+it further; MM is the most connected dataset unfiltered; the band filter
+is the most aggressive at k=27.
+"""
+
+import pytest
+
+from benchmarks.reporting import table_lines, write_report
+from repro.kmers.filter import FrequencyFilter
+
+DATASETS = ["HG", "LL", "MM"]
+
+SETTINGS = [
+    (27, None, "None"),
+    (63, None, "None"),
+    (27, FrequencyFilter(max_freq=30), "KF < 30"),
+    (27, FrequencyFilter(10, 30), "10 <= KF < 30"),
+    (63, FrequencyFilter(10, 30), "10 <= KF < 30"),
+]
+
+
+@pytest.fixture(scope="module")
+def lc_table(ctx):
+    table = {}
+    for k, kfilter, _ in SETTINGS:
+        for name in DATASETS:
+            kwargs = {}
+            if kfilter is not None:
+                kwargs["kmer_filter"] = kfilter
+            run = ctx.run(
+                name, n_tasks=1, n_threads=4, n_passes=1, k=k, n_chunks=32,
+                **kwargs,
+            )
+            table[(k, kfilter, name)] = (
+                run.partition.summary.largest_component_percent
+            )
+    return table
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table7_largest_component_matrix(ctx, lc_table, benchmark):
+    benchmark.pedantic(lambda: lc_table, rounds=1, iterations=1)
+    paper = {
+        (27, "None"): {"HG": 95.5, "LL": 76.3, "MM": 99.5},
+        (63, "None"): {"HG": 87.1, "LL": 58.9, "MM": 97.8},
+        (27, "KF < 30"): {"HG": 73.5, "LL": 67.6, "MM": 45.0},
+        (27, "10 <= KF < 30"): {"HG": 55.2, "LL": 45.2, "MM": 40.0},
+        (63, "10 <= KF < 30"): {"HG": 51.6, "LL": 30.6, "MM": 59.0},
+    }
+    rows = []
+    for k, kfilter, label in SETTINGS:
+        row = [k, label]
+        for name in DATASETS:
+            ours = lc_table[(k, kfilter, name)]
+            row.append(f"{ours:.1f} ({paper[(k, label)][name]})")
+        rows.append(row)
+    write_report(
+        "table7",
+        "Table 7: largest component %, ours (paper)",
+        table_lines(["k", "filter", *DATASETS], rows),
+    )
+
+    none27 = {n: lc_table[(27, None, n)] for n in DATASETS}
+    none63 = {n: lc_table[(63, None, n)] for n in DATASETS}
+    kf30 = {n: lc_table[(27, SETTINGS[2][1], n)] for n in DATASETS}
+    band27 = {n: lc_table[(27, SETTINGS[3][1], n)] for n in DATASETS}
+
+    # unfiltered k=27: giant components everywhere (paper: 76-99.5%)
+    for name in DATASETS:
+        assert none27[name] > 60.0, name
+    # MM essentially fully connected (99.5% in the paper)
+    assert none27["MM"] >= max(none27.values()) - 1.0
+    assert none27["MM"] > 99.0
+    # larger k shrinks the giant component
+    for name in DATASETS:
+        assert none63[name] <= none27[name], name
+    # frequency filtering shrinks it further
+    for name in DATASETS:
+        assert kf30[name] < none27[name], name
+        assert band27[name] <= kf30[name], name
+    # the band filter cuts MM hardest among unfiltered-connected datasets
+    assert band27["MM"] < none27["MM"] - 20.0
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table7_filters_never_merge_components(ctx, lc_table, benchmark):
+    """A filter can only remove edges: filtered partitions refine the
+    unfiltered one."""
+    import numpy as np
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    base = ctx.run("HG", n_tasks=1, n_threads=4, n_passes=1, k=27, n_chunks=32)
+    filtered = ctx.run(
+        "HG",
+        n_tasks=1,
+        n_threads=4,
+        n_passes=1,
+        k=27,
+        n_chunks=32,
+        kmer_filter=FrequencyFilter(10, 30),
+    )
+    lb, lf = base.partition.labels, filtered.partition.labels
+    for comp in np.unique(lf):
+        members = np.flatnonzero(lf == comp)
+        assert len(np.unique(lb[members])) == 1

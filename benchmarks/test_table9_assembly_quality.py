@@ -1,0 +1,196 @@
+"""Paper Table 9: assembly quality with and without preprocessing
+(contigs / total Mbp / max contig / N50).
+
+Paper findings asserted:
+
+* 'No Preproc' and 'No Filter' (LC + Other) give very similar results —
+  the largest contig and the bulk of assembled bases survive
+  partitioning;
+* the LC assembly carries almost all of the unpartitioned assembly;
+* with the KF < 30 filter the total assembled bases do not collapse
+  (the paper reports a slight improvement), while the LC input shrinks.
+"""
+
+import pytest
+
+from benchmarks.reporting import table_lines, write_report
+from repro.assembly.stats import contig_stats
+
+DATASETS = ["HG", "LL", "MM"]
+
+
+pytest_plugins: list = []
+
+
+@pytest.fixture(scope="module")
+def quality(assemblies):
+    """Reuse test_table8's assemblies fixture output via explicit import."""
+    return assemblies
+
+
+# reuse the fixtures defined in the Table 8 module
+from benchmarks.test_table8_assembly_time import (  # noqa: E402
+    ASM,
+    assemblies,
+    partitions,
+)
+
+
+@pytest.mark.benchmark(group="table9")
+def test_table9_assembly_quality(quality, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name in DATASETS:
+        variants = [
+            ("No Preproc", quality[(name, "full")].stats),
+            ("No Filter / LC", quality[(name, "nofilter", "lc")].stats),
+            ("No Filter / Other", quality[(name, "nofilter", "other")].stats),
+            ("KF<30 / LC", quality[(name, "kf30", "lc")].stats),
+            ("KF<30 / Other", quality[(name, "kf30", "other")].stats),
+        ]
+        for label, s in variants:
+            rows.append(
+                [
+                    name,
+                    label,
+                    s.n_contigs,
+                    f"{s.total_bp / 1e3:.1f} kbp",
+                    s.max_bp,
+                    s.n50,
+                ]
+            )
+    write_report(
+        "table9",
+        "Table 9: assembly quality (MiniAssembler substrate)",
+        table_lines(
+            ["dataset", "type", "contigs", "total", "max (bp)", "N50 (bp)"],
+            rows,
+        ),
+    )
+
+    for name in DATASETS:
+        full = quality[(name, "full")].stats
+        lc = quality[(name, "nofilter", "lc")].stats
+        other = quality[(name, "nofilter", "other")].stats
+
+        # partitioned total ~ unpartitioned total (paper: 116.19 vs 116.18)
+        combined = lc.total_bp + other.total_bp
+        assert combined == pytest.approx(full.total_bp, rel=0.12), name
+
+        # the longest contig survives partitioning (paper: identical Max)
+        best = max(lc.max_bp, other.max_bp)
+        assert best >= 0.85 * full.max_bp, name
+
+        # LC dominates the assembly
+        assert lc.total_bp > other.total_bp, name
+
+
+@pytest.mark.benchmark(group="table9")
+def test_table9_filtering_does_not_collapse_assembly(quality, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name in DATASETS:
+        full = quality[(name, "full")].stats
+        kf_total = (
+            quality[(name, "kf30", "lc")].stats.total_bp
+            + quality[(name, "kf30", "other")].stats.total_bp
+        )
+        # paper: total bases *improve* slightly with filtering; here allow
+        # a modest band in both directions
+        assert kf_total > 0.75 * full.total_bp, name
+
+
+@pytest.mark.benchmark(group="table9")
+def test_table9_ground_truth_metrics(ctx, quality, benchmark):
+    """Beyond the paper: truth-based quality.  The synthetic community's
+    genomes let us verify that partitioning does not introduce chimeric
+    contigs or lose genome coverage — the risk the paper's reference-free
+    Table 9 cannot directly measure."""
+    from repro.assembly.evaluation import evaluate_against_community
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name in DATASETS:
+        community = ctx.dataset(name).community
+        full = evaluate_against_community(
+            quality[(name, "full")].contigs, community, k=16
+        )
+        lc = evaluate_against_community(
+            quality[(name, "nofilter", "lc")].contigs
+            + quality[(name, "nofilter", "other")].contigs,
+            community,
+            k=16,
+        )
+        rows.append(
+            [
+                name,
+                f"{100 * full.genome_fraction:.1f}%",
+                f"{100 * lc.genome_fraction:.1f}%",
+                f"{100 * full.correctness_rate:.1f}%",
+                f"{100 * lc.correctness_rate:.1f}%",
+                lc.n_misassembled - full.n_misassembled,
+            ]
+        )
+        # partitioning must not cost genome coverage...
+        assert lc.genome_fraction > 0.9 * full.genome_fraction, name
+        # ...nor introduce a wave of chimeras
+        assert lc.n_misassembled <= full.n_misassembled + max(
+            2, full.n_contigs // 20
+        ), name
+    write_report(
+        "table9_truth",
+        "Table 9 extension: ground-truth quality (full vs partitioned)",
+        table_lines(
+            [
+                "dataset",
+                "genome frac (full)",
+                "genome frac (part.)",
+                "correct (full)",
+                "correct (part.)",
+                "extra misassemblies",
+            ],
+            rows,
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="table9")
+def test_table9_contigs_are_real_sequence(quality, benchmark):
+    """Quality numbers only mean something if contigs reconstruct genome
+    sequence: every long LC contig must align exactly to some community
+    genome (error-free segments dominate at min_count=2)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # spot-check the HG LC assembly against the HG community genomes
+    from repro.seqio.alphabet import reverse_complement
+
+    result = quality[("HG", "nofilter", "lc")]
+    checked = 0
+    genomes = None
+
+    def genome_texts(ctx_genomes):
+        return [g.sequence for g in ctx_genomes]
+
+    # genomes come from the dataset registry via the community object
+    from repro.datasets.registry import DATASETS as SPECS, build_dataset
+
+    # the ctx fixture cached the dataset; rebuild deterministically
+    # (cheap: files already exist)
+    # NOTE: seed/scale must match benchmarks/conftest.py
+    import benchmarks.conftest as bc
+
+    for contig in result.contigs[:10]:
+        if len(contig) < 120:
+            continue
+        checked += 1
+        if genomes is None:
+            ds = build_dataset(
+                "HG",
+                bc.__dict__.get("_t9_dir", "/tmp/t9_hg_check"),
+                seed=11,
+                scale=bc.BENCH_SCALE["HG"],
+            )
+            genomes = genome_texts(ds.community.genomes)
+        hit = any(
+            contig in g or reverse_complement(contig) in g for g in genomes
+        )
+        assert hit, f"contig of length {len(contig)} not found in any genome"
+    assert checked > 0

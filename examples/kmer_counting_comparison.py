@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""K-mer counting shoot-out: METAPREP's KmerGen path vs a KMC 2-style
+minimizer counter (paper Figure 9).
+
+Both count canonical 27-mers of the same dataset; the script verifies the
+spectra agree exactly, then contrasts the two pipelines' stage structure:
+raw (k-mer, read) tuples vs super-k-mer binning.
+
+Run:  python examples/kmer_counting_comparison.py [workdir]
+"""
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import build_dataset
+from repro.baselines.kmc2 import Kmc2Counter
+from repro.core.report import format_table
+from repro.index.create import index_create
+from repro.index.fastqpart import load_chunk_reads
+from repro.kmers.counter import spectrum_from_tuples
+from repro.kmers.engine import enumerate_canonical_kmers
+from repro.seqio.records import ReadBatch
+from repro.sort.radix import radix_sort_tuples
+
+K, M = 27, 7
+
+
+def main() -> int:
+    workdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        tempfile.mkdtemp(prefix="metaprep_kmc2_")
+    )
+    dataset = build_dataset("LL", workdir / "data", seed=4, scale=0.8)
+    index = index_create(dataset.units, k=K, m=6, n_chunks=16)
+    batches = [
+        load_chunk_reads(index.fastqpart, c, keep_metadata=False)
+        for c in range(index.fastqpart.n_chunks)
+    ]
+    merged = ReadBatch.concatenate(batches)
+    print(
+        f"LL analogue: {merged.n_reads} reads, "
+        f"{merged.n_bases / 1e6:.2f} Mbp"
+    )
+
+    # --- METAPREP path: enumerate raw tuples, sort, collapse -------------
+    t0 = time.perf_counter()
+    tuples = enumerate_canonical_kmers(merged, K)
+    stage1_mp = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sorted_tuples, _ = radix_sort_tuples(tuples)
+    spectrum_mp = spectrum_from_tuples(sorted_tuples)
+    stage2_mp = time.perf_counter() - t0
+
+    # --- KMC 2 path: super-k-mer binning, per-bin sort -------------------
+    counter = Kmc2Counter(K, m=M, n_bins=128)
+    kmc = counter.count(batches)
+
+    same = np.array_equal(
+        spectrum_mp.kmers.lo, kmc.spectrum.kmers.lo
+    ) and np.array_equal(spectrum_mp.counts, kmc.spectrum.counts)
+    print(f"spectra identical: {same}")
+    assert same
+
+    print()
+    print(
+        format_table(
+            ["pipeline", "stage1 (s)", "stage2 (s)", "stage1 output"],
+            [
+                [
+                    "METAPREP",
+                    f"{stage1_mp:.2f}",
+                    f"{stage2_mp:.2f}",
+                    f"{12 * len(tuples) / 1e6:.1f} MB raw tuples",
+                ],
+                [
+                    "KMC 2 style",
+                    f"{kmc.stage1_seconds:.2f}",
+                    f"{kmc.stage2_seconds:.2f}",
+                    f"{kmc.super_kmer_bases / 1e6:.1f} MB super-k-mers",
+                ],
+            ],
+        )
+    )
+    print(
+        f"\ndistinct 27-mers: {spectrum_mp.n_distinct}; "
+        f"super-k-mers: {kmc.n_super_kmers} "
+        f"(compaction vs raw tuples: {kmc.compaction_ratio:.2f}x)"
+    )
+    print(
+        "KMC 2's trade: extra Stage-1 minimizer work buys a Stage-2 input "
+        f"{1 / max(kmc.compaction_ratio, 1e-9):.1f}x smaller."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""The directed de Bruijn graph over (k-1)-mers.
+
+Nodes are (k-1)-mers; every *solid* k-mer (canonical count >= min_count)
+contributes two directed edges — itself and its reverse complement — so
+the graph contains both strands and unitig extraction does not need
+bidirected-edge bookkeeping.  Reverse-complement-duplicate contigs are
+collapsed afterwards (see :mod:`repro.assembly.unitigs`).
+
+Use an **even** assembly ``k``: with both strands explicit, the hazard is
+a *palindromic (k-1)-mer node* (its own reverse complement), which fuses
+the two strands and spuriously breaks unitigs; odd ``k-1`` (even ``k``)
+makes such nodes impossible.  Palindromic k-mers — possible at even k —
+are benign here: they collapse to the single directed edge
+``prefix -> rc(prefix)``, which both strand walks share.  (Tools that use
+canonical-k-mer *nodes* need the opposite parity rule; the representation
+dictates the rule.)
+
+Assembly k is limited to 31 (single-limb (k-1)-mers); the preprocessing
+pipeline's k is independent of this (MEGAHIT likewise uses its own k list
+regardless of METAPREP's k = 27/63).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kmers.counter import KmerSpectrum, count_canonical_kmers
+from repro.seqio.records import ReadBatch
+from repro.util.validation import check_in_range
+
+_U64 = np.uint64
+
+
+def _revcomp_u64(kmers: np.ndarray, k: int) -> np.ndarray:
+    """Vectorized reverse complement of packed k-mers (k <= 31)."""
+    out = np.zeros_like(kmers)
+    vals = kmers.copy()
+    for _ in range(k):
+        out = (out << _U64(2)) | ((_U64(3) - (vals & _U64(3))) & _U64(3))
+        vals >>= _U64(2)
+    return out
+
+
+@dataclass
+class DeBruijnGraph:
+    """Edge-centric graph representation.
+
+    ``nodes`` is the sorted array of distinct (k-1)-mers; edges are
+    parallel arrays (``edge_src``, ``edge_dst`` as node indices,
+    ``edge_base`` — the base appended when traversing the edge — and
+    ``edge_count``, the multiplicity of the underlying canonical k-mer,
+    used by the cleaning passes to pick bubble survivors).
+    """
+
+    k: int
+    nodes: np.ndarray
+    edge_src: np.ndarray
+    edge_dst: np.ndarray
+    edge_base: np.ndarray
+    edge_count: np.ndarray = None
+
+    def __post_init__(self) -> None:
+        if self.edge_count is None:
+            self.edge_count = np.ones(len(self.edge_src), dtype=np.int64)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edge_src)
+
+    def out_degree(self) -> np.ndarray:
+        return np.bincount(self.edge_src, minlength=self.n_nodes)
+
+    def in_degree(self) -> np.ndarray:
+        return np.bincount(self.edge_dst, minlength=self.n_nodes)
+
+    def node_index(self, km1mer: int) -> int:
+        idx = int(np.searchsorted(self.nodes, _U64(km1mer)))
+        if idx >= len(self.nodes) or self.nodes[idx] != _U64(km1mer):
+            raise KeyError(f"(k-1)-mer {km1mer} not in graph")
+        return idx
+
+
+def graph_from_spectrum(spectrum: KmerSpectrum, k: int, min_count: int) -> DeBruijnGraph:
+    """Build the graph from a counted spectrum (solidity-filtered here)."""
+    check_in_range("k", k, 3, 31)
+    solid_mask = spectrum.counts >= min_count
+    solid = spectrum.kmers.lo[solid_mask]
+    solid_counts = spectrum.counts[solid_mask]
+
+    # both strands
+    rc = _revcomp_u64(solid, k)
+    palindrome = rc == solid  # only possible for even k
+    directed = np.concatenate((solid, rc[~palindrome]))
+    counts = np.concatenate((solid_counts, solid_counts[~palindrome]))
+
+    km1_mask = (_U64(1) << _U64(2 * (k - 1))) - _U64(1)
+    prefixes = directed >> _U64(2)
+    suffixes = directed & km1_mask
+    bases = (directed & _U64(3)).astype(np.uint8)
+
+    nodes = np.unique(np.concatenate((prefixes, suffixes)))
+    edge_src = np.searchsorted(nodes, prefixes).astype(np.int64)
+    edge_dst = np.searchsorted(nodes, suffixes).astype(np.int64)
+    return DeBruijnGraph(
+        k=k,
+        nodes=nodes,
+        edge_src=edge_src,
+        edge_dst=edge_dst,
+        edge_base=bases,
+        edge_count=counts.astype(np.int64),
+    )
+
+
+def build_debruijn_graph(
+    batch: ReadBatch, k: int, min_count: int = 2
+) -> DeBruijnGraph:
+    """Count canonical k-mers of ``batch`` and build the solid-k-mer graph.
+
+    ``min_count`` is the error-pruning threshold every de Bruijn assembler
+    applies ("Most de Bruijn graph-based assemblers include such filters in
+    the graph construction step" — paper section 4.4).
+    """
+    spectrum = count_canonical_kmers(batch, k)
+    return graph_from_spectrum(spectrum, k, min_count)

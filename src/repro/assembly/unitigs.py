@@ -1,0 +1,92 @@
+"""Unitig extraction: maximal non-branching path compaction.
+
+A unitig is a maximal path through nodes with in-degree == out-degree == 1
+(except possibly at its endpoints).  Because the graph carries both
+strands explicitly, every unitig appears twice (once per strand); the
+output keeps the lexicographically smaller of each (sequence, revcomp)
+pair, once.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.assembly.graph import DeBruijnGraph
+from repro.seqio.alphabet import BASES, reverse_complement
+
+
+def _decode_km1(value: int, k1: int) -> str:
+    return "".join(
+        BASES[(value >> (2 * (k1 - 1 - i))) & 3] for i in range(k1)
+    )
+
+
+def extract_unitigs(graph: DeBruijnGraph, min_length: int = 0) -> List[str]:
+    """All unitigs of ``graph``, reverse-complement-deduplicated, sorted
+    descending by length then lexicographically (deterministic output).
+
+    ``min_length`` drops contigs shorter than the threshold *after*
+    deduplication (assemblers discard near-k-length fragments).
+    """
+    n_nodes = graph.n_nodes
+    n_edges = graph.n_edges
+    if n_edges == 0:
+        return []
+    k1 = graph.k - 1
+
+    out_deg = graph.out_degree()
+    in_deg = graph.in_degree()
+    through = (out_deg == 1) & (in_deg == 1)
+
+    # order edges by source for O(1) "the edges out of node v" lookups
+    order = np.argsort(graph.edge_src, kind="stable")
+    src_sorted = graph.edge_src[order]
+    first_edge = np.searchsorted(src_sorted, np.arange(n_nodes))
+
+    edge_dst = graph.edge_dst
+    edge_base = graph.edge_base
+    visited = np.zeros(n_edges, dtype=bool)
+
+    def walk(start_edge: int) -> str:
+        """Follow edges forward while the next node is non-branching."""
+        pieces = [_decode_km1(int(graph.nodes[graph.edge_src[start_edge]]), k1)]
+        e = start_edge
+        while True:
+            visited[e] = True
+            pieces.append(BASES[int(edge_base[e])])
+            nxt = int(edge_dst[e])
+            if not through[nxt]:
+                break
+            e2 = int(order[first_edge[nxt]])
+            if visited[e2]:
+                break  # closed a cycle
+            e = e2
+        return "".join(pieces)
+
+    raw: List[str] = []
+    # phase 1: unitigs starting at branch boundaries
+    start_nodes = np.flatnonzero(~through & (out_deg > 0))
+    for v in start_nodes:
+        lo = int(first_edge[v])
+        hi = int(first_edge[v + 1]) if v + 1 < n_nodes else n_edges
+        for j in range(lo, hi):
+            e = int(order[j])
+            if not visited[e]:
+                raw.append(walk(e))
+    # phase 2: remaining edges belong to pure cycles
+    for e in range(n_edges):
+        if not visited[e]:
+            raw.append(walk(e))
+
+    dedup = set()
+    contigs: List[str] = []
+    for seq in raw:
+        canon = min(seq, reverse_complement(seq))
+        if canon not in dedup:
+            dedup.add(canon)
+            if len(canon) >= min_length:
+                contigs.append(canon)
+    contigs.sort(key=lambda s: (-len(s), s))
+    return contigs

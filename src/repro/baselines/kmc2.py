@@ -1,0 +1,157 @@
+"""KMC 2-style two-stage k-mer counting (Figure 9's comparator).
+
+KMC 2 (Deorowicz et al., Bioinformatics 2015):
+
+* **Stage 1** reads FASTQ, splits reads into super-k-mers (maximal runs of
+  k-mers sharing a minimizer) and scatters them into minimizer bins.  The
+  extra work over raw enumeration is the minimizer computation; the win is
+  that a super-k-mer of ``n`` k-mers stores ``n + k - 1`` bases instead of
+  ``n`` full tuples.
+* **Stage 2** processes each bin independently: expand super-k-mers back
+  into k-mers, sort, and compact into (k-mer, count) records.
+
+The paper's Figure 9 maps METAPREP's KmerGen + KmerGen-Comm onto Stage 1
+and LocalSort onto Stage 2.  This implementation reproduces both the
+result (counts equal direct counting — tested) and the work-volume
+contrast (bases materialized per stage, records sorted per bin).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.kmers.codec import KmerArray
+from repro.kmers.counter import KmerSpectrum, spectrum_from_tuples
+from repro.kmers.engine import KmerTuples, enumerate_canonical_kmers
+from repro.kmers.minimizers import split_super_kmers
+from repro.seqio.records import ReadBatch
+from repro.util.validation import check_in_range, check_positive
+
+
+@dataclass
+class Kmc2Result:
+    """Counting output plus the per-stage accounting Figure 9 plots."""
+
+    spectrum: KmerSpectrum
+    n_bins: int
+    stage1_seconds: float
+    stage2_seconds: float
+    #: super-k-mers produced (Stage 1 records)
+    n_super_kmers: int = 0
+    #: bases materialized into bins (Stage 1 output volume)
+    super_kmer_bases: int = 0
+    #: k-mers expanded and sorted in Stage 2
+    n_kmers: int = 0
+    bin_record_counts: List[int] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.stage1_seconds + self.stage2_seconds
+
+    @property
+    def compaction_ratio(self) -> float:
+        """Stage-1 bytes out per k-mer, relative to a raw 12-byte tuple.
+
+        KMC 2's headline advantage: << 1 means binning moved far less data
+        than raw tuple enumeration would have."""
+        if self.n_kmers == 0:
+            return 0.0
+        return (self.super_kmer_bases / self.n_kmers) / 12.0
+
+
+class Kmc2Counter:
+    """Two-stage minimizer counter."""
+
+    def __init__(self, k: int, m: int = 7, n_bins: int = 256) -> None:
+        check_in_range("k", k, 2, 63)
+        check_in_range("m", m, 1, min(k, 16))
+        check_positive("n_bins", n_bins)
+        self.k = k
+        self.m = m
+        self.n_bins = n_bins
+
+    # ------------------------------------------------------------------
+    def count(self, batches: List[ReadBatch]) -> Kmc2Result:
+        k, m = self.k, self.m
+
+        # ---- Stage 1: super-k-mer binning -----------------------------
+        t0 = time.perf_counter()
+        bins_codes: List[List[np.ndarray]] = [[] for _ in range(self.n_bins)]
+        n_super = 0
+        super_bases = 0
+        for batch in batches:
+            sk = split_super_kmers(batch, k, m)
+            n_super += len(sk)
+            super_bases += sk.total_bases
+            if len(sk) == 0:
+                continue
+            bin_ids = sk.bin_of(self.n_bins)
+            lengths = sk.n_kmers + k - 1
+            for b in np.unique(bin_ids):
+                for idx in np.flatnonzero(bin_ids == b):
+                    start = int(sk.start[idx])
+                    bins_codes[int(b)].append(
+                        batch.codes[start : start + int(lengths[idx])]
+                    )
+        stage1 = time.perf_counter() - t0
+
+        # ---- Stage 2: per-bin expand + sort + compact ------------------
+        t1 = time.perf_counter()
+        kmer_parts: List[KmerArray] = []
+        count_parts: List[np.ndarray] = []
+        bin_records: List[int] = []
+        n_kmers = 0
+        for b in range(self.n_bins):
+            if not bins_codes[b]:
+                bin_records.append(0)
+                continue
+            # super-k-mers of one bin, expanded back into k-mer tuples
+            sub = ReadBatch(
+                codes=np.concatenate(bins_codes[b]),
+                offsets=np.concatenate(
+                    (
+                        [0],
+                        np.cumsum([len(c) for c in bins_codes[b]]),
+                    )
+                ).astype(np.int64),
+                read_ids=np.zeros(len(bins_codes[b]), dtype=np.int64),
+            )
+            tuples = enumerate_canonical_kmers(sub, k)
+            n_kmers += len(tuples)
+            bin_records.append(len(tuples))
+            spec = spectrum_from_tuples(tuples)
+            kmer_parts.append(spec.kmers)
+            count_parts.append(spec.counts)
+        # merge per-bin spectra: because a canonical k-mer may land in two
+        # bins (its minimizer is orientation-sensitive in this simplified
+        # ordering), aggregate across bins by a final sort+reduce.
+        if kmer_parts:
+            merged = KmerArray.concatenate(kmer_parts)
+            counts = np.concatenate(count_parts)
+            order = merged.argsort()
+            merged = merged.take(order)
+            counts = counts[order]
+            bounds = merged.run_boundaries()
+            starts = bounds[:-1]
+            sums = np.add.reduceat(counts, starts)
+            spectrum = KmerSpectrum(merged.take(starts), sums)
+        else:
+            spectrum = KmerSpectrum(
+                KmerArray.empty(k), np.empty(0, dtype=np.int64)
+            )
+        stage2 = time.perf_counter() - t1
+
+        return Kmc2Result(
+            spectrum=spectrum,
+            n_bins=self.n_bins,
+            stage1_seconds=stage1,
+            stage2_seconds=stage2,
+            n_super_kmers=n_super,
+            super_kmer_bases=super_bases,
+            n_kmers=n_kmers,
+            bin_record_counts=bin_records,
+        )

@@ -1,0 +1,97 @@
+"""MergeCC: tree merge of per-task component arrays (paper section 3.6).
+
+"We combine this information in ceil(log2 P) iterations...  In each
+iteration, tasks with a higher MPI rank send their component array (p) to
+the corresponding lower rank task.  In successive iterations, the number of
+tasks participating in the communication reduces by a factor of 2...  The
+MPI task with rank 0 has the final component information."  (Figure 4.)
+
+This module computes the schedule and performs the merges; actual byte
+accounting for the simulated interconnect lives in
+:mod:`repro.runtime.comm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cc.dsf import DisjointSetForest
+
+
+def tree_merge_schedule(n_tasks: int) -> List[List[Tuple[int, int]]]:
+    """Rounds of ``(sender, receiver)`` pairs for the Figure-4 tree merge.
+
+    >>> tree_merge_schedule(8)[0]
+    [(1, 0), (3, 2), (5, 4), (7, 6)]
+    """
+    if n_tasks < 1:
+        raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
+    rounds: List[List[Tuple[int, int]]] = []
+    offset = 1
+    while offset < n_tasks:
+        pairs = [
+            (p + offset, p)
+            for p in range(0, n_tasks, 2 * offset)
+            if p + offset < n_tasks
+        ]
+        rounds.append(pairs)
+        offset *= 2
+    return rounds
+
+
+@dataclass
+class MergeCCStats:
+    """Accounting for the whole merge tree."""
+
+    n_tasks: int = 1
+    n_rounds: int = 0
+    n_unions: int = 0
+    bytes_communicated: int = 0
+    per_round_pairs: List[int] = field(default_factory=list)
+    #: per-task wall contribution proxy: number of merge operations each
+    #: receiver executed (rank 0 does the most -- the paper's Figure 8
+    #: spread in MergeCC comes exactly from this asymmetry).
+    merges_by_task: dict = field(default_factory=dict)
+
+
+def merge_component_arrays(
+    parents: Sequence[np.ndarray],
+) -> Tuple[np.ndarray, MergeCCStats]:
+    """Merge per-task component arrays into the global labeling.
+
+    ``parents[p]`` is task ``p``'s local disjoint-set parent array over all
+    ``R`` reads (each task holds the full array — "Since the number of
+    reads is substantially smaller than the total number of graph edges, it
+    is feasible to replicate the component array on each task").
+
+    Returns the rank-0 parent array after the merge and stats.  The input
+    arrays are not modified.
+    """
+    if not parents:
+        raise ValueError("need at least one component array")
+    n = len(parents[0])
+    for i, p in enumerate(parents):
+        if len(p) != n:
+            raise ValueError(
+                f"component array {i} has length {len(p)}, expected {n}"
+            )
+
+    stats = MergeCCStats(n_tasks=len(parents))
+    forests = [DisjointSetForest.from_parent_array(p) for p in parents]
+    schedule = tree_merge_schedule(len(parents))
+    stats.n_rounds = len(schedule)
+    stats.merges_by_task = {p: 0 for p in range(len(parents))}
+
+    for pairs in schedule:
+        stats.per_round_pairs.append(len(pairs))
+        for sender, receiver in pairs:
+            sent = forests[sender].parent
+            stats.bytes_communicated += 4 * len(sent)  # p is 4R bytes (paper)
+            unions = forests[receiver].absorb_parent_array(sent)
+            stats.n_unions += unions
+            stats.merges_by_task[receiver] += 1
+
+    return forests[0].parent.copy(), stats

@@ -1,0 +1,157 @@
+"""Component-splitting strategies (paper section 5, future work).
+
+The paper observes that read-graph partitioning produces one giant
+component and proposes exploring "alternate component-splitting
+strategies" beyond its two simple levers (larger k, frequency filters).
+This module implements that exploration:
+
+* :func:`sweep_filters` — scan a grid of frequency filters and report the
+  largest-component curve (automating the paper's Table 7 search);
+* :func:`split_to_target` — binary-search the *upper* cutoff of the
+  frequency filter until the largest component fits a target fraction,
+  the "choose filter settings carefully" loop the paper leaves manual;
+* :func:`hub_kmer_split` — remove the highest-frequency k-mers one
+  frequency tier at a time (a targeted version of the same idea: repeats
+  and conserved segments are the hubs that glue species together).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.cc.components import ComponentSummary, summarize_components
+from repro.cc.dsf import DisjointSetForest
+from repro.cc.localcc import local_connected_components
+from repro.kmers.engine import KmerTuples, enumerate_canonical_kmers
+from repro.kmers.filter import FrequencyFilter
+from repro.seqio.records import ReadBatch
+from repro.sort.radix import radix_sort_tuples
+from repro.util.validation import check_in_range
+
+
+@dataclass
+class SplitOutcome:
+    """One evaluated splitting configuration."""
+
+    kfilter: FrequencyFilter
+    summary: ComponentSummary
+
+    @property
+    def lc_fraction(self) -> float:
+        return self.summary.largest_component_fraction
+
+
+def _partition_with_filter(
+    sorted_tuples: KmerTuples, n_reads: int, kfilter: FrequencyFilter
+) -> ComponentSummary:
+    forest = DisjointSetForest(n_reads)
+    local_connected_components(sorted_tuples, forest, kfilter)
+    return summarize_components(forest.parent)
+
+
+def _prepare(batch: ReadBatch, k: int) -> tuple:
+    tuples = enumerate_canonical_kmers(batch, k)
+    sorted_tuples, _ = radix_sort_tuples(tuples)
+    n_reads = int(batch.read_ids.max()) + 1 if batch.n_reads else 0
+    return sorted_tuples, n_reads
+
+
+def sweep_filters(
+    batch: ReadBatch,
+    k: int,
+    max_freqs: Sequence[int],
+    min_freq: int = 1,
+) -> List[SplitOutcome]:
+    """Evaluate ``KF < f`` (or ``min_freq <= KF < f``) for each cutoff."""
+    sorted_tuples, n_reads = _prepare(batch, k)
+    out = []
+    for f in max_freqs:
+        kfilter = FrequencyFilter(min_freq, f)
+        out.append(
+            SplitOutcome(kfilter, _partition_with_filter(sorted_tuples, n_reads, kfilter))
+        )
+    return out
+
+
+def split_to_target(
+    batch: ReadBatch,
+    k: int,
+    target_fraction: float,
+    min_freq: int = 1,
+    max_cutoff: int = 1 << 20,
+) -> SplitOutcome:
+    """Smallest-filtering cutoff whose largest component fits the target.
+
+    Binary search over the upper frequency cutoff: larger cutoffs filter
+    *less* (keep more edges), so the LC fraction is monotone non-decreasing
+    in the cutoff; we return the largest cutoff still meeting the target
+    (i.e. the gentlest filter that achieves the desired balance).  If even
+    the most aggressive filter (cutoff = min_freq + 1) cannot meet the
+    target, that outcome is returned so callers can inspect the residual.
+    """
+    check_in_range("target_fraction", target_fraction, 0.0, 1.0)
+    sorted_tuples, n_reads = _prepare(batch, k)
+
+    def lc_at(cutoff: int) -> SplitOutcome:
+        kfilter = FrequencyFilter(min_freq, cutoff)
+        return SplitOutcome(
+            kfilter, _partition_with_filter(sorted_tuples, n_reads, kfilter)
+        )
+
+    lo, hi = min_freq + 1, max_cutoff
+    best = lc_at(lo)
+    if best.lc_fraction > target_fraction:
+        return best  # even maximal filtering cannot hit the target
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        outcome = lc_at(mid)
+        if outcome.lc_fraction <= target_fraction:
+            best = outcome
+            lo = mid
+        else:
+            hi = mid - 1
+    return best
+
+
+def hub_kmer_split(
+    batch: ReadBatch,
+    k: int,
+    target_fraction: float,
+    tiers: int = 16,
+) -> SplitOutcome:
+    """Remove the hottest k-mers tier by tier until the target is met.
+
+    Ranks distinct k-mers by frequency and lowers the cutoff through
+    ``tiers`` quantiles of the frequency distribution — a data-driven
+    version of picking "30" by hand.  Returns the first configuration
+    meeting the target, or the most aggressive tier evaluated.
+    """
+    check_in_range("tiers", tiers, 1, 10_000)
+    sorted_tuples, n_reads = _prepare(batch, k)
+    bounds = sorted_tuples.kmers.run_boundaries()
+    freqs = np.diff(bounds)
+    if len(freqs) == 0:
+        return SplitOutcome(
+            FrequencyFilter(), _partition_with_filter(sorted_tuples, n_reads, FrequencyFilter())
+        )
+    quantiles = np.unique(
+        np.quantile(freqs, np.linspace(1.0, 0.0, tiers + 1)[1:-1]).astype(int)
+    )[::-1]
+    outcome = None
+    for q in quantiles:
+        cutoff = max(int(q), 2)
+        kfilter = FrequencyFilter(1, cutoff)
+        outcome = SplitOutcome(
+            kfilter, _partition_with_filter(sorted_tuples, n_reads, kfilter)
+        )
+        if outcome.lc_fraction <= target_fraction:
+            return outcome
+    if outcome is None:
+        kfilter = FrequencyFilter(1, 2)
+        outcome = SplitOutcome(
+            kfilter, _partition_with_filter(sorted_tuples, n_reads, kfilter)
+        )
+    return outcome

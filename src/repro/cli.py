@@ -1,0 +1,309 @@
+"""``metaprep`` command line interface.
+
+Subcommands::
+
+    metaprep dataset --name HG --workdir data/        # build an analogue
+    metaprep index   --r1 a_R1.fastq --r2 a_R2.fastq  # IndexCreate only
+    metaprep run     --r1 a_R1.fastq --r2 a_R2.fastq --out parts/ \
+                     --k 27 --tasks 4 --threads 8 --passes 2
+    metaprep assemble --fastq parts/lc_p0_t0.fastq     # MiniAssembler
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Sequence
+
+from repro.util.logging import set_verbosity
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-v", "--verbose", action="store_true")
+
+
+def _units_from_args(args) -> List:
+    if args.r2:
+        return [(args.r1, args.r2)]
+    return [args.r1]
+
+
+def cmd_dataset(args) -> int:
+    from repro.datasets.registry import DATASETS, build_dataset
+
+    if args.list:
+        for name, spec in DATASETS.items():
+            print(f"{name}: {spec.description} ({spec.n_pairs} pairs)")
+        return 0
+    ds = build_dataset(args.name, args.workdir, seed=args.seed, scale=args.scale)
+    print(f"built {ds.name}: {ds.n_pairs} pairs -> {ds.r1_path}, {ds.r2_path}")
+    return 0
+
+
+def cmd_index(args) -> int:
+    from repro.index.create import index_create
+
+    result = index_create(
+        _units_from_args(args),
+        k=args.k,
+        m=args.m,
+        n_chunks=args.chunks,
+        output_dir=args.out,
+    )
+    print(
+        f"IndexCreate: {result.fastqpart.n_chunks} chunks, "
+        f"{result.fastqpart.total_reads} reads, "
+        f"{result.merhist.total_tuples} tuples; "
+        f"FASTQPart {result.fastqpart_seconds:.2f}s, "
+        f"merHist {result.merhist_seconds:.2f}s"
+    )
+    if result.merhist_path:
+        print(f"tables: {result.merhist_path}, {result.fastqpart_path}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.core.config import PipelineConfig
+    from repro.core.pipeline import MetaPrep
+    from repro.core.report import format_breakdown, format_partition_summary
+    from repro.kmers.filter import FrequencyFilter
+
+    config = PipelineConfig(
+        k=args.k,
+        m=args.m,
+        n_tasks=args.tasks,
+        n_threads=args.threads,
+        n_passes=args.passes,
+        n_chunks=args.chunks,
+        kmer_filter=FrequencyFilter.parse(args.filter),
+        machine=args.machine,
+        write_outputs=args.out is not None,
+    )
+    result = MetaPrep(config).run(_units_from_args(args), output_dir=args.out)
+    print(format_partition_summary(result.partition.summary))
+    print()
+    print(format_breakdown(result.measured, "measured step times (this host)"))
+    print()
+    print(
+        format_breakdown(
+            result.projected.breakdown(),
+            f"projected step times ({args.machine}, P={args.tasks}, "
+            f"T={args.threads}, S={result.n_passes})",
+        )
+    )
+    if args.out:
+        print(f"\npartitions written under {args.out}")
+    return 0
+
+
+def cmd_assemble(args) -> int:
+    from repro.assembly.assembler import AssemblyConfig, MiniAssembler
+
+    config = AssemblyConfig(
+        k=args.k, min_count=args.min_count, min_contig_length=args.min_len
+    )
+    result = MiniAssembler(config).assemble_files(args.fastq)
+    s = result.stats
+    print(
+        f"assembled {result.n_reads} reads in {result.seconds:.2f}s: "
+        f"{s.n_contigs} contigs, {s.total_mbp:.3f} Mbp, "
+        f"max {s.max_bp} bp, N50 {s.n50} bp"
+    )
+    if args.out:
+        from repro.seqio.fasta import write_contigs
+
+        write_contigs(args.out, result.contigs)
+        print(f"contigs written to {args.out}")
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    from repro.perf.calibrate import calibrate
+    from repro.runtime.machines import get_machine
+
+    rates = calibrate(quick=not args.full)
+    machine = get_machine(args.machine)
+    print("substrate rates on this host (single thread) vs machine model:")
+    for name, ours in rates.as_dict().items():
+        modeled = getattr(machine, name)
+        print(
+            f"  {name:<12} {ours / 1e6:8.2f} M ops/s   "
+            f"({args.machine} model: {modeled / 1e6:.0f} M)"
+        )
+    return 0
+
+
+def cmd_spectrum(args) -> int:
+    from repro.kmers.counter import count_canonical_kmers
+    from repro.kmers.spectrum_analysis import (
+        analyze_spectrum,
+        recommended_filter_band,
+    )
+    from repro.seqio.fastq import read_fastq
+    from repro.seqio.records import ReadBatch
+
+    records = []
+    for path in args.fastq:
+        records.extend(read_fastq(path))
+    batch = ReadBatch.from_records(records, keep_metadata=False)
+    spectrum = count_canonical_kmers(batch, args.k)
+    report = analyze_spectrum(spectrum)
+    print(f"k-mer spectrum (k={args.k}) over {batch.n_reads} reads:")
+    print(f"  distinct k-mers:       {spectrum.n_distinct}")
+    print(f"  coverage peak:         {report.coverage_peak}x")
+    print(f"  error trough:          count <= {report.trough}")
+    print(f"  error k-mers:          {report.error_kmers}")
+    print(f"  genomic k-mers:        {report.genomic_kmers}")
+    print(f"  genome size estimate:  {report.genome_size_estimate} bp")
+    print(
+        f"  erroneous occurrences: "
+        f"{100 * report.error_occurrence_fraction:.2f}%"
+    )
+    lo, hi = recommended_filter_band(report)
+    print(f"  suggested --filter:    '{lo}:{hi}'")
+    return 0
+
+
+def cmd_trim(args) -> int:
+    from repro.seqio.fastq import read_fastq, write_fastq
+    from repro.seqio.quality import quality_filter
+
+    records = read_fastq(args.fastq)
+    kept, stats = quality_filter(
+        records,
+        min_mean_quality=args.min_quality,
+        trim_threshold=args.trim_threshold,
+        min_length=args.min_length,
+    )
+    print(
+        f"quality filter: kept {stats.n_kept}/{stats.n_in} reads, trimmed "
+        f"{stats.bases_trimmed} bases, dropped {stats.n_dropped_quality} "
+        f"low-quality + {stats.n_dropped_length} short"
+    )
+    if args.out:
+        write_fastq(args.out, kept)
+        print(f"filtered reads written to {args.out}")
+    return 0
+
+
+def cmd_normalize(args) -> int:
+    from repro.kmers.normalization import DigitalNormalizer
+    from repro.seqio.fastq import read_fastq, write_fastq
+    from repro.seqio.records import ReadBatch
+
+    records = read_fastq(args.fastq)
+    batch = ReadBatch.from_records(records)
+    normalizer = DigitalNormalizer(k=args.k, coverage=args.coverage)
+    kept, stats = normalizer.normalize(batch)
+    print(
+        f"digital normalization (k={args.k}, C={args.coverage}): kept "
+        f"{stats.n_reads_kept}/{stats.n_reads_in} reads "
+        f"({100 * stats.keep_fraction:.1f}%), "
+        f"{stats.n_distinct_kmers} distinct k-mers retained"
+    )
+    if args.out:
+        write_fastq(args.out, list(kept))
+        print(f"normalized reads written to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="metaprep",
+        description="METAPREP: parallel metagenome preprocessing (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("dataset", help="build a synthetic dataset analogue")
+    p.add_argument("--name", default="HG")
+    p.add_argument("--workdir", default=".")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--list", action="store_true", help="list registry entries")
+    _add_common(p)
+    p.set_defaults(func=cmd_dataset)
+
+    p = sub.add_parser("index", help="run IndexCreate")
+    p.add_argument("--r1", required=True)
+    p.add_argument("--r2")
+    p.add_argument("--k", type=int, default=27)
+    p.add_argument("--m", type=int, default=8)
+    p.add_argument("--chunks", type=int, default=64)
+    p.add_argument("--out", default=None, help="directory for binary tables")
+    _add_common(p)
+    p.set_defaults(func=cmd_index)
+
+    p = sub.add_parser("run", help="run the full preprocessing pipeline")
+    p.add_argument("--r1", required=True)
+    p.add_argument("--r2")
+    p.add_argument("--out", default=None, help="partition output directory")
+    p.add_argument("--k", type=int, default=27)
+    p.add_argument("--m", type=int, default=8)
+    p.add_argument("--tasks", type=int, default=1)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--passes", type=int, default=1)
+    p.add_argument("--chunks", type=int, default=None)
+    p.add_argument(
+        "--filter",
+        default="none",
+        help="k-mer frequency filter: 'none', '<30', or '10:30'",
+    )
+    p.add_argument("--machine", default="edison", choices=("edison", "ganga"))
+    _add_common(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("assemble", help="assemble FASTQ files (MEGAHIT stand-in)")
+    p.add_argument("--fastq", nargs="+", required=True)
+    p.add_argument("--k", type=int, default=21)
+    p.add_argument("--min-count", type=int, default=2)
+    p.add_argument("--min-len", type=int, default=63)
+    p.add_argument("--out", default=None, help="FASTA output path")
+    _add_common(p)
+    p.set_defaults(func=cmd_assemble)
+
+    p = sub.add_parser(
+        "calibrate", help="measure this host's kernel throughputs"
+    )
+    p.add_argument("--full", action="store_true", help="larger problem sizes")
+    p.add_argument("--machine", default="edison", choices=("edison", "ganga"))
+    _add_common(p)
+    p.set_defaults(func=cmd_calibrate)
+
+    p = sub.add_parser("trim", help="quality-trim and filter a FASTQ file")
+    p.add_argument("--fastq", required=True)
+    p.add_argument("--min-quality", type=float, default=20.0)
+    p.add_argument("--trim-threshold", type=int, default=20)
+    p.add_argument("--min-length", type=int, default=30)
+    p.add_argument("--out", default=None)
+    _add_common(p)
+    p.set_defaults(func=cmd_trim)
+
+    p = sub.add_parser(
+        "spectrum", help="k-mer spectrum analysis + filter recommendation"
+    )
+    p.add_argument("--fastq", nargs="+", required=True)
+    p.add_argument("--k", type=int, default=17)
+    _add_common(p)
+    p.set_defaults(func=cmd_spectrum)
+
+    p = sub.add_parser(
+        "normalize", help="digital normalization (diginorm) of a FASTQ file"
+    )
+    p.add_argument("--fastq", required=True)
+    p.add_argument("--k", type=int, default=17)
+    p.add_argument("--coverage", type=int, default=20)
+    p.add_argument("--out", default=None)
+    _add_common(p)
+    p.set_defaults(func=cmd_normalize)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "verbose", False):
+        set_verbosity("INFO")
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

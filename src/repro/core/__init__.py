@@ -1,0 +1,16 @@
+"""The METAPREP pipeline: configuration, driver, partition output, reports."""
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import MetaPrep, PipelineResult
+from repro.core.partition import PartitionResult, write_partitions
+from repro.core.report import format_breakdown, format_partition_summary
+
+__all__ = [
+    "PipelineConfig",
+    "MetaPrep",
+    "PipelineResult",
+    "PartitionResult",
+    "write_partitions",
+    "format_breakdown",
+    "format_partition_summary",
+]

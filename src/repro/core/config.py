@@ -1,0 +1,89 @@
+"""Pipeline configuration.
+
+Defaults follow the paper's experimental setup where practical (k = 27,
+merge/communication schedules fixed by P) and scale down where the paper's
+constants target 200-Gbp inputs (m defaults to 8 rather than 10 so the
+FASTQPart histograms stay proportionate on laptop-scale synthetic data; any
+``m <= 16`` is supported and the paper's ``m = 10`` is a one-liner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kmers.codec import MAX_K_TWO_LIMB, KmerCodec
+from repro.kmers.filter import FrequencyFilter
+from repro.util.validation import check_in_range, check_positive
+
+
+@dataclass
+class PipelineConfig:
+    """All knobs of a METAPREP run."""
+
+    #: k-mer length; 27 in most paper experiments, up to 63 supported
+    #: (two-limb k-mers, 20-byte tuples — paper section 4.4).
+    k: int = 27
+    #: m-mer prefix length for merHist / FASTQPart binning (paper: 10).
+    m: int = 8
+    #: MPI task count P (1 task per node in the paper's runs).
+    n_tasks: int = 1
+    #: OpenMP thread count T per task (24 on Edison).
+    n_threads: int = 4
+    #: number of I/O passes S; ``None`` derives the fewest passes that fit
+    #: ``memory_budget_per_task`` (section 3.7).
+    n_passes: int | None = 1
+    #: per-task memory budget in bytes, used only when ``n_passes is None``.
+    memory_budget_per_task: int | None = None
+    #: number of logical FASTQ chunks C; ``None`` -> 4 chunks per thread.
+    n_chunks: int | None = None
+    #: k-mer frequency filter gating read-graph edges (section 4.4).
+    kmer_filter: FrequencyFilter = field(default_factory=FrequencyFilter)
+    #: enumerate component ids instead of read ids on passes >= 2
+    #: (LocalCC-Opt, section 3.5.1).
+    localcc_opt: bool = True
+    #: machine model used for timing projection.
+    machine: str = "edison"
+    #: write the partitioned FASTQ output files (CC-I/O step).  Disable in
+    #: unit tests that only need the partition labels.
+    write_outputs: bool = True
+    #: radix-sort optimization: skip passes whose digit is constant.  Does
+    #: not affect the timing model (which uses the paper's nominal pass
+    #: count) — only real wall time.
+    radix_skip_constant: bool = True
+    #: sanity-check the static offset math against actual counts (cheap;
+    #: keep on).
+    verify_static_counts: bool = True
+
+    def __post_init__(self) -> None:
+        check_in_range("k", self.k, 2, MAX_K_TWO_LIMB)
+        check_in_range("m", self.m, 1, min(self.k - 1, 16))
+        check_positive("n_tasks", self.n_tasks)
+        check_positive("n_threads", self.n_threads)
+        if self.n_passes is not None:
+            check_positive("n_passes", self.n_passes)
+        elif self.memory_budget_per_task is None:
+            raise ValueError(
+                "set n_passes or memory_budget_per_task (n_passes=None "
+                "means 'derive from the budget')"
+            )
+        if self.n_chunks is not None:
+            if self.n_chunks < self.n_tasks * self.n_threads:
+                raise ValueError(
+                    f"n_chunks ({self.n_chunks}) must be >= n_tasks * "
+                    f"n_threads ({self.n_tasks * self.n_threads})"
+                )
+
+    @property
+    def codec(self) -> KmerCodec:
+        return KmerCodec(self.k)
+
+    @property
+    def tuple_bytes(self) -> int:
+        return self.codec.tuple_bytes
+
+    @property
+    def total_slots(self) -> int:
+        return self.n_tasks * self.n_threads
+
+    def resolved_chunks(self) -> int:
+        return self.n_chunks if self.n_chunks is not None else 4 * self.total_slots

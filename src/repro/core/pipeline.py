@@ -1,0 +1,425 @@
+"""The METAPREP driver: IndexCreate -> S x (KmerGen -> Comm -> LocalSort ->
+LocalCC) -> MergeCC -> partitioned output.
+
+The run is organized *exactly* as the paper's distributed execution — P
+tasks x T threads, chunk assignment and k-mer ranges from the index tables,
+the P-stage all-to-all, per-task forests merged over a binary tree — but
+executes in one process.  Results are therefore bit-identical to a real
+parallel run with the same decomposition (no scheduling nondeterminism
+exists: union-by-index makes the forest order-sensitive, so we fix the
+paper's deterministic orders: threads in rank order, sources in rank
+order).
+
+Two kinds of timing come out of a run:
+
+* ``result.measured`` — real Python wall time per step (what the local
+  benchmarks report), and
+* ``result.projected`` — the calibrated machine-model projection from the
+  measured work volumes (what reproduces the paper's figures; see
+  :mod:`repro.runtime.timing`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.cc.dsf import DisjointSetForest
+from repro.cc.localcc import (
+    LocalCCStats,
+    local_connected_components,
+    map_ids_to_components,
+)
+from repro.cc.mergecc import MergeCCStats, merge_component_arrays, tree_merge_schedule
+from repro.core.config import PipelineConfig
+from repro.core.partition import (
+    PartitionResult,
+    partition_from_parent,
+    write_partitions,
+)
+from repro.index.create import IndexCreateResult, index_create
+from repro.index.fastqpart import load_chunk_reads
+from repro.index.offsets import chunk_assignment, send_counts_matrix
+from repro.index.passplan import PassPlan, passes_for_memory_budget, plan_passes
+from repro.kmers.engine import KmerTuples, enumerate_canonical_kmers
+from repro.runtime.comm import AllToAllStats, custom_all_to_all
+from repro.runtime.machines import get_machine
+from repro.runtime.timing import ProjectedTimes, TimingModel
+from repro.runtime.work import RunWork, StepNames
+from repro.sort.radix import RadixSortStats, radix_passes_for, radix_sort_tuples
+from repro.sort.partition import range_partition
+from repro.util.logging import get_logger
+from repro.util.timers import StepTimer, TimeBreakdown
+
+_LOG = get_logger("core.pipeline")
+
+
+class StaticCountMismatch(AssertionError):
+    """The FASTQPart-precomputed counts disagreed with actual KmerGen
+    output — indicates index/table corruption or a k/m mismatch."""
+
+
+@dataclass
+class PipelineResult:
+    """Everything a run produced."""
+
+    config: PipelineConfig
+    n_reads: int
+    partition: PartitionResult
+    work: RunWork
+    projected: ProjectedTimes
+    measured: TimeBreakdown
+    plan: PassPlan
+    index: IndexCreateResult
+    merge_stats: MergeCCStats
+    sort_stats: RadixSortStats
+    cc_stats: LocalCCStats
+    comm_stats: List[AllToAllStats] = field(default_factory=list)
+
+    @property
+    def n_passes(self) -> int:
+        return self.plan.n_passes
+
+    @property
+    def total_tuples(self) -> int:
+        return self.work.total_tuples
+
+    def projected_total(self) -> float:
+        return self.projected.total_seconds
+
+    def memory_per_task_bytes(self) -> int:
+        """Section 3.7 memory estimate on this run's measured volumes."""
+        table = self.index.fastqpart
+        chunk_bytes = (
+            int(max(table.size1 + table.size2)) if table.n_chunks else 0
+        )
+        table_bytes = table.nbytes + self.index.merhist.nbytes
+        model = TimingModel(get_machine(self.config.machine))
+        return model.memory_per_task(self.work, chunk_bytes, table_bytes)
+
+
+class MetaPrep:
+    """End-to-end METAPREP runner.  See :class:`PipelineConfig`."""
+
+    def __init__(self, config: PipelineConfig | None = None) -> None:
+        self.config = config or PipelineConfig()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        units: Sequence,
+        output_dir: str | os.PathLike | None = None,
+        index: IndexCreateResult | None = None,
+        checkpoint_dir: str | os.PathLike | None = None,
+    ) -> PipelineResult:
+        """Partition the reads of ``units`` (paths or (R1, R2) pairs).
+
+        ``index`` may carry a prebuilt :class:`IndexCreateResult` (the
+        tables are reusable across runs and machines — that is their
+        point); otherwise IndexCreate runs first.
+
+        ``checkpoint_dir`` enables per-pass checkpointing: an interrupted
+        multipass run resumes after its last completed pass (see
+        :mod:`repro.core.checkpoint`).  A resumed run's measured times and
+        work volumes cover only the passes it actually executed.  The
+        checkpoint is cleared on successful completion.
+        """
+        cfg = self.config
+        if index is None:
+            index = index_create(units, cfg.k, cfg.m, cfg.resolved_chunks())
+        merhist, table = index.merhist, index.fastqpart
+        if merhist.k != cfg.k or merhist.m != cfg.m:
+            raise ValueError(
+                f"index built for k={merhist.k}, m={merhist.m}; "
+                f"config wants k={cfg.k}, m={cfg.m}"
+            )
+        n_reads = table.total_reads
+        p_tasks, t_threads = cfg.n_tasks, cfg.n_threads
+
+        if cfg.n_passes is not None:
+            n_passes = cfg.n_passes
+        else:
+            n_passes = passes_for_memory_budget(
+                merhist,
+                p_tasks,
+                cfg.tuple_bytes,
+                cfg.memory_budget_per_task,
+                reserved_bytes_per_task=table.nbytes + merhist.nbytes + 8 * n_reads,
+            )
+        plan = plan_passes(merhist, n_passes, p_tasks, t_threads)
+        assignment = chunk_assignment(table.n_chunks, p_tasks, t_threads)
+
+        work = RunWork(
+            n_tasks=p_tasks,
+            n_threads=t_threads,
+            n_passes=n_passes,
+            n_reads=n_reads,
+            k=cfg.k,
+            tuple_bytes=cfg.tuple_bytes,
+        )
+        if table.n_chunks:
+            work.fastq_chunk_bytes = int(max(table.size1 + table.size2))
+        work.table_bytes = table.nbytes + merhist.nbytes
+        timer = StepTimer()
+        forests = [DisjointSetForest(n_reads) for _ in range(p_tasks)]
+        sort_stats = RadixSortStats()
+        cc_stats = LocalCCStats()
+        comm_stats: List[AllToAllStats] = []
+
+        store = None
+        start_pass = 0
+        fingerprint = ""
+        if checkpoint_dir is not None:
+            from repro.core.checkpoint import (
+                Checkpoint,
+                CheckpointMismatch,
+                CheckpointStore,
+                config_fingerprint,
+            )
+
+            store = CheckpointStore(checkpoint_dir)
+            fingerprint = config_fingerprint(
+                cfg, n_reads, merhist.total_tuples
+            )
+            if store.exists():
+                ckpt = store.load(fingerprint)
+                if ckpt.n_passes_total != n_passes:
+                    raise CheckpointMismatch(
+                        f"checkpoint was taken at {ckpt.n_passes_total} "
+                        f"passes; this run plans {n_passes}"
+                    )
+                forests = [
+                    DisjointSetForest.from_parent_array(p)
+                    for p in ckpt.parents
+                ]
+                start_pass = ckpt.passes_done
+                _LOG.info(
+                    "resuming from checkpoint: %d/%d passes done",
+                    start_pass,
+                    n_passes,
+                )
+
+        for spec in plan.passes:
+            if spec.index < start_pass:
+                continue
+            self._run_pass(
+                spec,
+                table,
+                assignment,
+                forests,
+                work,
+                timer,
+                sort_stats,
+                cc_stats,
+                comm_stats,
+            )
+            if store is not None:
+                from repro.core.checkpoint import Checkpoint
+
+                store.save(
+                    Checkpoint(
+                        fingerprint=fingerprint,
+                        n_passes_total=n_passes,
+                        passes_done=spec.index + 1,
+                        parents=[f.parent for f in forests],
+                    )
+                )
+
+        # ---- MergeCC --------------------------------------------------
+        with timer.step(StepNames.MERGECC):
+            global_parent, merge_stats = merge_component_arrays(
+                [f.parent for f in forests]
+            )
+        work.merge_rounds = tree_merge_schedule(p_tasks)
+        work.merge_bytes_per_send = 4 * n_reads
+        work.merge_entries_by_task = np.asarray(
+            [merge_stats.merges_by_task.get(p, 0) * n_reads for p in range(p_tasks)],
+            dtype=np.int64,
+        )
+        work.broadcast_bytes = 4 * n_reads if p_tasks > 1 else 0
+
+        # ---- partition + CC-I/O ----------------------------------------
+        partition = partition_from_parent(global_parent)
+        if cfg.write_outputs and output_dir is not None:
+            with timer.step(StepNames.CC_IO):
+                write_partitions(
+                    partition, table, assignment, p_tasks, t_threads, output_dir
+                )
+            work.ccio_bytes = partition.bytes_written.copy()
+        else:
+            # estimate output volume (output FASTQ ~ input FASTQ bytes)
+            est = np.zeros((p_tasks, t_threads), dtype=np.int64)
+            for c in range(table.n_chunks):
+                pp, tt = divmod(int(assignment[c]), t_threads)
+                est[pp, tt] += table.chunk_bytes(c)
+            work.ccio_bytes = est
+
+        if store is not None:
+            store.clear()
+        projected = TimingModel(get_machine(cfg.machine)).project(work)
+        _LOG.info(
+            "run complete: %d reads, %d tuples, %d components (LC %.1f%%), "
+            "projected %s %.2fs",
+            n_reads,
+            work.total_tuples,
+            partition.summary.n_components,
+            partition.summary.largest_component_percent,
+            cfg.machine,
+            projected.total_seconds,
+        )
+        return PipelineResult(
+            config=cfg,
+            n_reads=n_reads,
+            partition=partition,
+            work=work,
+            projected=projected,
+            measured=timer.breakdown,
+            plan=plan,
+            index=index,
+            merge_stats=merge_stats,
+            sort_stats=sort_stats,
+            cc_stats=cc_stats,
+            comm_stats=comm_stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_pass(
+        self,
+        spec,
+        table,
+        assignment: np.ndarray,
+        forests: List[DisjointSetForest],
+        work: RunWork,
+        timer: StepTimer,
+        sort_stats: RadixSortStats,
+        cc_stats: LocalCCStats,
+        comm_stats: List[AllToAllStats],
+    ) -> None:
+        cfg = self.config
+        p_tasks, t_threads = cfg.n_tasks, cfg.n_threads
+        is_first_pass = spec.index == 0
+        use_opt = cfg.localcc_opt and not is_first_pass
+
+        expected = None
+        if cfg.verify_static_counts:
+            expected = send_counts_matrix(
+                table,
+                assignment,
+                spec.task_edges,
+                p_tasks,
+                t_threads,
+                spec.bin_lo,
+                spec.bin_hi,
+            )
+
+        # ---- KmerGen (+ I/O) -------------------------------------------
+        # send_blocks[p][d] accumulates per-thread tuple slices in thread
+        # order: the deterministic buffer layout of section 3.2.2.
+        send_parts: List[List[List[KmerTuples]]] = [
+            [[] for _ in range(p_tasks)] for _ in range(p_tasks)
+        ]
+        actual_counts = np.zeros((p_tasks, t_threads, p_tasks), dtype=np.int64)
+        for c in range(table.n_chunks):
+            slot = int(assignment[c])
+            p, t = divmod(slot, t_threads)
+            t_io0 = time.perf_counter()
+            batch = load_chunk_reads(table, c, keep_metadata=False)
+            timer.record(StepNames.KMERGEN_IO, time.perf_counter() - t_io0)
+            work.kmergen_io_bytes[p, t] += table.chunk_bytes(c)
+            work.fastq_parse_bytes[p, t] += table.chunk_bytes(c)
+
+            t_gen0 = time.perf_counter()
+            tuples = enumerate_canonical_kmers(batch, cfg.k)
+            work.kmergen_positions_scanned[p, t] += len(tuples)
+            bins = tuples.kmers.mmer_prefix(cfg.m).astype(np.int64)
+            in_pass = (bins >= spec.bin_lo) & (bins < spec.bin_hi)
+            kept = tuples.take(np.flatnonzero(in_pass))
+            if use_opt and len(kept):
+                # LocalCC-Opt: enumerate (k-mer, component id) tuples.
+                kept = KmerTuples(
+                    kept.kmers,
+                    map_ids_to_components(kept.read_ids, forests[p]),
+                )
+            work.kmergen_tuples[p, t] += len(kept)
+            kept_bins = bins[in_pass]
+            dest = (
+                np.searchsorted(spec.task_edges, kept_bins, side="right") - 1
+            )
+            dest = np.clip(dest, 0, p_tasks - 1)
+            for d in range(p_tasks):
+                sel = np.flatnonzero(dest == d)
+                part = kept.take(sel) if len(sel) else KmerTuples.empty(cfg.k)
+                send_parts[p][d].append(part)
+                actual_counts[p, t, d] += len(part)
+            timer.record(StepNames.KMERGEN, time.perf_counter() - t_gen0)
+
+        if expected is not None and not np.array_equal(actual_counts, expected):
+            bad = np.argwhere(actual_counts != expected)[0]
+            p, t, d = (int(x) for x in bad)
+            raise StaticCountMismatch(
+                f"pass {spec.index}: task {p} thread {t} -> task {d}: "
+                f"produced {actual_counts[p, t, d]} tuples, index predicted "
+                f"{expected[p, t, d]}"
+            )
+
+        def _concat(parts: List[KmerTuples]) -> KmerTuples:
+            nonempty = [x for x in parts if len(x)]
+            return (
+                KmerTuples.concatenate(nonempty)
+                if nonempty
+                else KmerTuples.empty(cfg.k)
+            )
+
+        # ---- KmerGen-Comm ----------------------------------------------
+        with timer.step(StepNames.KMERGEN_COMM):
+            send_blocks = [
+                [_concat(send_parts[p][d]) for d in range(p_tasks)]
+                for p in range(p_tasks)
+            ]
+            recv_blocks, stats = custom_all_to_all(
+                send_blocks, nbytes_of=lambda tp: tp.nbytes
+            )
+        comm_stats.append(stats)
+        work.comm_bytes_matrix += stats.bytes_matrix
+        work.comm_stage_max_bytes.append(list(stats.max_message_bytes_per_stage))
+
+        # ---- LocalSort + LocalCC per owner task -------------------------
+        nominal_passes = radix_passes_for(cfg.k)
+        for d in range(p_tasks):
+            received = _concat(list(recv_blocks[d]))
+            t_sort0 = time.perf_counter()
+            partitions, counts = range_partition(
+                received,
+                cfg.m,
+                spec.thread_edges[d],
+                span=(int(spec.task_edges[d]), int(spec.task_edges[d + 1])),
+            )
+            # partition scatter work: each thread handles ~1/T of the stream
+            share = int(np.ceil(len(received) / t_threads))
+            work.partition_tuples[d, :] += share
+            sorted_parts = []
+            for t, part in enumerate(partitions):
+                sorted_part, rstats = radix_sort_tuples(
+                    part, skip_constant=cfg.radix_skip_constant
+                )
+                sort_stats.merge(rstats)
+                # timing model uses the paper's fixed pass count
+                work.sort_tuple_passes[d, t] += len(part) * nominal_passes
+                sorted_parts.append(sorted_part)
+            timer.record(StepNames.LOCALSORT, time.perf_counter() - t_sort0)
+
+            t_cc0 = time.perf_counter()
+            for t, part in enumerate(sorted_parts):
+                stats_cc = local_connected_components(
+                    part, forests[d], cfg.kmer_filter
+                )
+                cc_stats.merge(stats_cc)
+                if is_first_pass:
+                    work.cc_edges_first_pass[d, t] += stats_cc.n_edges
+                else:
+                    work.cc_edges_later_passes[d, t] += stats_cc.n_edges
+            timer.record(StepNames.LOCALCC, time.perf_counter() - t_cc0)

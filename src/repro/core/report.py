@@ -1,0 +1,64 @@
+"""Plain-text report formatting for CLI output and benchmark harnesses.
+
+The formatters emit the same row/column structure as the paper's tables so
+EXPERIMENTS.md comparisons are one-to-one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.cc.components import ComponentSummary
+from repro.runtime.work import StepNames
+from repro.util.sizes import human_bytes, human_count
+from repro.util.timers import TimeBreakdown
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_breakdown(
+    breakdown: TimeBreakdown, title: str = "step times"
+) -> str:
+    """Render a per-step time breakdown in the paper's step order."""
+    rows: List[List[object]] = []
+    for step in StepNames.ORDER:
+        if step in breakdown.seconds:
+            rows.append([step, f"{breakdown.seconds[step]:.3f}"])
+    for step, sec in breakdown.seconds.items():
+        if step not in StepNames.ORDER:
+            rows.append([step, f"{sec:.3f}"])
+    rows.append(["Total", f"{breakdown.total:.3f}"])
+    return f"{title}\n" + format_table(["step", "seconds"], rows)
+
+
+def format_partition_summary(summary: ComponentSummary) -> str:
+    """Render a partition summary as a small text table."""
+    rows = [
+        ["reads", human_count(summary.n_reads)],
+        ["components", human_count(summary.n_components)],
+        [
+            "largest component",
+            f"{summary.largest_component_size} "
+            f"({summary.largest_component_percent:.1f}% of reads)",
+        ],
+        ["singleton components", human_count(summary.singleton_components)],
+    ]
+    return format_table(["metric", "value"], rows)
+
+
+def format_memory(label_to_bytes: Dict[str, int]) -> str:
+    rows = [[k, human_bytes(v)] for k, v in label_to_bytes.items()]
+    rows.append(["total", human_bytes(sum(label_to_bytes.values()))])
+    return format_table(["array", "memory"], rows)

@@ -1,0 +1,251 @@
+"""Dataset registry: scaled analogues of the paper's Table 2.
+
+| ID | Paper dataset              | Reads (paper) | Gbp   | Analogue structure        |
+|----|----------------------------|---------------|-------|---------------------------|
+| HG | Human gut (SRR341725)      | 12.7 M        | 2.29  | few species, moderate cov |
+| LL | Lake Lanier (SRR947737)    | 21.3 M        | 4.26  | many species, low cov     |
+| MM | Mock microbial (SRX200676) | 54.8 M        | 11.07 | staggered mock, high cov  |
+| IS | Iowa corn soil (JGI 402461)| 1132.8 M      | 223.26| very diverse, huge        |
+
+Sizes here are scaled down ~5000x (pure-Python substrate); the *ratios*
+between datasets follow Table 2 sub-linearly (IS is capped — a 90x HG
+analogue would add nothing but wall time).  Coverage / diversity /
+repeat-structure per dataset are tuned to reproduce the paper's
+partitioning behaviour (giant components of Table 7, filter response), not
+its absolute base counts.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.datasets.community import Community, CommunitySpec, build_community
+from repro.datasets.reads import ReadSimulator
+from repro.index.fastqpart import FastqUnit
+from repro.seqio.fastq import write_fastq
+from repro.util.logging import get_logger
+from repro.util.rng import derive_seed
+
+_LOG = get_logger("datasets.registry")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for one synthetic dataset."""
+
+    name: str
+    description: str
+    community: CommunitySpec
+    n_pairs: int
+    read_length: int = 100
+    insert_mean: float = 280.0
+    insert_sd: float = 25.0
+    error_rate: float = 0.005
+    n_rate: float = 0.0015
+
+    @property
+    def total_bases(self) -> int:
+        return 2 * self.n_pairs * self.read_length
+
+    def scaled(self, scale: float) -> "DatasetSpec":
+        """Scale the sequencing depth (pair count) by ``scale``.
+
+        Genome sizes are kept fixed so coverage scales with depth — the
+        same knob a deeper sequencing run would turn.
+        """
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        return replace(self, n_pairs=max(int(self.n_pairs * scale), 1))
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "HG": DatasetSpec(
+        name="HG",
+        description="Human gut analogue: moderate diversity, ~18x coverage",
+        # coverage spans ~8-45x across species (mean ~24x, sigma 0.9), so
+        # the paper's KF < 30 filter prunes the abundant species' genuine
+        # k-mers while sparing the rare ones — the Table 7 response.
+        community=CommunitySpec(
+            n_species=7,
+            genome_length=3000,
+            abundance_sigma=0.9,
+            n_conserved=2,
+            conserved_length=120,
+            conserved_probability=0.9,
+            n_repeats=2,
+            repeat_length=45,
+            repeat_copies=3,
+        ),
+        n_pairs=2500,
+    ),
+    "LL": DatasetSpec(
+        name="LL",
+        description="Lake Lanier analogue: high diversity, low skewed coverage",
+        # many species; under half carry the conserved segments and the
+        # skewed abundances leave several species at marginal coverage, so
+        # the unfiltered giant component stays well below MM's (paper
+        # Table 7: LL 76.3% vs MM 99.5%).
+        community=CommunitySpec(
+            n_species=16,
+            genome_length=5000,
+            abundance_sigma=1.2,
+            n_conserved=2,
+            conserved_length=120,
+            conserved_probability=0.4,
+            n_repeats=2,
+            repeat_length=45,
+            repeat_copies=2,
+            repeat_probability=0.35,
+        ),
+        n_pairs=4200,
+    ),
+    "MM": DatasetSpec(
+        name="MM",
+        description="Mock community analogue: staggered abundances, high coverage",
+        community=CommunitySpec(
+            n_species=10,
+            genome_length=4000,
+            abundance_sigma=1.3,
+            n_conserved=3,
+            conserved_length=140,
+            conserved_probability=1.0,
+            n_repeats=3,
+            repeat_length=45,
+            repeat_copies=4,
+        ),
+        n_pairs=10500,
+    ),
+    "IS": DatasetSpec(
+        name="IS",
+        description="Iowa corn soil analogue: very high diversity (size-capped)",
+        # Repeat-light profile: IS is exercised by the scaling experiments
+        # (Fig. 7, Tables 2/5), not the partition-quality ones.  At this
+        # reproduction scale a k-mer repeated across all 60 genomes would
+        # alone exceed a thread's tuple share under a 1536-way
+        # decomposition — a pure scale artifact (on the real 223 Gbp
+        # dataset a thread share is ~1e8 tuples, dwarfing any k-mer's
+        # frequency) — so the community carries few shared segments.
+        community=CommunitySpec(
+            n_species=60,
+            genome_length=3000,
+            abundance_sigma=1.2,
+            n_conserved=2,
+            conserved_length=120,
+            conserved_probability=0.1,
+            n_repeats=0,
+            repeat_length=45,
+            repeat_copies=0,
+        ),
+        n_pairs=25000,
+    ),
+}
+
+
+@dataclass
+class BuiltDataset:
+    """A materialized dataset: FASTQ files on disk plus ground truth."""
+
+    spec: DatasetSpec
+    seed: int
+    r1_path: str
+    r2_path: str
+    community: Community
+    simulator: ReadSimulator
+    species_of_pair: List[int] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def n_pairs(self) -> int:
+        return self.spec.n_pairs
+
+    @property
+    def n_reads(self) -> int:
+        """Read-pair count == global read id count (both mates share an id)."""
+        return self.spec.n_pairs
+
+    @property
+    def total_bases(self) -> int:
+        return self.spec.total_bases
+
+    @property
+    def units(self) -> List[FastqUnit]:
+        return [FastqUnit(self.r1_path, self.r2_path)]
+
+    @property
+    def fastq_files(self) -> List[Tuple[str, str]]:
+        return [(self.r1_path, self.r2_path)]
+
+    @property
+    def file_bytes(self) -> int:
+        return os.path.getsize(self.r1_path) + os.path.getsize(self.r2_path)
+
+
+def build_dataset(
+    name: str,
+    workdir: str | os.PathLike,
+    seed: int = 0,
+    scale: float = 1.0,
+    force: bool = False,
+) -> BuiltDataset:
+    """Materialize a registry dataset under ``workdir`` (cached on disk).
+
+    ``scale`` multiplies the pair count (depth).  The FASTQ files are
+    reused if already present for the same (name, seed, scale).
+    """
+    if name not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}")
+    spec = DATASETS[name].scaled(scale)
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    tag = f"{name}_s{seed}_x{scale:g}".replace(".", "p")
+    r1_path = workdir / f"{tag}_R1.fastq"
+    r2_path = workdir / f"{tag}_R2.fastq"
+
+    comm_seed = derive_seed(seed, "community", name)
+    community = build_community(spec.community, comm_seed)
+    simulator = ReadSimulator(
+        community=community,
+        read_length=spec.read_length,
+        insert_mean=spec.insert_mean,
+        insert_sd=spec.insert_sd,
+        error_rate=spec.error_rate,
+        n_rate=spec.n_rate,
+        seed=derive_seed(seed, "reads", name),
+    )
+
+    species_of_pair: List[int] = []
+    if force or not (r1_path.exists() and r2_path.exists()):
+        r1s, r2s = [], []
+        for pair in simulator.pairs(spec.n_pairs):
+            r1s.append(pair.r1)
+            r2s.append(pair.r2)
+            species_of_pair.append(pair.species)
+        write_fastq(r1_path, r1s)
+        write_fastq(r2_path, r2s)
+        _LOG.info(
+            "built dataset %s: %d pairs (%d bp) -> %s",
+            name,
+            spec.n_pairs,
+            spec.total_bases,
+            workdir,
+        )
+    else:
+        species_of_pair = [
+            simulator.simulate_pair(i).species for i in range(spec.n_pairs)
+        ]
+
+    return BuiltDataset(
+        spec=spec,
+        seed=seed,
+        r1_path=str(r1_path),
+        r2_path=str(r2_path),
+        community=community,
+        simulator=simulator,
+        species_of_pair=species_of_pair,
+    )

@@ -1,0 +1,117 @@
+"""Strain simulation: closely related genome variants.
+
+Paper section 2, challenge (i): "Closely related strains from the same
+species might be present in the community sample, and these are difficult
+to distinguish from repeats in the genomes of individual organisms."
+
+This module derives strain variants from a base genome (SNPs at a given
+divergence rate plus optional small indels) and provides the analysis the
+challenge implies: strains of one species share most of their k-mers, so
+read-graph partitioning necessarily co-partitions them (quantified by
+:func:`strain_kmer_similarity`), and assemblers see their differences as
+bubbles (which the cleaning pass will collapse toward the dominant
+strain — the strain-aware-assembly problem in miniature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.datasets.genomes import Genome
+from repro.kmers.counter import count_canonical_kmers
+from repro.seqio.records import ReadBatch
+from repro.util.rng import rng_for
+from repro.util.validation import check_in_range
+
+
+@dataclass(frozen=True)
+class StrainSpec:
+    """Divergence knobs for one derived strain."""
+
+    snp_rate: float = 0.01
+    indel_rate: float = 0.0005
+    max_indel: int = 4
+
+    def __post_init__(self) -> None:
+        check_in_range("snp_rate", self.snp_rate, 0.0, 0.3)
+        check_in_range("indel_rate", self.indel_rate, 0.0, 0.1)
+        check_in_range("max_indel", self.max_indel, 1, 50)
+
+
+def derive_strain(
+    base: Genome, spec: StrainSpec, seed: int, name: str | None = None
+) -> Genome:
+    """A strain variant of ``base``: SNPs + small indels, deterministic."""
+    rng = rng_for(seed, "strain", base.name)
+    codes = base.codes.astype(np.int64)
+
+    # SNPs: substitute with a different base
+    snps = rng.random(len(codes)) < spec.snp_rate
+    if snps.any():
+        shift = rng.integers(1, 4, size=int(snps.sum()))
+        codes[snps] = (codes[snps] + shift) % 4
+
+    # indels: splice segments in/out
+    if spec.indel_rate > 0:
+        out: List[np.ndarray] = []
+        pos = 0
+        n_events = rng.poisson(spec.indel_rate * len(codes))
+        sites = np.sort(rng.integers(0, len(codes), size=n_events))
+        for site in sites.tolist():
+            if site <= pos:
+                continue
+            out.append(codes[pos:site])
+            size = int(rng.integers(1, spec.max_indel + 1))
+            if rng.random() < 0.5:  # insertion
+                out.append(rng.integers(0, 4, size=size))
+                pos = site
+            else:  # deletion
+                pos = min(site + size, len(codes))
+        out.append(codes[pos:])
+        codes = np.concatenate(out)
+
+    return Genome(
+        name=name or f"{base.name}_strain{seed}",
+        codes=codes.astype(np.uint8),
+        planted_segments=list(base.planted_segments),
+    )
+
+
+def make_strain_family(
+    base: Genome, n_strains: int, spec: StrainSpec, seed: int = 0
+) -> List[Genome]:
+    """``n_strains`` independent variants of ``base`` (plus the base)."""
+    return [base] + [
+        derive_strain(base, spec, seed=seed * 1000 + i) for i in range(n_strains)
+    ]
+
+
+def strain_kmer_similarity(a: Genome, b: Genome, k: int = 27) -> float:
+    """Jaccard similarity of two genomes' canonical k-mer sets.
+
+    The quantity behind challenge (i): at 1% SNP divergence and k=27,
+    strains still share the majority of their k-mers (each SNP kills only
+    ~k k-mers), so read-graph partitioning cannot separate them — tested,
+    and the reason the paper's partitions are per-species, not per-strain.
+    """
+    sa = count_canonical_kmers(
+        ReadBatch.from_sequences([a.sequence]), k
+    ).kmers.lo
+    sb = count_canonical_kmers(
+        ReadBatch.from_sequences([b.sequence]), k
+    ).kmers.lo
+    if len(sa) == 0 and len(sb) == 0:
+        return 1.0
+    inter = np.intersect1d(sa, sb, assume_unique=True)
+    union = len(sa) + len(sb) - len(inter)
+    return len(inter) / union if union else 1.0
+
+
+def expected_shared_kmer_fraction(snp_rate: float, k: int) -> float:
+    """Analytic expectation: a k-mer survives iff none of its k positions
+    mutated: ``(1 - snp_rate)^k``."""
+    check_in_range("snp_rate", snp_rate, 0.0, 1.0)
+    return float((1.0 - snp_rate) ** k)

@@ -1,0 +1,103 @@
+"""merHist: the m-mer prefix histogram of canonical k-mers (section 3.1.1).
+
+"We store counts of all m-mer prefixes of canonical k-mers (m < k; we use
+m = 10 in this work)...  So there are 4^m histogram bins and the counts are
+stored as 32-bit integers.  The histogram is used to partition the range of
+integers spanned by k-mer values for multipass and parallel execution."
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kmers.engine import enumerate_canonical_kmers
+from repro.seqio.records import ReadBatch
+from repro.seqio.tables import read_table, write_table
+from repro.util.validation import check_in_range
+
+_SCHEMA = "metaprep/merhist"
+
+
+@dataclass
+class MerHist:
+    """The global m-mer prefix histogram.
+
+    ``counts[b]`` is the number of canonical k-mer occurrences (with
+    multiplicity) whose first ``m`` bases pack to the integer ``b``.
+    """
+
+    k: int
+    m: int
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        check_in_range("m", self.m, 1, min(self.k, 16))
+        self.counts = np.ascontiguousarray(self.counts, dtype=np.uint32)
+        if len(self.counts) != self.n_bins:
+            raise ValueError(
+                f"expected {self.n_bins} bins for m={self.m}, "
+                f"got {len(self.counts)}"
+            )
+
+    @property
+    def n_bins(self) -> int:
+        return 1 << (2 * self.m)
+
+    @property
+    def total_tuples(self) -> int:
+        """Total canonical k-mer occurrences over the whole dataset."""
+        return int(self.counts.sum(dtype=np.int64))
+
+    @property
+    def nbytes(self) -> int:
+        """On-disk/in-memory size: 4^(m+1) bytes (4 bytes per bin)."""
+        return 4 * self.n_bins
+
+    def cumulative(self) -> np.ndarray:
+        """Exclusive prefix sum with a trailing total: length ``n_bins+1``."""
+        out = np.zeros(self.n_bins + 1, dtype=np.int64)
+        np.cumsum(self.counts, out=out[1:])
+        return out
+
+    def count_in_bin_range(self, lo: int, hi: int) -> int:
+        """Tuples whose prefix bin lies in ``[lo, hi)``."""
+        check_in_range("lo", lo, 0, self.n_bins)
+        check_in_range("hi", hi, lo, self.n_bins)
+        return int(self.counts[lo:hi].sum(dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> int:
+        return write_table(
+            path, _SCHEMA, {"k": self.k, "m": self.m}, {"counts": self.counts}
+        )
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "MerHist":
+        meta, arrays = read_table(path, expect_schema=_SCHEMA)
+        return cls(k=int(meta["k"]), m=int(meta["m"]), counts=arrays["counts"])
+
+
+def histogram_batch(batch: ReadBatch, k: int, m: int) -> np.ndarray:
+    """m-mer prefix histogram of one read batch (uint32, 4^m bins)."""
+    tuples = enumerate_canonical_kmers(batch, k)
+    n_bins = 1 << (2 * m)
+    if len(tuples) == 0:
+        return np.zeros(n_bins, dtype=np.uint32)
+    prefixes = tuples.kmers.mmer_prefix(m).astype(np.int64)
+    return np.bincount(prefixes, minlength=n_bins).astype(np.uint32)
+
+
+def build_merhist(batches: "list[ReadBatch]", k: int, m: int) -> MerHist:
+    """Accumulate the global histogram over a sequence of read batches."""
+    n_bins = 1 << (2 * m)
+    counts = np.zeros(n_bins, dtype=np.int64)
+    for batch in batches:
+        counts += histogram_batch(batch, k, m)
+    if counts.max(initial=0) > np.iinfo(np.uint32).max:
+        raise OverflowError(
+            "a merHist bin exceeds uint32; increase m to spread bins"
+        )
+    return MerHist(k=k, m=m, counts=counts.astype(np.uint32))

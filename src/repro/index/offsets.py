@@ -1,0 +1,115 @@
+"""Static load-balancing arithmetic from the FASTQPart histograms.
+
+Paper sections 3.2.2 and 3.3: because every chunk carries its own m-mer
+histogram, the number of tuples any thread will produce for any destination
+task is known *before* KmerGen runs.  That predetermines
+
+* each thread's write offset into its task's single output buffer (so
+  threads append without synchronization),
+* the exact send/recv counts of the custom all-to-all (no handshake
+  needed), and
+* per-thread sub-ranges for the LocalSort range partitioning.
+
+Everything here is exact, not an estimate — the tests assert equality with
+the counts the real KmerGen produces.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.index.fastqpart import FastqPartTable
+from repro.util.validation import check_positive
+
+
+def chunk_assignment(n_chunks: int, n_tasks: int, n_threads: int) -> np.ndarray:
+    """Assign chunks to (task, thread) slots.
+
+    Returns an ``(n_chunks,)`` int array of flattened slot ids
+    ``task * n_threads + thread``.  Chunks are dealt round-robin so that a
+    thread's chunks sample the whole file — the paper distributes the C
+    chunks to threads "to enable parallel FASTQ file read operations" and
+    relies on C >> P*T for balance.
+    """
+    check_positive("n_tasks", n_tasks)
+    check_positive("n_threads", n_threads)
+    slots = n_tasks * n_threads
+    return (np.arange(n_chunks, dtype=np.int64) % slots).astype(np.int64)
+
+
+def _bin_range_counts(hist: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Per chunk, tuples falling in each bin range: (C, len(edges)-1)."""
+    cum = np.zeros((hist.shape[0], hist.shape[1] + 1), dtype=np.int64)
+    np.cumsum(hist, axis=1, out=cum[:, 1:])
+    return cum[:, edges[1:]] - cum[:, edges[:-1]]
+
+
+def send_counts_matrix(
+    table: FastqPartTable,
+    assignment: np.ndarray,
+    task_edges: np.ndarray,
+    n_tasks: int,
+    n_threads: int,
+    pass_lo: int = 0,
+    pass_hi: int | None = None,
+) -> np.ndarray:
+    """Tuples thread ``t`` of task ``p`` will send to task ``p'``.
+
+    Returns an ``(n_tasks, n_threads, n_tasks)`` int64 array.  ``task_edges``
+    are the ``n_tasks + 1`` m-mer-bin edges of the destination k-mer ranges;
+    ``[pass_lo, pass_hi)`` restricts to the current pass's bin range (edges
+    outside it contribute zero).
+    """
+    task_edges = np.asarray(task_edges, dtype=np.int64)
+    if len(task_edges) != n_tasks + 1:
+        raise ValueError(
+            f"need {n_tasks + 1} task edges, got {len(task_edges)}"
+        )
+    if pass_hi is None:
+        pass_hi = table.n_bins
+    clipped = np.clip(task_edges, pass_lo, pass_hi)
+    per_chunk = _bin_range_counts(table.hist, clipped)  # (C, P)
+    out = np.zeros((n_tasks, n_threads, n_tasks), dtype=np.int64)
+    tasks = assignment // n_threads
+    threads = assignment % n_threads
+    np.add.at(out, (tasks, threads), per_chunk)
+    return out
+
+
+def recv_counts_matrix(send_counts: np.ndarray) -> np.ndarray:
+    """Tuples task ``p`` receives from task ``p'``: ``(P, P)``.
+
+    ``recv[p, p'] = sum_t send[p', t, p]`` — computed on the receiving side
+    from the same table, "in advance using the FASTQPart table" (section
+    3.3), so no count exchange is needed at runtime.
+    """
+    return send_counts.sum(axis=1).T.copy()
+
+
+def thread_write_offsets(send_counts: np.ndarray) -> List[np.ndarray]:
+    """Per task, each thread's write offsets into the task's send buffer.
+
+    The buffer is laid out destination-major: all tuples for task 0 first,
+    then task 1, ...  Within a destination block, thread 0's tuples precede
+    thread 1's.  For task ``p`` the result is an ``(n_threads, n_tasks)``
+    offset array (plus the implied block ends), from "a prefix sum of this
+    array" as in section 3.2.2.
+
+    Returns a list of length ``n_tasks``; element ``p`` is an
+    ``(n_threads + 1, n_tasks)`` int64 array where ``[t, d]`` is thread
+    ``t``'s write offset for destination ``d`` and row ``n_threads`` holds
+    the block-end offsets.
+    """
+    n_tasks, n_threads, _ = send_counts.shape
+    result = []
+    for p in range(n_tasks):
+        counts = send_counts[p]  # (T, P): tuples thread t sends to task d
+        block_totals = counts.sum(axis=0)  # per destination
+        block_starts = np.zeros(n_tasks, dtype=np.int64)
+        np.cumsum(block_totals[:-1], out=block_starts[1:])
+        within = np.zeros((n_threads + 1, n_tasks), dtype=np.int64)
+        np.cumsum(counts, axis=0, out=within[1:])
+        result.append(within + block_starts[None, :])
+    return result

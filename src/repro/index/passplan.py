@@ -1,0 +1,190 @@
+"""Multipass / range planning from the merHist histogram.
+
+Paper section 3.1.1: "The histogram is used to partition the range of
+integers spanned by k-mer values (k-mer range) for multipass and parallel
+execution" — and section 3.7's memory model determines the fewest passes
+that fit a per-task memory budget.
+
+All ranges are expressed as half-open intervals of m-mer prefix *bins*;
+nesting is pass range ⊇ per-task ranges ⊇ per-thread ranges, each level
+balanced against the histogram so tuple counts are as even as possible
+(this is what makes Figure 8's load balance flat for KmerGen/LocalSort/
+LocalCC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.index.merhist import MerHist
+from repro.util.validation import check_positive
+
+
+def balanced_boundaries(
+    counts: np.ndarray, n_parts: int, lo: int = 0, hi: int | None = None
+) -> np.ndarray:
+    """Split bins ``[lo, hi)`` into ``n_parts`` ranges of ~equal tuple mass.
+
+    Returns ``n_parts + 1`` non-decreasing edges with ``edges[0] == lo`` and
+    ``edges[-1] == hi``.  Greedy on the cumulative histogram: edge ``i`` is
+    the first bin where the cumulative mass reaches ``i/n_parts`` of the
+    range total.  A range is never split mid-bin (all occurrences of one
+    k-mer share a bin, which is what keeps passes disjoint and filters
+    local).
+    """
+    check_positive("n_parts", n_parts)
+    counts = np.asarray(counts, dtype=np.int64)
+    if hi is None:
+        hi = len(counts)
+    if not (0 <= lo <= hi <= len(counts)):
+        raise ValueError(f"invalid bin range [{lo}, {hi}) for {len(counts)} bins")
+    segment = counts[lo:hi]
+    total = int(segment.sum())
+    edges = np.empty(n_parts + 1, dtype=np.int64)
+    edges[0], edges[-1] = lo, hi
+    if total == 0 or n_parts == 1:
+        # distribute empty/degenerate range by bin count
+        edges[:] = np.ceil(np.linspace(lo, hi, n_parts + 1)).astype(np.int64)
+        edges[0], edges[-1] = lo, hi
+        return edges
+    cum = np.cumsum(segment)
+    targets = (np.arange(1, n_parts) * total) / n_parts
+    inner = np.searchsorted(cum, targets, side="left") + 1 + lo
+    edges[1:-1] = np.minimum(inner, hi)
+    # enforce monotonicity (heavy single bins can collapse ranges to empty)
+    np.maximum.accumulate(edges, out=edges)
+    return edges
+
+
+@dataclass
+class PassSpec:
+    """One I/O pass: its global bin range and the nested task/thread edges.
+
+    * ``task_edges``: ``P + 1`` edges partitioning ``[bin_lo, bin_hi)`` into
+      per-task k-mer ranges (ownership for the all-to-all).
+    * ``thread_edges``: ``(P, T + 1)`` — task ``p``'s range subdivided for
+      its ``T`` threads (LocalSort range partitioning).
+    """
+
+    index: int
+    bin_lo: int
+    bin_hi: int
+    tuples: int
+    task_edges: np.ndarray
+    thread_edges: np.ndarray
+
+    def tuples_per_task(self, merhist: MerHist) -> np.ndarray:
+        cum = merhist.cumulative()
+        return cum[self.task_edges[1:]] - cum[self.task_edges[:-1]]
+
+
+@dataclass
+class PassPlan:
+    """The full multipass schedule for one (dataset, P, T, S) configuration."""
+
+    n_tasks: int
+    n_threads: int
+    m: int
+    passes: List[PassSpec] = field(default_factory=list)
+
+    @property
+    def n_passes(self) -> int:
+        return len(self.passes)
+
+    @property
+    def total_tuples(self) -> int:
+        return sum(p.tuples for p in self.passes)
+
+    def validate_disjoint(self, n_bins: int) -> None:
+        """Passes must tile ``[0, 4^m)`` without gaps or overlap."""
+        expect = 0
+        for spec in self.passes:
+            if spec.bin_lo != expect:
+                raise ValueError(
+                    f"pass {spec.index} starts at bin {spec.bin_lo}, "
+                    f"expected {expect}"
+                )
+            expect = spec.bin_hi
+        if expect != n_bins:
+            raise ValueError(f"passes end at bin {expect}, expected {n_bins}")
+
+
+def plan_passes(
+    merhist: MerHist,
+    n_passes: int,
+    n_tasks: int,
+    n_threads: int,
+) -> PassPlan:
+    """Build the nested pass/task/thread ranges for a fixed pass count."""
+    check_positive("n_passes", n_passes)
+    check_positive("n_tasks", n_tasks)
+    check_positive("n_threads", n_threads)
+    counts = merhist.counts.astype(np.int64)
+    pass_edges = balanced_boundaries(counts, n_passes)
+    cum = merhist.cumulative()
+
+    plan = PassPlan(n_tasks=n_tasks, n_threads=n_threads, m=merhist.m)
+    for s in range(n_passes):
+        lo, hi = int(pass_edges[s]), int(pass_edges[s + 1])
+        task_edges = balanced_boundaries(counts, n_tasks, lo, hi)
+        thread_edges = np.empty((n_tasks, n_threads + 1), dtype=np.int64)
+        for p in range(n_tasks):
+            thread_edges[p] = balanced_boundaries(
+                counts, n_threads, int(task_edges[p]), int(task_edges[p + 1])
+            )
+        plan.passes.append(
+            PassSpec(
+                index=s,
+                bin_lo=lo,
+                bin_hi=hi,
+                tuples=int(cum[hi] - cum[lo]),
+                task_edges=task_edges,
+                thread_edges=thread_edges,
+            )
+        )
+    plan.validate_disjoint(merhist.n_bins)
+    return plan
+
+
+def passes_for_memory_budget(
+    merhist: MerHist,
+    n_tasks: int,
+    tuple_bytes: int,
+    memory_budget_per_task: int,
+    reserved_bytes_per_task: int = 0,
+    max_passes: int = 64,
+) -> int:
+    """Fewest passes S so per-task tuple buffers fit the budget.
+
+    Paper section 3.7: kmerOut and kmerIn each hold ~``12 M / (S P)`` bytes
+    (with 12 generalized to ``tuple_bytes``); the dominant term is
+    ``2 * tuple_bytes * M / (S P)``.  ``reserved_bytes_per_task`` accounts
+    for the fixed arrays (tables, FASTQ buffers, p and p').
+
+    The planner uses the *actual worst pass* (max tuples over the balanced
+    pass split), not the average, so a skewed histogram is handled.
+    """
+    check_positive("memory_budget_per_task", memory_budget_per_task)
+    available = memory_budget_per_task - reserved_bytes_per_task
+    if available <= 0:
+        raise ValueError(
+            "reserved bytes exceed the memory budget; nothing left for tuples"
+        )
+    counts = merhist.counts.astype(np.int64)
+    for s in range(1, max_passes + 1):
+        edges = balanced_boundaries(counts, s)
+        cum = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=cum[1:])
+        per_pass = cum[edges[1:]] - cum[edges[:-1]]
+        worst = int(per_pass.max())
+        # per task: kmerOut + kmerIn, each ~worst/P tuples (balanced split)
+        per_task_bytes = 2 * tuple_bytes * int(np.ceil(worst / n_tasks))
+        if per_task_bytes <= available:
+            return s
+    raise ValueError(
+        f"no pass count up to {max_passes} fits the per-task budget of "
+        f"{memory_budget_per_task} bytes"
+    )

@@ -1,0 +1,45 @@
+"""Vectorized canonical k-mer machinery.
+
+The paper generates four k-mers at a time with 128-bit SIMD registers
+(section 3.2.1, Figure 3).  Here the same dataflow runs over whole read
+chunks at once with NumPy: a k-step shift loop builds all forward k-mers and
+all reverse complements simultaneously, and canonicalization is an
+elementwise minimum.  k <= 31 uses a single ``uint64`` limb; 32 <= k <= 63
+uses two limbs, mirroring the paper's 64-bit / 128-bit k-mer encodings.
+"""
+
+from repro.kmers.codec import (
+    MAX_K_ONE_LIMB,
+    MAX_K_TWO_LIMB,
+    KmerArray,
+    KmerCodec,
+)
+from repro.kmers.engine import enumerate_canonical_kmers, KmerTuples
+from repro.kmers.counter import count_canonical_kmers, KmerSpectrum
+from repro.kmers.filter import FrequencyFilter
+from repro.kmers.minimizers import minimizer_of_each_kmer, split_super_kmers
+from repro.kmers.normalization import DigitalNormalizer, NormalizationStats
+from repro.kmers.spectrum_analysis import (
+    SpectrumReport,
+    analyze_spectrum,
+    recommended_filter_band,
+)
+
+__all__ = [
+    "MAX_K_ONE_LIMB",
+    "MAX_K_TWO_LIMB",
+    "KmerArray",
+    "KmerCodec",
+    "enumerate_canonical_kmers",
+    "KmerTuples",
+    "count_canonical_kmers",
+    "KmerSpectrum",
+    "FrequencyFilter",
+    "minimizer_of_each_kmer",
+    "split_super_kmers",
+    "DigitalNormalizer",
+    "NormalizationStats",
+    "SpectrumReport",
+    "analyze_spectrum",
+    "recommended_filter_band",
+]

@@ -1,0 +1,84 @@
+"""K-mer frequency filtering.
+
+Paper section 4.4: "The k-mer frequency-based filter only considers read
+graph edges that correspond to a user-specified k-mer frequency.  High
+frequency k-mers may occur due to repeated sequences in the metagenome.
+Low frequency k-mers may occur due to sequencing errors."
+
+The filter is applied to *runs* of sorted tuples sharing a canonical k-mer:
+a run of length ``f`` contributes edges only when ``lo <= f < hi`` (the
+paper's ``KF < 30`` is ``FrequencyFilter(max_freq=30)``; ``10 <= KF < 30``
+is ``FrequencyFilter(10, 30)``).
+
+Because METAPREP is multipass, a k-mer's total frequency is exactly the run
+length within a single pass (passes partition the k-mer *range*, so all
+occurrences of one k-mer land in the same pass and task) — the filter is
+safe to evaluate locally, which is what LocalCC does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FrequencyFilter:
+    """Keep k-mer runs with frequency in ``[min_freq, max_freq)``.
+
+    ``max_freq=None`` means unbounded above.  The identity filter
+    ``FrequencyFilter()`` keeps everything with frequency >= 1.
+    """
+
+    min_freq: int = 1
+    max_freq: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.min_freq < 1:
+            raise ValueError(f"min_freq must be >= 1, got {self.min_freq}")
+        if self.max_freq is not None and self.max_freq <= self.min_freq:
+            raise ValueError(
+                f"max_freq ({self.max_freq}) must exceed min_freq "
+                f"({self.min_freq})"
+            )
+
+    @property
+    def is_identity(self) -> bool:
+        return self.min_freq == 1 and self.max_freq is None
+
+    def accept_counts(self, counts: np.ndarray) -> np.ndarray:
+        """Vectorized: which run lengths pass the filter."""
+        counts = np.asarray(counts)
+        ok = counts >= self.min_freq
+        if self.max_freq is not None:
+            ok &= counts < self.max_freq
+        return ok
+
+    def accepts(self, count: int) -> bool:
+        return bool(self.accept_counts(np.array([count]))[0])
+
+    def describe(self) -> str:
+        """Human label matching the paper's Table 7 row names."""
+        if self.is_identity:
+            return "None"
+        if self.min_freq == 1:
+            return f"KF < {self.max_freq}"
+        if self.max_freq is None:
+            return f"KF >= {self.min_freq}"
+        return f"{self.min_freq} <= KF < {self.max_freq}"
+
+    @staticmethod
+    def parse(text: str) -> "FrequencyFilter":
+        """Parse labels like ``"none"``, ``"<30"``, ``"10:30"``, ``"10:"``."""
+        s = text.strip().lower()
+        if s in ("", "none"):
+            return FrequencyFilter()
+        if s.startswith("<"):
+            return FrequencyFilter(1, int(s[1:]))
+        if ":" in s:
+            lo_s, hi_s = s.split(":", 1)
+            lo = int(lo_s) if lo_s else 1
+            hi = int(hi_s) if hi_s else None
+            return FrequencyFilter(lo, hi)
+        raise ValueError(f"cannot parse frequency filter: {text!r}")

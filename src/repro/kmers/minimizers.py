@@ -1,0 +1,157 @@
+"""Minimizers and super-k-mers (substrate for the KMC 2 baseline).
+
+KMC 2 (Deorowicz et al. 2015) bins *super-k-mers* — maximal runs of
+consecutive k-mers sharing the same minimizer — instead of raw k-mers,
+trading extra Stage-1 work for far fewer, shorter Stage-2 records.  That
+trade is exactly what the paper's Figure 9 measures against METAPREP's raw
+tuple enumeration, so the baseline needs a real minimizer implementation.
+
+Simplification vs. KMC 2: we use plain lexicographic ordering of forward
+m-mers as the minimizer order (KMC 2 uses a tweaked order that avoids
+``AAA..`` hotspots).  The binning *structure* (run lengths, bin counts,
+super-k-mer overhead of ``k-1`` shared bases) is unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.seqio.records import ReadBatch
+from repro.util.validation import check_in_range
+
+_U64 = np.uint64
+_TWO = _U64(2)
+_THREE = _U64(3)
+
+
+def _forward_mmers(codes: np.ndarray, m: int) -> np.ndarray:
+    """Packed forward m-mer starting at every base position (vectorized)."""
+    n = len(codes)
+    npos = n - m + 1
+    if npos <= 0:
+        return np.empty(0, dtype=np.uint64)
+    c64 = codes.astype(np.uint64)
+    vals = np.zeros(npos, dtype=np.uint64)
+    for j in range(m):
+        vals = (vals << _TWO) | (c64[j : j + npos] & _THREE)
+    return vals
+
+
+def _valid_kmer_positions(batch: ReadBatch, k: int) -> np.ndarray:
+    """Boolean mask over flat start positions: window within one read, no N."""
+    codes = batch.codes
+    npos = len(codes) - k + 1
+    if npos <= 0:
+        return np.zeros(0, dtype=bool)
+    base_read = np.repeat(np.arange(batch.n_reads, dtype=np.int64), batch.lengths)
+    within = base_read[:npos] == base_read[k - 1 :]
+    bad = np.zeros(len(codes) + 1, dtype=np.int64)
+    np.cumsum(codes > 3, out=bad[1:])
+    clean = (bad[k:] - bad[:npos]) == 0
+    return within & clean
+
+
+def minimizer_of_each_kmer(batch: ReadBatch, k: int, m: int) -> np.ndarray:
+    """Minimizer (packed m-mer) of every *valid* k-mer of the batch.
+
+    Returned in the same deterministic order as
+    :func:`repro.kmers.engine.enumerate_canonical_kmers`, so the two line up
+    index-by-index.
+    """
+    check_in_range("m", m, 1, min(k, 32))
+    valid = _valid_kmer_positions(batch, k)
+    if not valid.any():
+        return np.empty(0, dtype=np.uint64)
+    mvals = _forward_mmers(batch.codes, m)
+    windows = k - m + 1
+    npos = len(batch.codes) - k + 1
+    mins = mvals[:npos].copy()
+    for j in range(1, windows):
+        np.minimum(mins, mvals[j : j + npos], out=mins)
+    return mins[valid]
+
+
+@dataclass
+class SuperKmers:
+    """Super-k-mer segmentation of a read batch.
+
+    Arrays are parallel, one entry per super-k-mer:
+
+    * ``start``: flat start position (into ``batch.codes``) of the first
+      k-mer of the run,
+    * ``n_kmers``: number of consecutive k-mers in the run,
+    * ``minimizer``: the shared packed minimizer,
+    * ``read_index``: index of the containing read within the batch.
+    """
+
+    k: int
+    m: int
+    start: np.ndarray
+    n_kmers: np.ndarray
+    minimizer: np.ndarray
+    read_index: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.start)
+
+    @property
+    def total_kmers(self) -> int:
+        return int(self.n_kmers.sum())
+
+    @property
+    def total_bases(self) -> int:
+        """Bases stored when each super-k-mer is materialized: each run of
+        ``n`` k-mers spans ``n + k - 1`` bases."""
+        return int((self.n_kmers + self.k - 1).sum())
+
+    def bin_of(self, n_bins: int) -> np.ndarray:
+        """Assign each super-k-mer to one of ``n_bins`` minimizer bins."""
+        space = 1 << (2 * self.m)
+        return (self.minimizer.astype(np.int64) * n_bins) // space
+
+
+def split_super_kmers(batch: ReadBatch, k: int, m: int) -> SuperKmers:
+    """Segment every read of ``batch`` into super-k-mers.
+
+    Invariant (tested): ``sum(n_kmers)`` equals the number of valid k-mer
+    positions, i.e. no k-mer is lost or duplicated by the segmentation.
+    """
+    check_in_range("m", m, 1, min(k, 32))
+    valid = _valid_kmer_positions(batch, k)
+    npos = len(valid)
+    empty = np.empty(0, dtype=np.int64)
+    if npos == 0 or not valid.any():
+        return SuperKmers(k, m, empty, empty.copy(), np.empty(0, dtype=np.uint64), empty.copy())
+
+    mvals = _forward_mmers(batch.codes, m)
+    windows = k - m + 1
+    mins = mvals[:npos].copy()
+    for j in range(1, windows):
+        np.minimum(mins, mvals[j : j + npos], out=mins)
+
+    # A new super-k-mer starts at valid position p when p-1 is invalid
+    # (start of a fresh run) or the minimizer changed.
+    prev_valid = np.zeros(npos, dtype=bool)
+    prev_valid[1:] = valid[:-1]
+    same_min = np.zeros(npos, dtype=bool)
+    same_min[1:] = mins[1:] == mins[:-1]
+    is_start = valid & ~(prev_valid & same_min)
+
+    starts = np.flatnonzero(is_start)
+    # Run length: distance to the next start or the end of the valid run.
+    valid_idx = np.flatnonzero(valid)
+    # map each valid position to its run id via cumulative count of starts
+    run_id = np.cumsum(is_start[valid_idx]) - 1
+    n_kmers = np.bincount(run_id, minlength=len(starts)).astype(np.int64)
+
+    base_read = np.repeat(np.arange(batch.n_reads, dtype=np.int64), batch.lengths)
+    return SuperKmers(
+        k=k,
+        m=m,
+        start=starts.astype(np.int64),
+        n_kmers=n_kmers,
+        minimizer=mins[starts],
+        read_index=base_read[starts],
+    )

@@ -1,0 +1,144 @@
+"""Digital normalization (Pell/Brown et al., referenced in paper section 2).
+
+Howe et al.'s *other* preprocessing strategy besides partitioning: stream
+the reads, estimate each read's median k-mer coverage against the k-mers
+accepted so far, and discard reads whose median coverage already exceeds a
+threshold C.  The accepted subset preserves low-coverage signal while
+shedding redundant high-coverage reads — shrinking the de Bruijn graph
+before assembly.
+
+This implementation is exact (a real counting table, not khmer's
+probabilistic CountMin sketch); the sketch's only role in the original is
+memory, which is not the bottleneck at this substrate's scale.  Determinism:
+a fixed read order gives a fixed accepted set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.kmers.codec import MAX_K_ONE_LIMB
+from repro.kmers.engine import enumerate_canonical_kmers
+from repro.seqio.records import ReadBatch
+from repro.util.validation import check_in_range, check_positive
+
+
+@dataclass
+class NormalizationStats:
+    """Accounting for one digital-normalization pass."""
+
+    n_reads_in: int = 0
+    n_reads_kept: int = 0
+    n_kmers_seen: int = 0
+    n_distinct_kmers: int = 0
+    coverage_threshold: int = 0
+    #: histogram of the median coverage observed per read (capped)
+    median_histogram: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def keep_fraction(self) -> float:
+        return self.n_reads_kept / self.n_reads_in if self.n_reads_in else 0.0
+
+
+class DigitalNormalizer:
+    """Streaming median-coverage read filter (the 'diginorm' algorithm).
+
+    >>> norm = DigitalNormalizer(k=17, coverage=20)
+    >>> # norm.normalize(batch) -> (kept_batch, stats)
+    """
+
+    def __init__(self, k: int, coverage: int = 20) -> None:
+        check_in_range("k", k, 2, MAX_K_ONE_LIMB)
+        check_positive("coverage", coverage)
+        self.k = k
+        self.coverage = coverage
+        self._counts: Dict[int, int] = {}
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    # ------------------------------------------------------------------
+    def median_coverage(self, kmers: np.ndarray) -> int:
+        """Median count (so far) of a read's canonical k-mers."""
+        if len(kmers) == 0:
+            return 0
+        counts = self._counts
+        values = sorted(counts.get(int(km), 0) for km in kmers)
+        return values[len(values) // 2]
+
+    def _admit(self, kmers: np.ndarray) -> None:
+        counts = self._counts
+        for km in kmers.tolist():
+            counts[km] = counts.get(km, 0) + 1
+
+    def normalize(self, batch: ReadBatch) -> Tuple[ReadBatch, NormalizationStats]:
+        """Filter ``batch`` in order; returns (kept reads, stats).
+
+        Paired reads (duplicate ids) are treated per-read, matching the
+        original algorithm; callers that must keep pairs intact should
+        pass interleaved pairs and use :func:`normalize_pairs`.
+        """
+        stats = NormalizationStats(
+            n_reads_in=batch.n_reads, coverage_threshold=self.coverage
+        )
+        keep: List[int] = []
+        per_read = self._kmers_per_read(batch)
+        for i, kmers in enumerate(per_read):
+            med = self.median_coverage(kmers)
+            stats.median_histogram[min(med, self.coverage + 1)] = (
+                stats.median_histogram.get(min(med, self.coverage + 1), 0) + 1
+            )
+            if med < self.coverage:
+                keep.append(i)
+                self._admit(kmers)
+                stats.n_kmers_seen += len(kmers)
+        stats.n_reads_kept = len(keep)
+        stats.n_distinct_kmers = len(self._counts)
+        kept = batch.select(np.asarray(keep, dtype=np.int64)) if keep else ReadBatch.empty()
+        return kept, stats
+
+    def normalize_pairs(
+        self, batch: ReadBatch
+    ) -> Tuple[ReadBatch, NormalizationStats]:
+        """Pair-aware variant: a pair is kept if *either* mate's median
+        coverage is below the threshold (keeps mates together, the
+        conservative choice for downstream paired-end assembly)."""
+        stats = NormalizationStats(
+            n_reads_in=batch.n_reads, coverage_threshold=self.coverage
+        )
+        per_read = self._kmers_per_read(batch)
+        ids = batch.read_ids
+        keep: List[int] = []
+        i = 0
+        n = batch.n_reads
+        while i < n:
+            group = [i]
+            while i + len(group) < n and ids[i + len(group)] == ids[i]:
+                group.append(i + len(group))
+            medians = [self.median_coverage(per_read[j]) for j in group]
+            if min(medians) < self.coverage:
+                for j in group:
+                    keep.append(j)
+                    self._admit(per_read[j])
+                    stats.n_kmers_seen += len(per_read[j])
+            i += len(group)
+        stats.n_reads_kept = len(keep)
+        stats.n_distinct_kmers = len(self._counts)
+        kept = batch.select(np.asarray(keep, dtype=np.int64)) if keep else ReadBatch.empty()
+        return kept, stats
+
+    # ------------------------------------------------------------------
+    def _kmers_per_read(self, batch: ReadBatch) -> List[np.ndarray]:
+        """Canonical k-mers of each read, via one vectorized enumeration."""
+        singles = []
+        for i in range(batch.n_reads):
+            sub = ReadBatch(
+                batch.codes[batch.offsets[i] : batch.offsets[i + 1]],
+                np.array([0, batch.offsets[i + 1] - batch.offsets[i]], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+            )
+            singles.append(enumerate_canonical_kmers(sub, self.k).kmers.lo)
+        return singles

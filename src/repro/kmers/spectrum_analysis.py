@@ -1,0 +1,117 @@
+"""K-mer spectrum analysis: coverage, genome size, error-rate estimation.
+
+Standard k-mer-spectrum tooling (the style of GenomeScope/khmer reports),
+built on :class:`~repro.kmers.counter.KmerSpectrum`.  The dataset
+generator's ground truth makes these estimators testable end to end:
+estimated coverage must track the simulated depth, estimated genome size
+the community size, and the error fraction the injected substitution
+rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kmers.counter import KmerSpectrum
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SpectrumReport:
+    """Summary estimates from one abundance spectrum."""
+
+    #: modal k-mer multiplicity above the error trough (~ k-mer coverage)
+    coverage_peak: int
+    #: distinct k-mers attributed to errors (the low-frequency spike)
+    error_kmers: int
+    #: distinct genuine k-mers (>= trough), ~ total genome length for
+    #: single-copy sequence
+    genomic_kmers: int
+    #: estimated total genome size in bp (genomic k-mers, repeats counted
+    #: by multiplicity share)
+    genome_size_estimate: int
+    #: fraction of k-mer *occurrences* that are erroneous
+    error_occurrence_fraction: float
+    #: index of the error/genomic trough in the abundance histogram
+    trough: int
+
+    def as_dict(self) -> dict:
+        return {
+            "coverage_peak": self.coverage_peak,
+            "error_kmers": self.error_kmers,
+            "genomic_kmers": self.genomic_kmers,
+            "genome_size_estimate": self.genome_size_estimate,
+            "error_occurrence_fraction": self.error_occurrence_fraction,
+            "trough": self.trough,
+        }
+
+
+def find_error_trough(histogram: np.ndarray, max_search: int = 0) -> int:
+    """The multiplicity separating the error spike from the coverage peak.
+
+    Scans the abundance histogram (slot i = #distinct k-mers with count i)
+    from multiplicity 2 upward for the first local minimum.  Returns 1 if
+    the histogram decreases monotonically (no separable error spike).
+    """
+    h = np.asarray(histogram, dtype=np.float64)
+    end = len(h) - 1 if not max_search else min(max_search, len(h) - 1)
+    for i in range(2, end):
+        if h[i] <= h[i - 1] and h[i] <= h[i + 1]:
+            return i
+    return 1
+
+
+def analyze_spectrum(
+    spectrum: KmerSpectrum, max_count: int = 256
+) -> SpectrumReport:
+    """Estimate coverage / genome size / error share from a spectrum."""
+    check_positive("max_count", max_count)
+    hist = spectrum.abundance_histogram(max_count=max_count).astype(np.float64)
+    if hist.sum() == 0:
+        return SpectrumReport(0, 0, 0, 0, 0.0, 1)
+
+    trough = find_error_trough(hist)
+    genomic_slice = hist[trough + 1 :]
+    if genomic_slice.sum() > 0:
+        coverage_peak = int(np.argmax(genomic_slice)) + trough + 1
+    else:
+        coverage_peak = int(np.argmax(hist[1:])) + 1
+
+    counts = np.arange(len(hist))
+    error_kmers = int(hist[1 : trough + 1].sum())
+    genomic_kmers = int(hist[trough + 1 :].sum())
+    error_occurrences = float((hist[1 : trough + 1] * counts[1 : trough + 1]).sum())
+    total_occurrences = float((hist * counts).sum())
+
+    # genome size: genuine occurrences spread at the coverage peak
+    genuine_occ = total_occurrences - error_occurrences
+    genome_size = int(genuine_occ / coverage_peak) if coverage_peak else 0
+
+    return SpectrumReport(
+        coverage_peak=coverage_peak,
+        error_kmers=error_kmers,
+        genomic_kmers=genomic_kmers,
+        genome_size_estimate=genome_size,
+        error_occurrence_fraction=(
+            error_occurrences / total_occurrences if total_occurrences else 0.0
+        ),
+        trough=trough,
+    )
+
+
+def recommended_filter_band(
+    report: SpectrumReport, width_factor: float = 2.0
+) -> tuple:
+    """A (min_freq, max_freq) band from the spectrum shape.
+
+    Lower cutoff just above the error trough; upper cutoff a
+    ``width_factor`` multiple of the coverage peak (repeats sit above it).
+    This automates the paper's hand-picked "10 <= KF < 30" for a dataset
+    whose coverage peak is ~15-20.
+    """
+    check_positive("width_factor", width_factor)
+    lo = max(report.trough + 1, 2)
+    hi = max(int(report.coverage_peak * width_factor), lo + 1)
+    return lo, hi

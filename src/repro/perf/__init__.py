@@ -1,0 +1,20 @@
+"""Analytic cost model of paper section 3.7."""
+
+from repro.perf.costmodel import (
+    CostModelInputs,
+    MemoryEstimate,
+    estimate_memory_per_task,
+    estimate_step_complexities,
+    IOWA_EXAMPLE,
+)
+from repro.perf.calibrate import SubstrateRates, calibrate
+
+__all__ = [
+    "CostModelInputs",
+    "MemoryEstimate",
+    "estimate_memory_per_task",
+    "estimate_step_complexities",
+    "IOWA_EXAMPLE",
+    "SubstrateRates",
+    "calibrate",
+]

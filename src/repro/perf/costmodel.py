@@ -1,0 +1,149 @@
+"""Paper section 3.7, implemented symbolically.
+
+Memory per task:  ``4^(m+1) (C + 1)  +  T s_c  +  2 * tuple_bytes * M/(S P)
++ 8 R`` — merHist + FASTQPart, per-thread FASTQ buffers, kmerOut + kmerIn,
+and the two component arrays (p, p' at 4 bytes per read each).
+
+Step time complexities (per task, up to constant factors):
+
+* KmerGen:   O(M / (P T))
+* LocalSort: O(M / (P T))       (linear-time radix, fixed pass count)
+* LocalCC:   O(M log* R / (P T))
+* MergeCC:   O(R log P log* R)
+
+"if S is a small constant, the asymptotic running times of the first four
+steps are essentially the same.  The MergeCC step might become a
+bottleneck if R log P > M / (P T)."
+
+The Iowa worked example from the paper (8 passes, 16 tasks, 24 threads,
+~49 GB/task) is encoded as :data:`IOWA_EXAMPLE` and asserted by the test
+suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class CostModelInputs:
+    """Input data / machine parameters, paper notation."""
+
+    #: number of canonical k-mer tuples (upper-bounded by total bases M;
+    #: the paper uses M in Gbp and tuples ~= 0.74 M for 100 bp reads, k=27)
+    tuples: int
+    #: total paired-end reads R (one id per pair)
+    reads: int
+    #: number of file chunks C
+    n_chunks: int
+    #: bytes per FASTQ chunk s_c
+    chunk_bytes: int
+    #: MPI tasks P, threads per task T, passes S
+    n_tasks: int
+    n_threads: int
+    n_passes: int
+    #: m-mer prefix length (histogram bins = 4^m)
+    m: int = 10
+    #: bytes per (k-mer, read id) tuple (12 for k<=31, 20 for k<=63)
+    tuple_bytes: int = 12
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """Per-task memory, broken down as in the paper's worked example."""
+
+    merhist_bytes: int
+    fastqpart_bytes: int
+    fastq_buffer_bytes: int
+    kmer_out_bytes: int
+    kmer_in_bytes: int
+    component_arrays_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.merhist_bytes
+            + self.fastqpart_bytes
+            + self.fastq_buffer_bytes
+            + self.kmer_out_bytes
+            + self.kmer_in_bytes
+            + self.component_arrays_bytes
+        )
+
+    def breakdown(self) -> Dict[str, int]:
+        return {
+            "merHist": self.merhist_bytes,
+            "FASTQPart": self.fastqpart_bytes,
+            "FASTQBuffer": self.fastq_buffer_bytes,
+            "kmerOut": self.kmer_out_bytes,
+            "kmerIn": self.kmer_in_bytes,
+            "p + p'": self.component_arrays_bytes,
+        }
+
+
+def estimate_memory_per_task(inputs: CostModelInputs) -> MemoryEstimate:
+    """Section 3.7's memory formula."""
+    bins = 4 ** inputs.m
+    tuples_per_task_pass = math.ceil(
+        inputs.tuples / (inputs.n_passes * inputs.n_tasks)
+    )
+    return MemoryEstimate(
+        merhist_bytes=4 * bins,
+        fastqpart_bytes=4 * bins * inputs.n_chunks,
+        fastq_buffer_bytes=inputs.n_threads * inputs.chunk_bytes,
+        kmer_out_bytes=inputs.tuple_bytes * tuples_per_task_pass,
+        kmer_in_bytes=inputs.tuple_bytes * tuples_per_task_pass,
+        component_arrays_bytes=2 * 4 * inputs.reads,
+    )
+
+
+def _log_star(n: float) -> float:
+    """Iterated logarithm (base 2)."""
+    count = 0
+    while n > 1:
+        n = math.log2(n)
+        count += 1
+    return max(count, 1)
+
+
+def estimate_step_complexities(inputs: CostModelInputs) -> Dict[str, float]:
+    """Relative per-task operation counts for the four compute steps plus
+    MergeCC, in the paper's O(.) terms (constants dropped; useful for the
+    bottleneck predicate below)."""
+    pt = inputs.n_tasks * inputs.n_threads
+    m = float(inputs.tuples)
+    r = float(inputs.reads)
+    return {
+        "KmerGen": m / pt,
+        "LocalSort": m / pt,
+        "LocalCC": (m / pt) * _log_star(r),
+        "MergeCC": r * max(math.log2(inputs.n_tasks), 0.0) * _log_star(r),
+    }
+
+
+def mergecc_is_bottleneck(inputs: CostModelInputs) -> bool:
+    """The paper's predicate: MergeCC dominates when R log P > M / (P T)."""
+    if inputs.n_tasks <= 1:
+        return False
+    lhs = inputs.reads * math.log2(inputs.n_tasks)
+    rhs = inputs.tuples / (inputs.n_tasks * inputs.n_threads)
+    return lhs > rhs
+
+
+#: The paper's worked example: IS dataset (223.26 Gbp, 1.13 B reads) with
+#: 8 passes, 16 tasks, 24 threads, 1536 chunks of ~0.3 GB, m = 10.
+#: Expected: merHist 4 MB, FASTQPart ~6 GB, FASTQBuffer ~7 GB, kmerIn/Out
+#: ~14 GB each, p+p' ~8 GB  =>  ~49 GB total.
+IOWA_EXAMPLE = CostModelInputs(
+    tuples=int(1.3e9) * 8 * 16,  # ~1.3 B tuples per task per pass
+    reads=1_130_000_000,
+    n_chunks=1536,
+    chunk_bytes=int(0.3 * 10**9),
+    n_tasks=16,
+    n_threads=24,
+    n_passes=8,
+    m=10,
+    tuple_bytes=12,
+)

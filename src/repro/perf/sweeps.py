@@ -1,0 +1,153 @@
+"""Programmatic scaling sweeps.
+
+Wraps the pipeline + timing model into one-call experiment drivers that
+return structured rows (and write CSV), so notebooks, examples and the
+benchmark harness share one implementation of "run the Figure-5 sweep".
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import MetaPrep, PipelineResult
+from repro.index.create import IndexCreateResult, index_create
+from repro.runtime.machines import get_machine
+from repro.runtime.timing import TimingModel
+from repro.runtime.work import StepNames
+
+
+@dataclass
+class SweepPoint:
+    """One configuration's outcome."""
+
+    n_tasks: int
+    n_threads: int
+    n_passes: int
+    machine: str
+    projected_total: float
+    measured_total: float
+    step_seconds: Dict[str, float]
+    result: PipelineResult = field(repr=False, default=None)
+
+    def as_row(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "tasks": self.n_tasks,
+            "threads": self.n_threads,
+            "passes": self.n_passes,
+            "machine": self.machine,
+            "projected_total_s": round(self.projected_total, 4),
+            "measured_total_s": round(self.measured_total, 4),
+        }
+        for step in StepNames.ORDER:
+            row[step] = round(self.step_seconds.get(step, 0.0), 4)
+        return row
+
+
+@dataclass
+class SweepResult:
+    points: List[SweepPoint]
+
+    def speedups(self) -> List[float]:
+        """Projected speedup of each point relative to the first."""
+        if not self.points:
+            return []
+        base = self.points[0].projected_total
+        return [base / p.projected_total for p in self.points]
+
+    def write_csv(self, path: str | os.PathLike) -> int:
+        if not self.points:
+            raise ValueError("empty sweep")
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        rows = [p.as_row() for p in self.points]
+        with open(path, "w", newline="", encoding="ascii") as fh:
+            writer = csv.DictWriter(fh, fieldnames=list(rows[0].keys()))
+            writer.writeheader()
+            writer.writerows(rows)
+        return len(rows)
+
+
+class SweepDriver:
+    """Runs a family of configurations over one dataset + index."""
+
+    def __init__(
+        self,
+        units: Sequence,
+        k: int = 27,
+        m: int = 6,
+        n_chunks: int = 32,
+        machine: str = "edison",
+        scale_factor: float = 1.0,
+    ) -> None:
+        self.units = list(units)
+        self.k = k
+        self.m = m
+        self.n_chunks = n_chunks
+        self.machine = machine
+        self.scale_factor = scale_factor
+        self._index: IndexCreateResult | None = None
+
+    @property
+    def index(self) -> IndexCreateResult:
+        if self._index is None:
+            self._index = index_create(
+                self.units, k=self.k, m=self.m, n_chunks=self.n_chunks
+            )
+        return self._index
+
+    # ------------------------------------------------------------------
+    def run_point(
+        self, n_tasks: int, n_threads: int, n_passes: int = 1, **config_kw
+    ) -> SweepPoint:
+        config = PipelineConfig(
+            k=self.k,
+            m=self.m,
+            n_tasks=n_tasks,
+            n_threads=n_threads,
+            n_passes=n_passes,
+            n_chunks=self.n_chunks,
+            machine=self.machine,
+            write_outputs=False,
+            **config_kw,
+        )
+        result = MetaPrep(config).run(self.units, index=self.index)
+        scaled = result.work.scaled(self.scale_factor)
+        projected = TimingModel(get_machine(self.machine)).project(scaled)
+        return SweepPoint(
+            n_tasks=n_tasks,
+            n_threads=n_threads,
+            n_passes=n_passes,
+            machine=self.machine,
+            projected_total=projected.total_seconds,
+            measured_total=result.measured.total,
+            step_seconds=projected.breakdown().as_dict(),
+            result=result,
+        )
+
+    def thread_sweep(
+        self, threads: Sequence[int], n_passes: int = 1
+    ) -> SweepResult:
+        """The Figure-5 family: single task, varying threads."""
+        return SweepResult(
+            [self.run_point(1, t, n_passes) for t in threads]
+        )
+
+    def node_sweep(
+        self, nodes: Sequence[int], n_threads: int, n_passes: int = 1
+    ) -> SweepResult:
+        """The Figure-6 family: varying tasks at fixed threads."""
+        return SweepResult(
+            [self.run_point(p, n_threads, n_passes) for p in nodes]
+        )
+
+    def pass_sweep(
+        self, passes: Sequence[int], n_tasks: int, n_threads: int
+    ) -> SweepResult:
+        """The Table-3 family: fixed decomposition, varying passes."""
+        return SweepResult(
+            [self.run_point(n_tasks, n_threads, s) for s in passes]
+        )

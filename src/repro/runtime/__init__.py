@@ -1,0 +1,44 @@
+"""Simulated cluster runtime.
+
+The paper runs METAPREP with MPI across nodes and OpenMP within a node on
+NERSC Edison and the Penn State Ganga cluster.  This package replaces the
+physical machines with a deterministic simulation:
+
+* the *algorithm* executes for real, decomposed into P tasks x T threads
+  exactly as the paper prescribes (same chunk assignment, same k-mer
+  ranges, same message schedule) and produces bit-identical results to a
+  sequential run;
+* every step records its **work volumes** (bytes read, tuples produced,
+  messages sent, edges unioned, bytes written) per task and thread;
+* a calibrated :class:`~repro.runtime.timing.TimingModel` projects those
+  volumes onto a named :class:`~repro.runtime.machines.MachineSpec`
+  (Edison, Ganga), reproducing the *shape* of the paper's scaling figures
+  — load imbalance, communication overhead, multipass trade-offs and
+  crossovers all derive from measured volumes, not fitted curves.
+"""
+
+from repro.runtime.machines import MachineSpec, EDISON, GANGA, get_machine
+from repro.runtime.comm import (
+    AllToAllStats,
+    custom_all_to_all,
+    all_to_all_schedule,
+)
+from repro.runtime.work import RunWork, StepNames
+from repro.runtime.timing import TimingModel, ProjectedTimes
+from repro.runtime.trace import projection_to_trace_events, write_chrome_trace
+
+__all__ = [
+    "MachineSpec",
+    "EDISON",
+    "GANGA",
+    "get_machine",
+    "AllToAllStats",
+    "custom_all_to_all",
+    "all_to_all_schedule",
+    "RunWork",
+    "StepNames",
+    "TimingModel",
+    "ProjectedTimes",
+    "projection_to_trace_events",
+    "write_chrome_trace",
+]

@@ -1,0 +1,74 @@
+"""Sequence I/O substrate: DNA alphabet, FASTQ files, binary index tables."""
+
+from repro.seqio.alphabet import (
+    BASES,
+    CODE_A,
+    CODE_C,
+    CODE_G,
+    CODE_T,
+    CODE_INVALID,
+    encode_sequence,
+    decode_sequence,
+    complement_codes,
+    reverse_complement,
+    is_valid_dna,
+)
+from repro.seqio.records import FastqRecord, ReadBatch
+from repro.seqio.fastq import (
+    read_fastq,
+    write_fastq,
+    iter_fastq,
+    FastqParseError,
+    count_reads,
+    read_fastq_region,
+)
+from repro.seqio.tables import BinaryTableError, read_table, write_table
+from repro.seqio.fasta import (
+    FastaParseError,
+    iter_fasta,
+    read_fasta,
+    write_contigs,
+    write_fasta,
+)
+from repro.seqio.quality import (
+    decode_phred,
+    encode_phred,
+    mean_quality,
+    quality_filter,
+    trim_tail,
+)
+
+__all__ = [
+    "BASES",
+    "CODE_A",
+    "CODE_C",
+    "CODE_G",
+    "CODE_T",
+    "CODE_INVALID",
+    "encode_sequence",
+    "decode_sequence",
+    "complement_codes",
+    "reverse_complement",
+    "is_valid_dna",
+    "FastqRecord",
+    "ReadBatch",
+    "read_fastq",
+    "write_fastq",
+    "iter_fastq",
+    "read_fastq_region",
+    "count_reads",
+    "FastqParseError",
+    "BinaryTableError",
+    "read_table",
+    "write_table",
+    "FastaParseError",
+    "iter_fasta",
+    "read_fasta",
+    "write_contigs",
+    "write_fasta",
+    "decode_phred",
+    "encode_phred",
+    "mean_quality",
+    "quality_filter",
+    "trim_tail",
+]

@@ -1,0 +1,174 @@
+"""FASTQ reading and writing.
+
+The pipeline performs genuine file I/O (the paper times KmerGen-I/O and
+CC-I/O separately), so this module provides both whole-file readers and the
+byte-region reader used for chunked parallel access: given a byte offset and
+size from the FASTQPart table, :func:`read_fastq_region` parses exactly the
+records of that chunk.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import os
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.seqio.records import FastqRecord
+
+
+class FastqParseError(ValueError):
+    """Raised on malformed FASTQ input."""
+
+
+def _is_gzip(path: str | os.PathLike) -> bool:
+    return str(path).endswith(".gz")
+
+
+def _open_text(path: str | os.PathLike, mode: str = "rt"):
+    """Open plain or gzip-compressed text transparently by suffix."""
+    if _is_gzip(path):
+        return gzip.open(path, mode, encoding="ascii")
+    return open(path, mode, encoding="ascii")
+
+
+def iter_fastq(path: str | os.PathLike) -> Iterator[FastqRecord]:
+    """Stream records from a FASTQ file (``.gz`` handled transparently).
+
+    Raises :class:`FastqParseError` on structural problems (missing ``@``,
+    truncated record, length mismatch).
+    """
+    with _open_text(path) as fh:
+        yield from _iter_fastq_handle(fh, str(path))
+
+
+def _iter_fastq_handle(fh: io.TextIOBase, label: str) -> Iterator[FastqRecord]:
+    lineno = 0
+    while True:
+        header = fh.readline()
+        if not header:
+            return
+        lineno += 1
+        header = header.rstrip("\n")
+        if not header:
+            # tolerate trailing blank lines
+            continue
+        if not header.startswith("@"):
+            raise FastqParseError(
+                f"{label}:{lineno}: expected '@' header, got {header[:30]!r}"
+            )
+        seq = fh.readline().rstrip("\n")
+        plus = fh.readline().rstrip("\n")
+        qual = fh.readline().rstrip("\n")
+        lineno += 3
+        if not qual and not seq:
+            raise FastqParseError(f"{label}:{lineno}: truncated record")
+        if not plus.startswith("+"):
+            raise FastqParseError(
+                f"{label}:{lineno - 1}: expected '+' separator, got {plus[:30]!r}"
+            )
+        if len(seq) != len(qual):
+            raise FastqParseError(
+                f"{label}:{lineno}: sequence/quality length mismatch "
+                f"({len(seq)} vs {len(qual)})"
+            )
+        yield FastqRecord(header[1:], seq, qual)
+
+
+def read_fastq(path: str | os.PathLike) -> List[FastqRecord]:
+    """Read an entire FASTQ file into memory."""
+    return list(iter_fastq(path))
+
+
+def count_reads(path: str | os.PathLike) -> int:
+    """Count records without materializing them."""
+    n = 0
+    for _ in iter_fastq(path):
+        n += 1
+    return n
+
+
+def write_fastq(
+    path: str | os.PathLike, records: Iterable[FastqRecord], append: bool = False
+) -> int:
+    """Write records to ``path`` (gzipped if it ends in ``.gz``); returns
+    the number written."""
+    mode = "at" if append else "wt"
+    n = 0
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    with _open_text(path, mode) as fh:
+        for rec in records:
+            fh.write(rec.to_fastq())
+            n += 1
+    return n
+
+
+def read_fastq_region(
+    path: str | os.PathLike, offset: int, size: int
+) -> List[FastqRecord]:
+    """Parse the FASTQ records contained in ``[offset, offset + size)``.
+
+    The region must start exactly at a record boundary (the FASTQPart chunker
+    guarantees this).  A record straddling the end of the region is NOT
+    returned: the region must also end on a boundary, matching how chunks
+    tile the file.
+
+    Gzipped inputs are rejected: byte-offset chunked access needs a
+    seekable uncompressed file (decompress first, as the paper's tool
+    requires of its inputs).
+    """
+    if _is_gzip(path):
+        raise FastqParseError(
+            f"{path}: chunked region access requires an uncompressed FASTQ "
+            "(gzip streams are not byte-seekable); decompress first"
+        )
+    with open(path, "rt", encoding="ascii") as fh:
+        fh.seek(offset)
+        data = fh.read(size)
+    return list(_iter_fastq_handle(io.StringIO(data), f"{path}@{offset}"))
+
+
+def record_boundaries(path: str | os.PathLike) -> List[int]:
+    """Return the byte offset of every record start plus the file size.
+
+    Used by the FASTQPart chunker to place chunk boundaries on record
+    starts.  Offsets are byte positions of '@' header lines.  Gzipped
+    inputs are rejected (see :func:`read_fastq_region`).
+    """
+    if _is_gzip(path):
+        raise FastqParseError(
+            f"{path}: chunk-boundary discovery requires an uncompressed "
+            "FASTQ; decompress first"
+        )
+    boundaries: List[int] = []
+    pos = 0
+    with open(path, "rb") as fh:
+        while True:
+            start = pos
+            header = fh.readline()
+            if not header:
+                break
+            pos += len(header)
+            if header.strip() and header.startswith(b"@"):
+                boundaries.append(start)
+                for _ in range(3):
+                    line = fh.readline()
+                    if not line:
+                        raise FastqParseError(f"{path}: truncated final record")
+                    pos += len(line)
+    boundaries.append(pos)
+    return boundaries
+
+
+def interleave_paired(
+    r1: Sequence[FastqRecord], r2: Sequence[FastqRecord]
+) -> List[FastqRecord]:
+    """Interleave mate files (r1[0], r2[0], r1[1], ...)."""
+    if len(r1) != len(r2):
+        raise ValueError(f"mate files differ in length: {len(r1)} vs {len(r2)}")
+    out: List[FastqRecord] = []
+    for a, b in zip(r1, r2):
+        out.append(a)
+        out.append(b)
+    return out

@@ -1,0 +1,117 @@
+"""Quality-score utilities: Phred decoding, filtering, trimming.
+
+Real sequencing preprocessing starts with quality control; the simulator
+emits flat qualities, but the library would be incomplete without the
+standard Phred+33 toolbox (mean-quality read filtering and 3' quality
+trimming with the BWA-style running-sum algorithm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.seqio.records import FastqRecord
+from repro.util.validation import check_in_range
+
+PHRED_OFFSET = 33
+
+
+def decode_phred(quality: str) -> np.ndarray:
+    """ASCII (Phred+33) quality string -> integer scores."""
+    raw = np.frombuffer(quality.encode("ascii"), dtype=np.uint8)
+    if raw.size and raw.min() < PHRED_OFFSET:
+        raise ValueError(
+            f"quality string contains characters below Phred+33: {quality!r}"
+        )
+    return (raw - PHRED_OFFSET).astype(np.int64)
+
+
+def encode_phred(scores: Sequence[int]) -> str:
+    """Integer scores -> ASCII (Phred+33)."""
+    arr = np.asarray(list(scores), dtype=np.int64)
+    if arr.size and (arr.min() < 0 or arr.max() > 93):
+        raise ValueError("Phred scores must lie in [0, 93]")
+    return (arr + PHRED_OFFSET).astype(np.uint8).tobytes().decode("ascii")
+
+
+def mean_quality(record: FastqRecord) -> float:
+    """Mean Phred score of a record (0.0 for empty reads)."""
+    scores = decode_phred(record.quality)
+    return float(scores.mean()) if scores.size else 0.0
+
+
+def error_probability(record: FastqRecord) -> float:
+    """Expected per-base error probability implied by the qualities."""
+    scores = decode_phred(record.quality)
+    if not scores.size:
+        return 0.0
+    return float(np.mean(10.0 ** (-scores / 10.0)))
+
+
+def trim_tail(record: FastqRecord, threshold: int = 20) -> FastqRecord:
+    """BWA-style 3' quality trimming.
+
+    Finds the cut position maximizing ``sum(threshold - q[i])`` over the
+    trailing suffix; bases after the argmax of the running sum are
+    removed.  A read whose tail is all above ``threshold`` is returned
+    unchanged.
+    """
+    check_in_range("threshold", threshold, 0, 93)
+    scores = decode_phred(record.quality)
+    n = len(scores)
+    if n == 0:
+        return record
+    best_pos, best_sum, running = n, 0, 0
+    for i in range(n - 1, -1, -1):
+        running += threshold - int(scores[i])
+        if running > best_sum:
+            best_sum = running
+            best_pos = i
+    if best_pos >= n:
+        return record
+    return FastqRecord(
+        record.name,
+        record.sequence[:best_pos],
+        record.quality[:best_pos],
+    )
+
+
+@dataclass
+class QualityFilterStats:
+    n_in: int = 0
+    n_kept: int = 0
+    n_dropped_quality: int = 0
+    n_dropped_length: int = 0
+    bases_trimmed: int = 0
+
+    @property
+    def keep_fraction(self) -> float:
+        return self.n_kept / self.n_in if self.n_in else 0.0
+
+
+def quality_filter(
+    records: Sequence[FastqRecord],
+    min_mean_quality: float = 20.0,
+    trim_threshold: int | None = None,
+    min_length: int = 30,
+) -> Tuple[List[FastqRecord], QualityFilterStats]:
+    """Trim (optionally) then drop low-quality / too-short reads."""
+    stats = QualityFilterStats(n_in=len(records))
+    out: List[FastqRecord] = []
+    for rec in records:
+        if trim_threshold is not None:
+            trimmed = trim_tail(rec, trim_threshold)
+            stats.bases_trimmed += len(rec) - len(trimmed)
+            rec = trimmed
+        if len(rec) < min_length:
+            stats.n_dropped_length += 1
+            continue
+        if mean_quality(rec) < min_mean_quality:
+            stats.n_dropped_quality += 1
+            continue
+        out.append(rec)
+    stats.n_kept = len(out)
+    return out, stats

@@ -1,0 +1,105 @@
+"""Binary on-disk tables.
+
+IndexCreate writes its two tables (merHist, FASTQPart) "to disk in binary
+format" (paper section 3.1) so they can be reused across runs on different
+machines.  This module defines a minimal, versioned container: a magic tag,
+a schema identifier, a JSON header for scalar metadata, and a sequence of
+named NumPy arrays stored with ``numpy.lib.format`` semantics (dtype string,
+shape, raw little-endian bytes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from pathlib import Path
+from typing import Any, Dict, Mapping, Tuple
+
+import numpy as np
+
+_MAGIC = b"MPREPTAB"
+_VERSION = 1
+
+
+class BinaryTableError(IOError):
+    """Raised for malformed/corrupt table files."""
+
+
+def write_table(
+    path: str | os.PathLike,
+    schema: str,
+    meta: Mapping[str, Any],
+    arrays: Mapping[str, np.ndarray],
+) -> int:
+    """Serialize ``meta`` + named ``arrays`` to ``path``.
+
+    Returns the number of bytes written.
+    """
+    header = {
+        "schema": schema,
+        "version": _VERSION,
+        "meta": dict(meta),
+        "arrays": [
+            {
+                "name": name,
+                "dtype": np.lib.format.dtype_to_descr(arr.dtype),
+                "shape": list(arr.shape),
+            }
+            for name, arr in arrays.items()
+        ],
+    }
+    blob = json.dumps(header, sort_keys=True).encode("utf-8")
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    written = 0
+    with open(path, "wb") as fh:
+        fh.write(_MAGIC)
+        fh.write(struct.pack("<II", _VERSION, len(blob)))
+        fh.write(blob)
+        written = len(_MAGIC) + 8 + len(blob)
+        for arr in arrays.values():
+            data = np.ascontiguousarray(arr)
+            if data.dtype.byteorder == ">":
+                data = data.astype(data.dtype.newbyteorder("<"))
+            raw = data.tobytes()
+            fh.write(struct.pack("<Q", len(raw)))
+            fh.write(raw)
+            written += 8 + len(raw)
+    return written
+
+
+def read_table(
+    path: str | os.PathLike, expect_schema: str | None = None
+) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """Read a table written by :func:`write_table`.
+
+    Returns ``(meta, arrays)``.  ``expect_schema`` (when given) is validated
+    against the stored schema tag.
+    """
+    with open(path, "rb") as fh:
+        magic = fh.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise BinaryTableError(f"{path}: bad magic {magic!r}")
+        version, hlen = struct.unpack("<II", fh.read(8))
+        if version != _VERSION:
+            raise BinaryTableError(f"{path}: unsupported version {version}")
+        try:
+            header = json.loads(fh.read(hlen).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BinaryTableError(f"{path}: corrupt header: {exc}") from exc
+        schema = header.get("schema")
+        if expect_schema is not None and schema != expect_schema:
+            raise BinaryTableError(
+                f"{path}: schema mismatch: expected {expect_schema!r}, "
+                f"found {schema!r}"
+            )
+        arrays: Dict[str, np.ndarray] = {}
+        for spec in header["arrays"]:
+            (nbytes,) = struct.unpack("<Q", fh.read(8))
+            raw = fh.read(nbytes)
+            if len(raw) != nbytes:
+                raise BinaryTableError(f"{path}: truncated array {spec['name']}")
+            dtype = np.dtype(spec["dtype"])
+            arr = np.frombuffer(raw, dtype=dtype).reshape(spec["shape"]).copy()
+            arrays[spec["name"]] = arr
+        return header["meta"], arrays

@@ -1,0 +1,81 @@
+"""Parallel range partitioning of tuples (LocalSort stage 1).
+
+Paper section 3.4: received tuples are partitioned into ``T`` disjoint
+k-mer ranges so each partition can be sorted concurrently.  Ranges are
+expressed as m-mer-prefix *bin* boundaries (the same bins as merHist), so
+partition membership is a single vectorized ``searchsorted`` over the bin
+id of each tuple.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.kmers.engine import KmerTuples
+
+
+def partition_boundaries_equal(n_bins: int, n_parts: int) -> np.ndarray:
+    """Equal-width bin boundaries: ``n_parts + 1`` edges over ``[0, n_bins]``.
+
+    Histogram-balanced boundaries come from
+    :func:`repro.index.passplan.balanced_boundaries`; this uniform variant
+    is the fallback when no histogram is available.
+    """
+    if n_parts < 1:
+        raise ValueError(f"n_parts must be >= 1, got {n_parts}")
+    edges = np.linspace(0, n_bins, n_parts + 1)
+    return np.ceil(edges).astype(np.int64)
+
+
+def range_partition(
+    tuples: KmerTuples,
+    m: int,
+    edges: np.ndarray,
+    span: Tuple[int, int] | None = None,
+) -> Tuple[List[KmerTuples], np.ndarray]:
+    """Split tuples into ``len(edges) - 1`` partitions by m-mer prefix bin.
+
+    ``edges`` must be non-decreasing and span ``span`` (default: the full
+    bin range ``[0, 4**m]``); every tuple's prefix bin must lie inside the
+    span.  Returns the partitions (order of tuples within a partition
+    preserved — the scatter is stable, as required for the radix sort's
+    stability guarantee to be meaningful end-to-end) and the per-partition
+    tuple counts.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 1 or len(edges) < 2:
+        raise ValueError("edges must have at least two entries")
+    span_lo, span_hi = span if span is not None else (0, 1 << (2 * m))
+    if edges[0] != span_lo or edges[-1] != span_hi:
+        raise ValueError(
+            f"edges must span [{span_lo}, {span_hi}], got "
+            f"[{edges[0]}, {edges[-1]}]"
+        )
+    if np.any(np.diff(edges) < 0):
+        raise ValueError("edges must be non-decreasing")
+
+    n_parts = len(edges) - 1
+    if len(tuples) == 0:
+        return (
+            [KmerTuples.empty(tuples.k) for _ in range(n_parts)],
+            np.zeros(n_parts, dtype=np.int64),
+        )
+
+    bins = tuples.kmers.mmer_prefix(m).astype(np.int64)
+    part = np.searchsorted(edges, bins, side="right") - 1
+    # Tuples in the last bin of the last partition: searchsorted puts
+    # bin == edges[-1] out of range only if a bin equals 4^m, impossible.
+    part = np.clip(part, 0, n_parts - 1)
+    counts = np.bincount(part, minlength=n_parts).astype(np.int64)
+
+    order = np.argsort(part, kind="stable")
+    gathered = tuples.take(order)
+    out: List[KmerTuples] = []
+    start = 0
+    for p in range(n_parts):
+        end = start + int(counts[p])
+        out.append(gathered.slice(start, end))
+        start = end
+    return out, counts

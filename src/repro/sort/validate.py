@@ -1,0 +1,47 @@
+"""Sort-output validation helpers (used by tests and debug assertions)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kmers.codec import KmerArray
+from repro.kmers.engine import KmerTuples
+
+
+def is_sorted_kmers(kmers: KmerArray) -> bool:
+    """True iff the k-mer array is non-decreasing lexicographically."""
+    n = len(kmers)
+    if n <= 1:
+        return True
+    if not kmers.two_limb:
+        return bool(np.all(kmers.lo[:-1] <= kmers.lo[1:]))
+    assert kmers.hi is not None
+    hi, lo = kmers.hi, kmers.lo
+    ok = (hi[:-1] < hi[1:]) | ((hi[:-1] == hi[1:]) & (lo[:-1] <= lo[1:]))
+    return bool(np.all(ok))
+
+
+def _tuple_multiset_key(tuples: KmerTuples) -> np.ndarray:
+    """A canonical row-sorted view of the tuple multiset for comparisons."""
+    cols = [tuples.read_ids.astype(np.uint64), tuples.kmers.lo]
+    if tuples.kmers.hi is not None:
+        cols.append(tuples.kmers.hi)
+    stacked = np.stack(cols, axis=1)
+    order = np.lexsort(tuple(stacked[:, i] for i in range(stacked.shape[1])))
+    return stacked[order]
+
+
+def verify_sort(before: KmerTuples, after: KmerTuples) -> None:
+    """Assert ``after`` is a sorted permutation of ``before``.
+
+    Raises ``AssertionError`` with a diagnostic on violation.
+    """
+    assert len(before) == len(after), (
+        f"tuple count changed: {len(before)} -> {len(after)}"
+    )
+    assert is_sorted_kmers(after.kmers), "output k-mers are not sorted"
+    if len(before) == 0:
+        return
+    a = _tuple_multiset_key(before)
+    b = _tuple_multiset_key(after)
+    assert np.array_equal(a, b), "output is not a permutation of the input"

@@ -1,0 +1,53 @@
+"""Library logging helpers.
+
+METAPREP components log through a shared ``repro`` logger hierarchy so that
+applications can control verbosity uniformly.  The library never configures
+the root logger; :func:`set_verbosity` installs a stream handler on the
+``repro`` logger only.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_ROOT_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATEFMT = "%H:%M:%S"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the ``repro`` hierarchy.
+
+    ``get_logger("kmers.engine")`` returns ``repro.kmers.engine``;
+    ``get_logger()`` returns the package root logger.
+    """
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_verbosity(level: int | str = logging.INFO, stream=None) -> logging.Logger:
+    """Attach a stream handler to the package logger at ``level``.
+
+    Safe to call repeatedly; a single handler is maintained.  Returns the
+    package root logger.
+    """
+    logger = logging.getLogger(_ROOT_NAME)
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown log level: {level!r}")
+    logger.setLevel(level)
+    stream = stream if stream is not None else sys.stderr
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter(_FORMAT, _DATEFMT))
+    handler._repro_handler = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    return logger

@@ -1,0 +1,31 @@
+"""Deterministic random-number helpers.
+
+All synthetic-data and simulation code derives generators through
+:func:`rng_for` so that every experiment is reproducible from a single
+top-level seed, independent of the order in which components draw.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(base_seed: int, *labels: object) -> int:
+    """Derive a stable 64-bit child seed from ``base_seed`` and labels.
+
+    Uses BLAKE2b over the textual labels, so adding a new consumer never
+    perturbs the streams of existing consumers.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(int(base_seed)).encode())
+    for label in labels:
+        h.update(b"\x1f")
+        h.update(str(label).encode())
+    return int.from_bytes(h.digest(), "little")
+
+
+def rng_for(base_seed: int, *labels: object) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for a derived stream."""
+    return np.random.default_rng(derive_seed(base_seed, *labels))

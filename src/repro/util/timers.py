@@ -1,0 +1,124 @@
+"""Wall-clock timing primitives used by the pipeline and benchmarks.
+
+The pipeline reports a per-step :class:`TimeBreakdown` mirroring the stacked
+bars of the paper's Figures 5-7 (KmerGen-I/O, KmerGen, KmerGen-Comm,
+LocalSort, LocalCC-Opt, Merge-Comm, MergeCC, CC-I/O).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+
+class Stopwatch:
+    """A resettable cumulative stopwatch.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     pass
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._total = 0.0
+        self._started: float | None = None
+
+    def start(self) -> "Stopwatch":
+        if self._started is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError("stopwatch not running")
+        self._total += time.perf_counter() - self._started
+        self._started = None
+        return self._total
+
+    def reset(self) -> None:
+        self._total = 0.0
+        self._started = None
+
+    @property
+    def running(self) -> bool:
+        return self._started is not None
+
+    @property
+    def elapsed(self) -> float:
+        extra = 0.0
+        if self._started is not None:
+            extra = time.perf_counter() - self._started
+        return self._total + extra
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class TimeBreakdown:
+    """Accumulated wall time per named step, in insertion order."""
+
+    seconds: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, step: str, dt: float) -> None:
+        if dt < 0:
+            raise ValueError(f"negative duration for {step}: {dt}")
+        self.seconds[step] = self.seconds.get(step, 0.0) + dt
+
+    def merge(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        for step, dt in other.seconds.items():
+            self.add(step, dt)
+        return self
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def items(self) -> List[Tuple[str, float]]:
+        return list(self.seconds.items())
+
+    def get(self, step: str) -> float:
+        return self.seconds.get(step, 0.0)
+
+    def scaled(self, factor: float) -> "TimeBreakdown":
+        return TimeBreakdown({k: v * factor for k, v in self.seconds.items()})
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.seconds)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        rows = ", ".join(f"{k}={v:.3f}s" for k, v in self.seconds.items())
+        return f"TimeBreakdown({rows}, total={self.total:.3f}s)"
+
+
+class StepTimer:
+    """Context-manager based accumulator for :class:`TimeBreakdown`.
+
+    >>> timer = StepTimer()
+    >>> with timer.step("KmerGen"):
+    ...     pass
+    >>> timer.breakdown.get("KmerGen") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.breakdown = TimeBreakdown()
+
+    @contextmanager
+    def step(self, name: str) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.breakdown.add(name, time.perf_counter() - t0)
+
+    def record(self, name: str, dt: float) -> None:
+        self.breakdown.add(name, dt)

@@ -1,0 +1,160 @@
+import numpy as np
+import pytest
+
+from repro.assembly.cleaning import (
+    clean_graph,
+    pop_bubbles,
+    remove_tips,
+    unitig_chains,
+)
+from repro.assembly.graph import build_debruijn_graph
+from repro.assembly.unitigs import extract_unitigs
+from repro.seqio.records import ReadBatch
+from repro.util.rng import rng_for
+
+K = 10  # even: palindrome-free (k-1)-mer nodes
+
+
+@pytest.fixture()
+def genome():
+    rng = rng_for(121, "cleaning")
+    return "".join(rng.choice(list("ACGT"), size=300))
+
+
+def reads_of(seq, read_len=40, step=4):
+    return [seq[i : i + read_len] for i in range(0, len(seq) - read_len + 1, step)]
+
+
+class TestUnitigChains:
+    def test_chains_partition_edges(self, genome):
+        graph = build_debruijn_graph(
+            ReadBatch.from_sequences(reads_of(genome)), K, 1
+        )
+        chains = unitig_chains(graph)
+        covered = sorted(e for c in chains for e in c.edges)
+        assert covered == list(range(graph.n_edges))
+
+    def test_linear_graph_two_chains(self, genome):
+        # one clean sequence: forward chain + RC chain
+        graph = build_debruijn_graph(ReadBatch.from_sequences([genome]), K, 1)
+        chains = unitig_chains(graph)
+        assert len(chains) == 2
+        assert all(len(c) == graph.n_edges // 2 for c in chains)
+
+    def test_empty_graph(self):
+        graph = build_debruijn_graph(ReadBatch.from_sequences(["ACG"]), K, 1)
+        assert unitig_chains(graph) == []
+
+
+class TestRemoveTips:
+    def test_error_tail_removed(self, genome):
+        reads = reads_of(genome)
+        # a read with a corrupted tail creates a dead-end branch
+        bad = genome[50:85] + "C" if genome[85] != "C" else genome[50:85] + "G"
+        graph = build_debruijn_graph(
+            ReadBatch.from_sequences(reads + [bad]), K, 1
+        )
+        cleaned, tips = remove_tips(graph)
+        assert tips >= 1
+        assert cleaned.n_edges < graph.n_edges
+        # cleaning must restore a single linear contig
+        contigs = extract_unitigs(cleaned, min_length=0)
+        assert len(contigs) == 1
+
+    def test_clean_graph_untouched(self, genome):
+        graph = build_debruijn_graph(ReadBatch.from_sequences([genome]), K, 1)
+        cleaned, tips = remove_tips(graph)
+        assert tips == 0
+        assert cleaned.n_edges == graph.n_edges
+
+    def test_isolated_contigs_kept(self):
+        # a short standalone sequence is not a tip (dead at both ends)
+        graph = build_debruijn_graph(
+            ReadBatch.from_sequences(["ACGTTGCAGTACGA"]), K, 1
+        )
+        cleaned, tips = remove_tips(graph, max_tip_edges=100)
+        assert tips == 0
+        assert cleaned.n_edges == graph.n_edges
+
+    def test_long_branches_kept(self, genome):
+        rng = rng_for(122, "cleaning2")
+        other = "".join(rng.choice(list("ACGT"), size=200))
+        # genuine long alternative path (shares a junction region)
+        branch = genome[:30] + other
+        graph = build_debruijn_graph(
+            ReadBatch.from_sequences(reads_of(genome) + reads_of(branch)), K, 1
+        )
+        cleaned, _ = remove_tips(graph, max_tip_edges=5)
+        # long branch edges survive the small threshold
+        assert cleaned.n_edges == graph.n_edges
+
+
+class TestPopBubbles:
+    def test_snp_bubble_popped_keeps_heavier(self, genome):
+        # textbook bubble: two full-length alleles, the true one 3x heavier.
+        # k=16 so (k-1)-mer nodes are collision-free over a 300 bp genome
+        # (k-1 = 9 would hit chance repeats and complicate the bubble).
+        K = 16
+        pos = 120
+        variant = (
+            genome[:pos]
+            + ("A" if genome[pos] != "A" else "C")
+            + genome[pos + 1 :]
+        )
+        reads = reads_of(genome) * 3 + reads_of(variant)
+        graph = build_debruijn_graph(ReadBatch.from_sequences(reads), K, 1)
+        cleaned, popped = pop_bubbles(graph)
+        assert popped >= 1
+        contigs = extract_unitigs(cleaned, min_length=0)
+        # after popping, the assembly is a single linear contig again
+        assert len(contigs) == 1
+        # and it carries the heavy (true) allele
+        assert genome[pos - 12 : pos + 12] in contigs[0] or genome[
+            pos - 12 : pos + 12
+        ] in contigs[0][::-1]
+        from repro.seqio.alphabet import reverse_complement
+
+        assert (
+            genome[pos - 12 : pos + 12] in contigs[0]
+            or genome[pos - 12 : pos + 12] in reverse_complement(contigs[0])
+        )
+
+    def test_no_bubble_no_change(self, genome):
+        graph = build_debruijn_graph(ReadBatch.from_sequences([genome]), K, 1)
+        cleaned, popped = pop_bubbles(graph)
+        assert popped == 0
+        assert cleaned.n_edges == graph.n_edges
+
+
+class TestCleanGraph:
+    def test_fixpoint_and_stats(self, genome):
+        reads = reads_of(genome) * 2
+        bad1 = genome[50:85] + ("C" if genome[85] != "C" else "G")
+        pos = 150
+        variant = genome[pos - 30 : pos] + (
+            "A" if genome[pos] != "A" else "C"
+        ) + genome[pos + 1 : pos + 30]
+        graph = build_debruijn_graph(
+            ReadBatch.from_sequences(reads + [bad1] + [variant]), K, 1
+        )
+        cleaned, stats = clean_graph(graph)
+        assert stats.rounds >= 1
+        assert stats.edges_removed == graph.n_edges - cleaned.n_edges
+        # fixpoint: a second clean is a no-op
+        again, stats2 = clean_graph(cleaned)
+        assert again.n_edges == cleaned.n_edges
+
+    def test_assembler_clean_flag_improves_or_preserves(self, genome):
+        from repro.assembly.assembler import AssemblyConfig, MiniAssembler
+
+        reads = reads_of(genome) * 2
+        bad = genome[50:85] + ("C" if genome[85] != "C" else "G")
+        batch = ReadBatch.from_sequences(reads + [bad] * 1)
+        dirty = MiniAssembler(
+            AssemblyConfig(k=K, min_count=1, min_contig_length=0)
+        ).assemble_batch(batch)
+        cleaned = MiniAssembler(
+            AssemblyConfig(k=K, min_count=1, min_contig_length=0, clean=True)
+        ).assemble_batch(batch)
+        assert cleaned.stats.n_contigs <= dirty.stats.n_contigs
+        assert cleaned.stats.n50 >= dirty.stats.n50

@@ -1,0 +1,98 @@
+import numpy as np
+import pytest
+
+from repro.assembly.evaluation import AssemblyEvaluator, evaluate_against_community
+from repro.seqio.alphabet import reverse_complement
+from repro.util.rng import rng_for
+
+
+@pytest.fixture()
+def references():
+    rng = rng_for(141, "evaluation")
+    a = "".join(rng.choice(list("ACGT"), size=400))
+    b = "".join(rng.choice(list("ACGT"), size=300))
+    return [("genomeA", a), ("genomeB", b)]
+
+
+class TestClassification:
+    def test_exact_contig_correct(self, references):
+        ev = AssemblyEvaluator(references, k=15)
+        a = references[0][1]
+        report = ev.evaluate([a[50:200]])
+        assert report.n_correct == 1
+        assert report.n_misassembled == 0
+        assert report.correct_base_fraction == 1.0
+
+    def test_revcomp_contig_correct(self, references):
+        ev = AssemblyEvaluator(references, k=15)
+        report = ev.evaluate([reverse_complement(references[1][1][10:120])])
+        assert report.n_correct == 1
+
+    def test_chimera_detected_as_misassembly(self, references):
+        ev = AssemblyEvaluator(references, k=15)
+        a, b = references[0][1], references[1][1]
+        chimera = a[:80] + b[:80]  # genuine sequence, wrong join
+        report = ev.evaluate([chimera])
+        assert report.n_misassembled == 1
+        assert report.n_correct == 0
+
+    def test_random_garbage_spurious(self, references):
+        rng = rng_for(142, "evaluation2")
+        junk = "".join(rng.choice(list("ACGT"), size=120))
+        report = AssemblyEvaluator(references, k=15).evaluate([junk])
+        assert report.n_spurious == 1
+
+    def test_mixed_set(self, references):
+        rng = rng_for(143, "evaluation3")
+        a, b = references[0][1], references[1][1]
+        junk = "".join(rng.choice(list("ACGT"), size=100))
+        report = AssemblyEvaluator(references, k=15).evaluate(
+            [a[:150], b[:150], a[:60] + b[:60], junk]
+        )
+        assert report.n_contigs == 4
+        assert report.n_correct == 2
+        assert report.n_misassembled == 1
+        assert report.n_spurious == 1
+        assert 0 < report.correct_base_fraction < 1
+
+
+class TestGenomeFraction:
+    def test_full_recovery(self, references):
+        ev = AssemblyEvaluator(references, k=15)
+        report = ev.evaluate([references[0][1], references[1][1]])
+        assert report.genome_fraction == pytest.approx(1.0)
+        assert report.per_genome_fraction["genomeA"] == pytest.approx(1.0)
+
+    def test_partial_recovery(self, references):
+        ev = AssemblyEvaluator(references, k=15)
+        report = ev.evaluate([references[0][1]])  # only genome A
+        assert report.per_genome_fraction["genomeA"] == pytest.approx(1.0)
+        assert report.per_genome_fraction["genomeB"] < 0.1
+        assert 0.4 < report.genome_fraction < 0.7
+
+    def test_empty_assembly(self, references):
+        report = AssemblyEvaluator(references, k=15).evaluate([])
+        assert report.genome_fraction == 0.0
+        assert report.n_contigs == 0
+        assert report.correctness_rate == 1.0
+
+
+class TestEndToEnd:
+    def test_real_assembly_scores_well(self, tiny_hg, tiny_hg_batch):
+        """The MiniAssembler's output on clean-ish data must be mostly
+        correct sequence with decent genome fraction."""
+        from repro.assembly.assembler import AssemblyConfig, MiniAssembler
+
+        result = MiniAssembler(
+            AssemblyConfig(k=16, min_count=2, min_contig_length=50)
+        ).assemble_batch(tiny_hg_batch)
+        report = evaluate_against_community(
+            result.contigs, tiny_hg.community, k=16
+        )
+        assert report.correctness_rate > 0.85
+        assert report.genome_fraction > 0.15  # ~2.9x coverage analogue
+        assert report.n_spurious <= report.n_contigs * 0.1
+
+    def test_references_required(self):
+        with pytest.raises(ValueError):
+            AssemblyEvaluator([], k=15)

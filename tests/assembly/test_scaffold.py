@@ -1,0 +1,150 @@
+import numpy as np
+import pytest
+
+from repro.assembly.scaffold import (
+    ScaffoldConfig,
+    Scaffolder,
+    scaffold_contigs,
+)
+from repro.seqio.alphabet import reverse_complement
+from repro.util.rng import rng_for
+
+
+@pytest.fixture()
+def genome():
+    rng = rng_for(151, "scaffold")
+    return "".join(rng.choice(list("ACGT"), size=900))
+
+
+def spanning_pairs(genome, n, insert=280, read_len=80, seed=152):
+    """FR pairs sampled uniformly from a genome."""
+    rng = rng_for(seed, "scaffold-pairs")
+    pairs = []
+    for _ in range(n):
+        pos = int(rng.integers(0, len(genome) - insert))
+        frag = genome[pos : pos + insert]
+        pairs.append((frag[:read_len], reverse_complement(frag[-read_len:])))
+    return pairs
+
+
+class TestMapping:
+    def test_forward_read_maps(self, genome):
+        sc = Scaffolder([genome[:400]])
+        placement = sc.map_read(genome[100:160])
+        assert placement is not None
+        assert placement.contig == 0
+        assert placement.forward
+        assert placement.position == 100
+
+    def test_reverse_read_maps(self, genome):
+        sc = Scaffolder([genome[:400]])
+        placement = sc.map_read(reverse_complement(genome[100:160]))
+        assert placement is not None
+        assert not placement.forward
+        assert placement.position == 100
+
+    def test_unmappable_read(self, genome):
+        sc = Scaffolder([genome[:400]])
+        rng = rng_for(153, "unmappable")
+        junk = "".join(rng.choice(list("ACGT"), size=60))
+        assert sc.map_read(junk) is None
+
+    def test_ambiguous_anchor_skipped(self, genome):
+        # the same segment in two contigs: anchors there are ambiguous,
+        # but a read extending past it still maps via unique anchors
+        shared = genome[:100]
+        sc = Scaffolder([shared + genome[300:500], shared + genome[600:800]])
+        placement = sc.map_read(genome[50:100] + genome[300:330])
+        assert placement is not None
+
+
+class TestScaffolding:
+    def test_two_contigs_joined(self, genome):
+        # contigs = genome halves with a sequencing gap in the middle
+        a, b = genome[:400], genome[500:900]
+        pairs = spanning_pairs(genome, 200)
+        scaffolds, stats = scaffold_contigs([a, b], pairs)
+        assert stats.n_cross_contig_pairs > 0
+        assert stats.n_links_kept == 1
+        assert len(scaffolds) == 1
+        s = scaffolds[0]
+        assert "N" in s
+        # both contigs present in consistent orientation
+        canon = min(s, reverse_complement(s))
+        assert a in s or reverse_complement(a) in s
+
+    def test_orientation_consistent(self, genome):
+        """The joined scaffold must read A ... N ... B colinearly with the
+        genome (or its reverse complement)."""
+        a, b = genome[:400], genome[500:900]
+        pairs = spanning_pairs(genome, 300)
+        scaffolds, _ = scaffold_contigs([a, b], pairs)
+        (s,) = scaffolds
+        for variant in (s, reverse_complement(s)):
+            ia = variant.find(a)
+            ib = variant.find(b)
+            if ia != -1 and ib != -1:
+                assert ia < ib
+                return
+        pytest.fail("scaffold does not contain both contigs colinearly")
+
+    def test_flipped_contig_reoriented(self, genome):
+        a, b = genome[:400], reverse_complement(genome[500:900])
+        pairs = spanning_pairs(genome, 300)
+        scaffolds, _ = scaffold_contigs([a, b], pairs)
+        assert len(scaffolds) == 1
+        s = scaffolds[0]
+        assert (
+            genome[500:900] in s
+            or genome[500:900] in reverse_complement(s)
+        )
+
+    def test_three_contigs_chain(self, genome):
+        a, b, c = genome[:280], genome[330:600], genome[650:900]
+        pairs = spanning_pairs(genome, 500)
+        scaffolds, stats = scaffold_contigs([a, b, c], pairs)
+        assert len(scaffolds) == 1
+        assert stats.n_links_kept == 2
+
+    def test_unrelated_contigs_not_joined(self, genome):
+        rng = rng_for(154, "scaffold-unrelated")
+        other = "".join(rng.choice(list("ACGT"), size=400))
+        pairs = spanning_pairs(genome[:400], 100, insert=200)
+        scaffolds, stats = scaffold_contigs([genome[:400], other], pairs)
+        assert len(scaffolds) == 2
+        assert stats.n_links_kept == 0
+
+    def test_min_links_threshold(self, genome):
+        a, b = genome[:400], genome[500:900]
+        # a single spanning pair: below the default threshold of 2
+        one_pair = [
+            (genome[350:430], reverse_complement(genome[550:630]))
+        ]
+        scaffolds, stats = scaffold_contigs([a, b], one_pair)
+        assert len(scaffolds) == 2
+        scaffolds2, _ = scaffold_contigs(
+            [a, b], one_pair, ScaffoldConfig(min_links=1)
+        )
+        assert len(scaffolds2) == 1
+
+    def test_no_pairs_identity(self, genome):
+        scaffolds, stats = scaffold_contigs([genome[:300], genome[400:700]], [])
+        assert len(scaffolds) == 2
+        assert stats.n_pairs_mapped == 0
+
+    def test_deterministic(self, genome):
+        a, b = genome[:400], genome[500:900]
+        pairs = spanning_pairs(genome, 150)
+        s1, _ = scaffold_contigs([a, b], pairs)
+        s2, _ = scaffold_contigs([a, b], pairs)
+        assert s1 == s2
+
+
+class TestConfig:
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            ScaffoldConfig(k_anchor=40)
+
+    def test_invalid_min_links_rejected(self):
+        with pytest.raises(ValueError):
+            ScaffoldConfig(min_links=0)

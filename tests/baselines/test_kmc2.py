@@ -1,0 +1,66 @@
+import numpy as np
+import pytest
+
+from repro.baselines.kmc2 import Kmc2Counter
+from repro.kmers.counter import count_canonical_kmers
+from repro.seqio.records import ReadBatch
+
+
+@pytest.fixture()
+def batches(rng):
+    from tests.conftest import random_reads
+
+    return [
+        ReadBatch.from_sequences(random_reads(rng, 12, 45, n_prob=0.01))
+        for _ in range(3)
+    ]
+
+
+class TestCounting:
+    @pytest.mark.parametrize("k,m", [(9, 4), (15, 5), (21, 7)])
+    def test_matches_direct_counting(self, batches, k, m):
+        direct = count_canonical_kmers(ReadBatch.concatenate(batches), k)
+        result = Kmc2Counter(k, m=m, n_bins=32).count(batches)
+        assert np.array_equal(result.spectrum.kmers.lo, direct.kmers.lo)
+        assert np.array_equal(result.spectrum.counts, direct.counts)
+
+    def test_bin_count_invariance(self, batches):
+        k, m = 11, 4
+        a = Kmc2Counter(k, m, n_bins=8).count(batches)
+        b = Kmc2Counter(k, m, n_bins=128).count(batches)
+        assert np.array_equal(a.spectrum.kmers.lo, b.spectrum.kmers.lo)
+        assert np.array_equal(a.spectrum.counts, b.spectrum.counts)
+
+    def test_empty_input(self):
+        result = Kmc2Counter(9, 4).count([ReadBatch.empty()])
+        assert result.spectrum.n_distinct == 0
+        assert result.n_super_kmers == 0
+
+
+class TestStageAccounting:
+    def test_all_kmers_covered(self, batches):
+        k, m = 11, 4
+        result = Kmc2Counter(k, m, n_bins=32).count(batches)
+        direct_total = sum(
+            count_canonical_kmers(b, k).total for b in batches
+        )
+        assert result.n_kmers == direct_total
+        assert result.spectrum.total == direct_total
+
+    def test_super_kmer_compaction(self, batches):
+        """KMC 2's point: super-k-mer bases << raw 12-byte tuples."""
+        result = Kmc2Counter(15, 5, n_bins=32).count(batches)
+        assert 0 < result.compaction_ratio < 1.0
+        assert result.super_kmer_bases < 12 * result.n_kmers
+
+    def test_bin_records_sum(self, batches):
+        result = Kmc2Counter(11, 4, n_bins=16).count(batches)
+        assert sum(result.bin_record_counts) == result.n_kmers
+
+    def test_stage_times_recorded(self, batches):
+        result = Kmc2Counter(11, 4).count(batches)
+        assert result.stage1_seconds >= 0
+        assert result.stage2_seconds >= 0
+        assert result.total_seconds == pytest.approx(
+            result.stage1_seconds + result.stage2_seconds
+        )

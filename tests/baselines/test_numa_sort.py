@@ -1,0 +1,63 @@
+import numpy as np
+import pytest
+
+from repro.baselines.numa_sort import comparator_sort_tuples, sort_throughput
+from repro.kmers.codec import KmerArray
+from repro.kmers.engine import KmerTuples
+from repro.sort.radix import radix_sort_tuples
+from repro.sort.validate import verify_sort
+
+
+def make_tuples(rng, n, k=27):
+    lo = rng.integers(0, 1 << (2 * k), size=n, dtype=np.uint64)
+    ids = rng.integers(0, n, size=n, dtype=np.uint32)
+    return KmerTuples(KmerArray(k, lo), ids)
+
+
+class TestComparatorSort:
+    def test_sorted_permutation(self, rng):
+        tuples = make_tuples(rng, 3000)
+        out = comparator_sort_tuples(tuples)
+        verify_sort(tuples, out)
+
+    def test_matches_radix_sort(self, rng):
+        tuples = make_tuples(rng, 2000)
+        a = comparator_sort_tuples(tuples)
+        b, _ = radix_sort_tuples(tuples)
+        assert np.array_equal(a.kmers.lo, b.kmers.lo)
+        assert np.array_equal(a.read_ids, b.read_ids)
+
+    def test_two_limb_fallback(self, rng):
+        lo = rng.integers(0, 2**63, size=500, dtype=np.uint64)
+        hi = rng.integers(0, 2**20, size=500, dtype=np.uint64)
+        tuples = KmerTuples(
+            KmerArray(45, lo, hi), rng.integers(0, 500, 500, dtype=np.uint32)
+        )
+        out = comparator_sort_tuples(tuples)
+        verify_sort(tuples, out)
+
+    def test_empty_and_single(self):
+        empty = KmerTuples.empty(27)
+        assert len(comparator_sort_tuples(empty)) == 0
+
+
+class TestThroughput:
+    def test_positive(self, rng):
+        tuples = make_tuples(rng, 10_000)
+        rate = sort_throughput(comparator_sort_tuples, tuples, repeats=2)
+        assert rate > 0
+
+    def test_empty_zero(self):
+        assert sort_throughput(comparator_sort_tuples, KmerTuples.empty(27)) == 0.0
+
+    def test_radix_within_expected_band_of_comparator(self, rng):
+        """Section 4.2.2: the paper's radix sort reaches 78% of the tuned
+        comparator.  In this substrate both sorts bottom out in NumPy
+        kernels; assert our radix sort is within a sane band (not 10x off)
+        rather than the exact ratio."""
+        tuples = make_tuples(rng, 200_000)
+        r_radix = sort_throughput(
+            lambda t: radix_sort_tuples(t)[0], tuples, repeats=2
+        )
+        r_cmp = sort_throughput(comparator_sort_tuples, tuples, repeats=2)
+        assert 0.05 < r_radix / r_cmp < 20

@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+
+from repro.cc.components import (
+    partition_as_frozensets,
+    reference_components_networkx,
+)
+from repro.cc.incremental import IncrementalPartitioner
+from repro.seqio.records import ReadBatch
+
+
+def batch_chunks(batch: ReadBatch, n_chunks: int):
+    idx = np.array_split(np.arange(batch.n_reads), n_chunks)
+    return [batch.select(part) for part in idx if len(part)]
+
+
+class TestIncrementalEqualsBatch:
+    @pytest.mark.parametrize("n_chunks", [1, 2, 5])
+    def test_matches_oracle(self, tiny_hg_batch, n_chunks):
+        inc = IncrementalPartitioner(k=27)
+        for chunk in batch_chunks(tiny_hg_batch, n_chunks):
+            inc.add_batch(chunk)
+        got = partition_as_frozensets(
+            inc.parent_array(), tiny_hg_batch.read_ids
+        )
+        ref = reference_components_networkx(tiny_hg_batch, 27)
+        assert got == ref
+
+    def test_arrival_order_invariant(self, tiny_hg_batch, rng):
+        chunks = batch_chunks(tiny_hg_batch, 6)
+        a = IncrementalPartitioner(k=27)
+        for c in chunks:
+            a.add_batch(c)
+        b = IncrementalPartitioner(k=27)
+        for i in rng.permutation(len(chunks)):
+            b.add_batch(chunks[int(i)])
+        pa = partition_as_frozensets(a.parent_array(), tiny_hg_batch.read_ids)
+        pb = partition_as_frozensets(b.parent_array(), tiny_hg_batch.read_ids)
+        assert pa == pb
+
+    def test_duplicate_batches_idempotent(self, small_batch):
+        inc = IncrementalPartitioner(k=7)
+        inc.add_batch(small_batch)
+        before = inc.summary().n_components
+        inc.add_batch(small_batch)  # same reads again
+        assert inc.summary().n_components == before
+
+
+class TestQueries:
+    def test_connected_updates_live(self):
+        inc = IncrementalPartitioner(k=5)
+        inc.add_batch(ReadBatch.from_sequences(["AACCGGT"], read_ids=[0]))
+        inc.add_batch(ReadBatch.from_sequences(["TTTTAAA"], read_ids=[1]))
+        assert not inc.connected(0, 1)
+        # a bridging read sharing k-mers with both
+        inc.add_batch(ReadBatch.from_sequences(["AACCGTTTTA"], read_ids=[2]))
+        # read 2 shares AACCG with read 0 and TTTTA with read 1
+        assert inc.connected(0, 2)
+        assert inc.connected(0, 1)
+
+    def test_unknown_reads_not_connected(self):
+        inc = IncrementalPartitioner(k=5)
+        assert not inc.connected(0, 5)
+
+    def test_stats_accumulate(self, small_batch):
+        inc = IncrementalPartitioner(k=7)
+        inc.add_batch(small_batch)
+        s = inc.stats
+        assert s.n_batches == 1
+        assert s.n_tuples_processed > 0
+        assert s.n_distinct_kmers > 0
+        assert inc.memory_estimate_bytes() > 0
+
+    def test_sparse_read_ids(self):
+        inc = IncrementalPartitioner(k=5)
+        inc.add_batch(
+            ReadBatch.from_sequences(["ACGTACG", "ACGTACG"], read_ids=[3, 90])
+        )
+        assert inc.n_reads == 91
+        assert inc.connected(3, 90)
+
+    def test_k_limit(self):
+        with pytest.raises(ValueError):
+            IncrementalPartitioner(k=45)
+
+    def test_empty_batch_noop(self):
+        inc = IncrementalPartitioner(k=5)
+        inc.add_batch(ReadBatch.empty())
+        assert inc.n_reads == 0

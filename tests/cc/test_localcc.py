@@ -1,0 +1,136 @@
+import numpy as np
+import pytest
+
+from repro.cc.dsf import DisjointSetForest
+from repro.cc.localcc import (
+    edges_from_sorted_runs,
+    local_connected_components,
+    map_ids_to_components,
+)
+from repro.kmers.codec import KmerArray
+from repro.kmers.engine import KmerTuples
+from repro.kmers.filter import FrequencyFilter
+
+
+def sorted_tuples(lo_keys, ids, k=5):
+    order = np.argsort(lo_keys, kind="stable")
+    return KmerTuples(
+        KmerArray(k, np.asarray(lo_keys, dtype=np.uint64)[order]),
+        np.asarray(ids, dtype=np.uint32)[order],
+    )
+
+
+class TestEdgesFromRuns:
+    def test_star_edges_per_run(self):
+        # k-mer 3 shared by reads {0,1,2}; k-mer 7 by {4,5}
+        t = sorted_tuples([3, 3, 3, 7, 7], [0, 1, 2, 4, 5])
+        us, vs, stats = edges_from_sorted_runs(t)
+        assert sorted(zip(us.tolist(), vs.tolist())) == [(0, 1), (0, 2), (4, 5)]
+        assert stats.n_runs == 2
+        assert stats.n_edges == 3
+
+    def test_singleton_runs_no_edges(self):
+        t = sorted_tuples([1, 2, 3], [0, 1, 2])
+        us, vs, stats = edges_from_sorted_runs(t)
+        assert len(us) == 0
+        assert stats.n_runs == 3
+
+    def test_self_edges_removed(self):
+        # read 4 contains k-mer twice (palindromic repeat within read)
+        t = sorted_tuples([9, 9, 9], [4, 4, 6])
+        us, vs, _ = edges_from_sorted_runs(t)
+        pairs = set(zip(us.tolist(), vs.tolist()))
+        assert pairs == {(4, 6)}
+
+    def test_requires_sorted(self):
+        t = KmerTuples(
+            KmerArray(5, np.array([9, 3], dtype=np.uint64)),
+            np.array([0, 1], dtype=np.uint32),
+        )
+        with pytest.raises(ValueError, match="sorted"):
+            edges_from_sorted_runs(t)
+
+    def test_empty(self):
+        us, vs, stats = edges_from_sorted_runs(KmerTuples.empty(5))
+        assert len(us) == 0
+        assert stats.n_tuples == 0
+
+    def test_frequency_filter_drops_runs(self):
+        # run of 4 (k-mer 3) and run of 2 (k-mer 7)
+        t = sorted_tuples([3, 3, 3, 3, 7, 7], [0, 1, 2, 3, 8, 9])
+        f = FrequencyFilter(max_freq=3)  # KF < 3: drops the run of 4
+        us, vs, stats = edges_from_sorted_runs(t, f)
+        assert set(zip(us.tolist(), vs.tolist())) == {(8, 9)}
+        assert stats.n_runs_filtered == 1
+
+    def test_band_filter(self):
+        t = sorted_tuples([1, 1, 2, 2, 2, 5], [0, 1, 2, 3, 4, 5])
+        f = FrequencyFilter(3, 4)  # only the run of exactly 3 passes
+        us, vs, _ = edges_from_sorted_runs(t, f)
+        assert set(us.tolist()) | set(vs.tolist()) == {2, 3, 4}
+
+    def test_identity_filter_equals_no_filter(self):
+        t = sorted_tuples([3, 3, 7, 7, 7], [0, 1, 2, 3, 4])
+        a = edges_from_sorted_runs(t, None)[0:2]
+        b = edges_from_sorted_runs(t, FrequencyFilter())[0:2]
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+
+class TestLocalCC:
+    def test_components_formed(self):
+        t = sorted_tuples([3, 3, 3, 7, 7], [0, 1, 2, 4, 5])
+        forest = DisjointSetForest(6)
+        stats = local_connected_components(t, forest)
+        assert stats.n_unions == 3
+        assert forest.connected(0, 2)
+        assert forest.connected(4, 5)
+        assert not forest.connected(0, 4)
+
+    def test_stats_accumulation(self):
+        t = sorted_tuples([3, 3], [0, 1])
+        forest = DisjointSetForest(2)
+        s1 = local_connected_components(t, forest)
+        s2 = local_connected_components(t, forest)  # all redundant now
+        merged = s1.merge(s2)
+        assert merged.n_tuples == 4
+        assert merged.n_edges == 2
+        assert merged.n_unions == 1  # second call unions nothing
+
+    def test_empty_tuples_no_change(self):
+        forest = DisjointSetForest(3)
+        stats = local_connected_components(KmerTuples.empty(5), forest)
+        assert stats.n_edges == 0
+        assert forest.n_components() == 3
+
+
+class TestLocalCCOpt:
+    def test_map_ids_to_components_preserves_partition(self):
+        forest = DisjointSetForest(6)
+        forest.process_edges(np.array([0, 1]), np.array([1, 2]))
+        ids = np.array([0, 1, 2, 3], dtype=np.uint32)
+        mapped = map_ids_to_components(ids, forest)
+        # all of 0,1,2 map to one root; 3 maps to itself
+        assert len(set(mapped[:3].tolist())) == 1
+        assert mapped[3] == 3
+
+    def test_unions_on_mapped_ids_equivalent(self):
+        """Unioning component ids (LocalCC-Opt) must yield the same final
+        partition as unioning raw read ids."""
+        forest_a = DisjointSetForest(8)
+        forest_a.process_edges(np.array([0, 4]), np.array([1, 5]))
+        forest_b = forest_a.copy()
+
+        # new pass edges: (1,4) connects the two groups; (6,7) separate
+        us = np.array([1, 6])
+        vs = np.array([4, 7])
+        forest_a.process_edges(us, vs)
+
+        mu = map_ids_to_components(us, forest_b)
+        mv = map_ids_to_components(vs, forest_b)
+        forest_b.process_edges(mu.astype(np.int64), mv.astype(np.int64))
+
+        ra = forest_a.roots()
+        rb = forest_b.roots()
+        assert np.array_equal(
+            ra[:, None] == ra[None, :], rb[:, None] == rb[None, :]
+        )

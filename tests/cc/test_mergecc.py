@@ -1,0 +1,132 @@
+import numpy as np
+import pytest
+
+from repro.cc.dsf import DisjointSetForest
+from repro.cc.mergecc import merge_component_arrays, tree_merge_schedule
+
+
+class TestSchedule:
+    def test_eight_tasks_matches_figure4(self):
+        rounds = tree_merge_schedule(8)
+        assert rounds == [
+            [(1, 0), (3, 2), (5, 4), (7, 6)],
+            [(2, 0), (6, 4)],
+            [(4, 0)],
+        ]
+
+    def test_round_count_is_ceil_log2(self):
+        import math
+
+        for p in [1, 2, 3, 4, 5, 7, 8, 16, 17]:
+            rounds = tree_merge_schedule(p)
+            expected = math.ceil(math.log2(p)) if p > 1 else 0
+            assert len(rounds) == expected, f"P={p}"
+
+    def test_every_nonzero_task_sends_exactly_once(self):
+        for p in [2, 5, 8, 13]:
+            senders = [s for rnd in tree_merge_schedule(p) for s, _ in rnd]
+            assert sorted(senders) == list(range(1, p))
+
+    def test_rank0_never_sends(self):
+        for p in [2, 4, 9]:
+            for rnd in tree_merge_schedule(p):
+                assert all(s != 0 for s, _ in rnd)
+
+    def test_single_task_empty(self):
+        assert tree_merge_schedule(1) == []
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            tree_merge_schedule(0)
+
+
+class TestMerge:
+    def _forest_with_edges(self, n, edges):
+        f = DisjointSetForest(n)
+        if edges:
+            us, vs = zip(*edges)
+            f.process_edges(np.array(us), np.array(vs))
+        return f
+
+    def test_merges_disjoint_knowledge(self):
+        n = 8
+        a = self._forest_with_edges(n, [(0, 1), (2, 3)])
+        b = self._forest_with_edges(n, [(1, 2), (5, 6)])
+        merged, stats = merge_component_arrays([a.parent, b.parent])
+        result = DisjointSetForest.from_parent_array(merged)
+        assert result.connected(0, 3)
+        assert result.connected(5, 6)
+        assert not result.connected(0, 5)
+        assert stats.n_rounds == 1
+
+    def test_matches_union_of_all_edges(self, rng):
+        n = 40
+        all_edges = [tuple(e) for e in rng.integers(0, n, size=(60, 2))]
+        # split edges across 5 tasks
+        chunks = np.array_split(np.arange(len(all_edges)), 5)
+        parents = []
+        for chunk in chunks:
+            f = self._forest_with_edges(n, [all_edges[i] for i in chunk])
+            parents.append(f.parent)
+        merged, _ = merge_component_arrays(parents)
+
+        ref = self._forest_with_edges(n, all_edges)
+        ra = DisjointSetForest.from_parent_array(merged).roots()
+        rb = ref.roots()
+        assert np.array_equal(
+            ra[:, None] == ra[None, :], rb[:, None] == rb[None, :]
+        )
+
+    def test_single_task_identity(self):
+        f = self._forest_with_edges(5, [(0, 4)])
+        merged, stats = merge_component_arrays([f.parent])
+        assert np.array_equal(merged, f.parent)
+        assert stats.n_rounds == 0
+        assert stats.bytes_communicated == 0
+
+    def test_bytes_accounting_4r_per_send(self):
+        n = 100
+        parents = [DisjointSetForest(n).parent for _ in range(4)]
+        _, stats = merge_component_arrays(parents)
+        # 3 sends (tasks 1,2,3), 4 bytes per read each
+        assert stats.bytes_communicated == 3 * 4 * n
+
+    def test_rank0_receives_most_merges(self):
+        n = 10
+        parents = [DisjointSetForest(n).parent for _ in range(8)]
+        _, stats = merge_component_arrays(parents)
+        assert stats.merges_by_task[0] == 3  # log2(8) rounds
+        assert stats.merges_by_task[1] == 0
+
+    def test_inputs_not_mutated(self):
+        f = self._forest_with_edges(6, [(0, 1)])
+        g = self._forest_with_edges(6, [(2, 3)])
+        fp, gp = f.parent.copy(), g.parent.copy()
+        merge_component_arrays([f.parent, g.parent])
+        assert np.array_equal(f.parent, fp)
+        assert np.array_equal(g.parent, gp)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            merge_component_arrays([np.arange(3), np.arange(4)])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            merge_component_arrays([])
+
+    def test_non_power_of_two_tasks(self, rng):
+        n = 20
+        edges = [tuple(e) for e in rng.integers(0, n, size=(30, 2))]
+        chunks = np.array_split(np.arange(len(edges)), 5)
+        parents = [
+            self._forest_with_edges(n, [edges[i] for i in c]).parent
+            for c in chunks
+        ]
+        merged, stats = merge_component_arrays(parents)
+        ref = self._forest_with_edges(n, edges)
+        ra = DisjointSetForest.from_parent_array(merged).roots()
+        rb = ref.roots()
+        assert np.array_equal(
+            ra[:, None] == ra[None, :], rb[:, None] == rb[None, :]
+        )
+        assert stats.n_rounds == 3  # ceil(log2 5)

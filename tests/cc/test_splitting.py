@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+
+from repro.cc.splitting import hub_kmer_split, split_to_target, sweep_filters
+from repro.seqio.records import ReadBatch
+from repro.util.rng import rng_for
+
+
+@pytest.fixture(scope="module")
+def glued_batch():
+    """Two species glued by a shared high-frequency segment."""
+    rng = rng_for(91, "splitting")
+    a = "".join(rng.choice(list("ACGT"), size=300))
+    b = "".join(rng.choice(list("ACGT"), size=300))
+    hub = "".join(rng.choice(list("ACGT"), size=40))
+    a = a[:150] + hub + a[150:]
+    b = b[:150] + hub + b[150:]
+    reads = []
+    for genome in (a, b):
+        for _ in range(6):  # 6x coverage -> hub k-mers at ~12x
+            reads.extend(
+                genome[i : i + 50] for i in range(0, len(genome) - 49, 25)
+            )
+    return ReadBatch.from_sequences(reads)
+
+
+K = 15
+
+
+class TestSweepFilters:
+    def test_lc_monotone_in_cutoff(self, glued_batch):
+        outcomes = sweep_filters(glued_batch, K, max_freqs=[3, 6, 12, 24, 48])
+        fractions = [o.lc_fraction for o in outcomes]
+        assert fractions == sorted(fractions)
+
+    def test_loose_filter_keeps_giant(self, glued_batch):
+        outcomes = sweep_filters(glued_batch, K, max_freqs=[1000])
+        assert outcomes[0].lc_fraction > 0.9
+
+    def test_tight_filter_splits(self, glued_batch):
+        outcomes = sweep_filters(glued_batch, K, max_freqs=[9])
+        # the 12x hub k-mers are cut; the two species separate
+        assert outcomes[0].lc_fraction < 0.8
+
+
+class TestSplitToTarget:
+    def test_meets_target(self, glued_batch):
+        outcome = split_to_target(glued_batch, K, target_fraction=0.7)
+        assert outcome.lc_fraction <= 0.7
+
+    def test_returns_gentlest_filter(self, glued_batch):
+        outcome = split_to_target(glued_batch, K, target_fraction=0.7)
+        # one cutoff higher must exceed the target (maximality)
+        higher = sweep_filters(
+            glued_batch, K, max_freqs=[outcome.kfilter.max_freq + 1]
+        )[0]
+        assert higher.lc_fraction > 0.7 or (
+            higher.lc_fraction == outcome.lc_fraction
+        )
+
+    def test_trivial_target(self, glued_batch):
+        outcome = split_to_target(glued_batch, K, target_fraction=1.0)
+        # everything satisfies a 100% target; gentlest filter wins
+        assert outcome.lc_fraction <= 1.0
+
+    def test_impossible_target_returns_most_aggressive(self, glued_batch):
+        outcome = split_to_target(glued_batch, K, target_fraction=0.0001)
+        assert outcome.kfilter.max_freq == 2
+
+    def test_invalid_target_rejected(self, glued_batch):
+        with pytest.raises(ValueError):
+            split_to_target(glued_batch, K, target_fraction=1.5)
+
+
+class TestHubKmerSplit:
+    def test_reduces_giant_component(self, glued_batch):
+        baseline = sweep_filters(glued_batch, K, max_freqs=[10**6])[0]
+        outcome = hub_kmer_split(glued_batch, K, target_fraction=0.7)
+        assert outcome.lc_fraction <= baseline.lc_fraction
+        assert outcome.lc_fraction <= 0.8
+
+    def test_empty_batch(self):
+        outcome = hub_kmer_split(ReadBatch.empty(), K, target_fraction=0.5)
+        assert outcome.summary.n_reads == 0
+
+    def test_filter_reported(self, glued_batch):
+        outcome = hub_kmer_split(glued_batch, K, target_fraction=0.7)
+        assert outcome.kfilter.max_freq is not None

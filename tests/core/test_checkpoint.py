@@ -1,0 +1,158 @@
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    Checkpoint,
+    CheckpointMismatch,
+    CheckpointStore,
+    config_fingerprint,
+)
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import MetaPrep
+
+
+class TestStore:
+    def _checkpoint(self, fp="abc", done=1, total=3, n=10, tasks=2):
+        return Checkpoint(
+            fingerprint=fp,
+            n_passes_total=total,
+            passes_done=done,
+            parents=[np.arange(n, dtype=np.int64) for _ in range(tasks)],
+        )
+
+    def test_save_load_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        ckpt = self._checkpoint()
+        ckpt.parents[0][3] = 7
+        store.save(ckpt)
+        back = store.load("abc")
+        assert back.passes_done == 1
+        assert back.n_passes_total == 3
+        assert np.array_equal(back.parents[0], ckpt.parents[0])
+        assert len(back.parents) == 2
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(self._checkpoint(fp="abc"))
+        with pytest.raises(CheckpointMismatch, match="fingerprint"):
+            store.load("xyz")
+
+    def test_clear(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(self._checkpoint())
+        assert store.exists()
+        store.clear()
+        assert not store.exists()
+        store.clear()  # idempotent
+
+    def test_overwrite_is_atomic_publish(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(self._checkpoint(done=1))
+        store.save(self._checkpoint(done=2))
+        assert store.load("abc").passes_done == 2
+
+
+class TestFingerprint:
+    def test_sensitive_to_config(self):
+        a = config_fingerprint(PipelineConfig(k=27, m=5), 100, 1000)
+        b = config_fingerprint(PipelineConfig(k=31, m=5), 100, 1000)
+        assert a != b
+
+    def test_sensitive_to_data(self):
+        cfg = PipelineConfig(k=27, m=5)
+        assert config_fingerprint(cfg, 100, 1000) != config_fingerprint(
+            cfg, 101, 1000
+        )
+
+    def test_stable(self):
+        cfg = PipelineConfig(k=27, m=5)
+        assert config_fingerprint(cfg, 100, 1000) == config_fingerprint(
+            cfg, 100, 1000
+        )
+
+
+class TestPipelineResume:
+    CFG = dict(k=27, m=5, n_tasks=2, n_threads=2, n_passes=3, write_outputs=False)
+
+    def test_interrupted_run_resumes_to_same_partition(self, tiny_hg, tmp_path):
+        reference = MetaPrep(PipelineConfig(**self.CFG)).run(tiny_hg.units)
+
+        # interrupt after two passes by making pass 2 explode
+        boom = RuntimeError("injected crash")
+        runner = MetaPrep(PipelineConfig(**self.CFG))
+        original = runner._run_pass
+        calls = {"n": 0}
+
+        def exploding(spec, *args, **kwargs):
+            if spec.index == 2:
+                raise boom
+            calls["n"] += 1
+            return original(spec, *args, **kwargs)
+
+        runner._run_pass = exploding
+        with pytest.raises(RuntimeError, match="injected"):
+            runner.run(tiny_hg.units, checkpoint_dir=tmp_path)
+        assert calls["n"] == 2
+        assert CheckpointStore(tmp_path).exists()
+
+        # resume: only the remaining pass runs
+        resumed_runner = MetaPrep(PipelineConfig(**self.CFG))
+        resumed_original = resumed_runner._run_pass
+        resumed_calls = []
+
+        def counting(spec, *args, **kwargs):
+            resumed_calls.append(spec.index)
+            return resumed_original(spec, *args, **kwargs)
+
+        resumed_runner._run_pass = counting
+        result = resumed_runner.run(tiny_hg.units, checkpoint_dir=tmp_path)
+        assert resumed_calls == [2]
+        assert np.array_equal(
+            result.partition.labels, reference.partition.labels
+        )
+        # checkpoint cleared after success
+        assert not CheckpointStore(tmp_path).exists()
+
+    def test_clean_run_leaves_no_checkpoint(self, tiny_hg, tmp_path):
+        MetaPrep(PipelineConfig(**self.CFG)).run(
+            tiny_hg.units, checkpoint_dir=tmp_path
+        )
+        assert not CheckpointStore(tmp_path).exists()
+
+    def test_config_change_rejected_on_resume(self, tiny_hg, tmp_path):
+        runner = MetaPrep(PipelineConfig(**self.CFG))
+        original = runner._run_pass
+
+        def exploding(spec, *args, **kwargs):
+            if spec.index == 1:
+                raise RuntimeError("injected")
+            return original(spec, *args, **kwargs)
+
+        runner._run_pass = exploding
+        with pytest.raises(RuntimeError):
+            runner.run(tiny_hg.units, checkpoint_dir=tmp_path)
+
+        changed = dict(self.CFG, k=31)
+        with pytest.raises(CheckpointMismatch):
+            MetaPrep(PipelineConfig(**changed)).run(
+                tiny_hg.units, checkpoint_dir=tmp_path
+            )
+
+    def test_pass_count_change_rejected(self, tiny_hg, tmp_path):
+        runner = MetaPrep(PipelineConfig(**self.CFG))
+        original = runner._run_pass
+
+        def exploding(spec, *args, **kwargs):
+            if spec.index == 1:
+                raise RuntimeError("injected")
+            return original(spec, *args, **kwargs)
+
+        runner._run_pass = exploding
+        with pytest.raises(RuntimeError):
+            runner.run(tiny_hg.units, checkpoint_dir=tmp_path)
+
+        changed = dict(self.CFG, n_passes=5)
+        with pytest.raises(CheckpointMismatch, match="passes"):
+            MetaPrep(PipelineConfig(**changed)).run(
+                tiny_hg.units, checkpoint_dir=tmp_path
+            )

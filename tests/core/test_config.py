@@ -1,0 +1,55 @@
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.kmers.filter import FrequencyFilter
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = PipelineConfig()
+        assert cfg.k == 27
+        assert cfg.tuple_bytes == 12
+        assert cfg.kmer_filter.is_identity
+        assert cfg.machine == "edison"
+
+    def test_k63_tuple_bytes(self):
+        assert PipelineConfig(k=63).tuple_bytes == 20
+
+    def test_resolved_chunks_default(self):
+        cfg = PipelineConfig(n_tasks=2, n_threads=3)
+        assert cfg.resolved_chunks() == 24
+        assert cfg.total_slots == 6
+
+    def test_explicit_chunks(self):
+        cfg = PipelineConfig(n_tasks=2, n_threads=2, n_chunks=10)
+        assert cfg.resolved_chunks() == 10
+
+
+class TestValidation:
+    def test_k_bounds(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(k=1)
+        with pytest.raises(ValueError):
+            PipelineConfig(k=64)
+
+    def test_m_must_be_below_k(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(k=5, m=5)
+        PipelineConfig(k=5, m=4)  # ok
+
+    def test_chunks_must_cover_slots(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(n_tasks=4, n_threads=4, n_chunks=8)
+
+    def test_passes_or_budget_required(self):
+        with pytest.raises(ValueError, match="memory_budget"):
+            PipelineConfig(n_passes=None)
+        PipelineConfig(n_passes=None, memory_budget_per_task=10**9)  # ok
+
+    def test_zero_passes_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(n_passes=0)
+
+    def test_filter_accepted(self):
+        cfg = PipelineConfig(kmer_filter=FrequencyFilter(10, 30))
+        assert cfg.kmer_filter.describe() == "10 <= KF < 30"

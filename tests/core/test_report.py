@@ -1,0 +1,57 @@
+from repro.cc.components import ComponentSummary
+from repro.core.report import (
+    format_breakdown,
+    format_memory,
+    format_partition_summary,
+    format_table,
+)
+from repro.util.timers import TimeBreakdown
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        out = format_table(["a", "bee"], [["x", 1], ["long", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("-")
+        assert "long" in lines[3]
+
+    def test_empty_rows(self):
+        out = format_table(["h"], [])
+        assert "h" in out
+
+
+class TestFormatBreakdown:
+    def test_paper_step_order(self):
+        bd = TimeBreakdown({"LocalSort": 2.0, "KmerGen": 1.0, "CC-I/O": 0.5})
+        out = format_breakdown(bd)
+        assert out.index("KmerGen") < out.index("LocalSort") < out.index("CC-I/O")
+        assert "Total" in out
+        assert "3.500" in out
+
+    def test_unknown_steps_appended(self):
+        bd = TimeBreakdown({"Exotic": 1.0})
+        out = format_breakdown(bd)
+        assert "Exotic" in out
+
+
+class TestFormatPartitionSummary:
+    def test_contains_lc_percent(self):
+        s = ComponentSummary(
+            n_reads=100,
+            n_components=3,
+            largest_component_size=95,
+            largest_component_fraction=0.95,
+            singleton_components=2,
+            size_histogram={95: 1, 1: 2, 3: 1},
+        )
+        out = format_partition_summary(s)
+        assert "95.0%" in out
+        assert "components" in out
+
+
+class TestFormatMemory:
+    def test_totals(self):
+        out = format_memory({"kmerIn": 2**30, "kmerOut": 2**30})
+        assert "1.00 GB" in out
+        assert "2.00 GB" in out

@@ -1,0 +1,64 @@
+import numpy as np
+import pytest
+
+from repro.datasets.community import CommunitySpec, build_community
+
+
+class TestBuildCommunity:
+    def test_shape(self):
+        spec = CommunitySpec(n_species=5, genome_length=800)
+        comm = build_community(spec, seed=1)
+        assert comm.n_species == 5
+        assert len(comm.abundances) == 5
+        assert comm.abundances.sum() == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        spec = CommunitySpec(n_species=3, genome_length=500)
+        a = build_community(spec, seed=9)
+        b = build_community(spec, seed=9)
+        assert np.array_equal(a.abundances, b.abundances)
+        assert np.array_equal(a.genomes[0].codes, b.genomes[0].codes)
+
+    def test_even_community(self):
+        spec = CommunitySpec(n_species=4, genome_length=500, abundance_sigma=0)
+        comm = build_community(spec, seed=1)
+        assert np.allclose(comm.abundances, 0.25)
+
+    def test_skewed_community(self):
+        spec = CommunitySpec(
+            n_species=12, genome_length=500, abundance_sigma=1.3
+        )
+        comm = build_community(spec, seed=1)
+        assert comm.abundances.max() / comm.abundances.min() > 5
+
+    def test_conserved_segments_shared_across_genomes(self):
+        spec = CommunitySpec(
+            n_species=4,
+            genome_length=2000,
+            n_conserved=1,
+            conserved_length=100,
+            conserved_probability=1.0,
+            n_repeats=0,
+        )
+        comm = build_community(spec, seed=2)
+        seg = comm.library.conserved[0]
+        carriers = 0
+        for g in comm.genomes:
+            for kind, si, pos in g.planted_segments:
+                if kind == "conserved" and np.array_equal(
+                    g.codes[pos : pos + len(seg)], seg
+                ):
+                    carriers += 1
+                    break
+        assert carriers == 4
+
+    def test_expected_coverage(self):
+        spec = CommunitySpec(n_species=2, genome_length=1000, abundance_sigma=0,
+                             length_jitter=0.0)
+        comm = build_community(spec, seed=1)
+        cov = comm.expected_coverage(total_sequenced_bases=40_000)
+        assert np.allclose(cov, 20.0)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            CommunitySpec(n_species=0, genome_length=100)

@@ -1,0 +1,92 @@
+import numpy as np
+import pytest
+
+from repro.datasets.genomes import (
+    Genome,
+    SegmentLibrary,
+    make_genome_set,
+    random_sequence,
+    synthesize_genome,
+)
+from repro.util.rng import rng_for
+
+
+class TestRandomSequence:
+    def test_codes_valid(self, rng):
+        codes = random_sequence(rng, 500)
+        assert codes.dtype == np.uint8
+        assert codes.max() <= 3
+
+    def test_roughly_uniform(self, rng):
+        codes = random_sequence(rng, 20_000)
+        freqs = np.bincount(codes, minlength=4) / len(codes)
+        assert np.allclose(freqs, 0.25, atol=0.02)
+
+    def test_zero_length_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_sequence(rng, 0)
+
+
+class TestSegmentLibrary:
+    def test_generation(self, rng):
+        lib = SegmentLibrary.generate(rng, 2, 100, 3, 45)
+        assert len(lib.conserved) == 2
+        assert len(lib.repeats) == 3
+        assert all(len(s) == 100 for s in lib.conserved)
+        assert all(len(s) == 45 for s in lib.repeats)
+
+
+class TestSynthesizeGenome:
+    def test_plants_conserved_segments(self, rng):
+        lib = SegmentLibrary.generate(rng, 1, 50, 0, 10)
+        g = synthesize_genome("x", 1000, rng, lib, conserved_probability=1.0)
+        kinds = [k for k, _, _ in g.planted_segments]
+        assert "conserved" in kinds
+        # segment really present in the sequence
+        _, si, pos = g.planted_segments[0]
+        assert np.array_equal(g.codes[pos : pos + 50], lib.conserved[si])
+
+    def test_repeat_copies(self, rng):
+        lib = SegmentLibrary.generate(rng, 0, 10, 1, 30)
+        g = synthesize_genome("x", 2000, rng, lib, repeat_copies=4)
+        repeats = [p for p in g.planted_segments if p[0] == "repeat"]
+        assert len(repeats) == 4
+
+    def test_zero_probability_no_conserved(self, rng):
+        lib = SegmentLibrary.generate(rng, 3, 50, 0, 10)
+        g = synthesize_genome("x", 1000, rng, lib, conserved_probability=0.0)
+        assert all(k != "conserved" for k, _, _ in g.planted_segments)
+
+    def test_oversized_segment_skipped(self, rng):
+        lib = SegmentLibrary.generate(rng, 1, 500, 0, 10)
+        g = synthesize_genome("x", 100, rng, lib, conserved_probability=1.0)
+        assert len(g.planted_segments) == 0
+
+    def test_gc_content_reasonable(self, rng):
+        g = synthesize_genome("x", 10_000, rng)
+        assert 0.4 < g.gc_content() < 0.6
+
+    def test_sequence_decodes(self, rng):
+        g = synthesize_genome("x", 64, rng)
+        assert len(g.sequence) == 64
+        assert set(g.sequence) <= set("ACGT")
+
+
+class TestMakeGenomeSet:
+    def test_deterministic(self):
+        a = make_genome_set(1, 4, 500)
+        b = make_genome_set(1, 4, 500)
+        assert all(
+            np.array_equal(x.codes, y.codes) for x, y in zip(a, b)
+        )
+
+    def test_seed_changes_genomes(self):
+        a = make_genome_set(1, 2, 500)
+        b = make_genome_set(2, 2, 500)
+        assert not np.array_equal(a[0].codes, b[0].codes)
+
+    def test_length_jitter(self):
+        gs = make_genome_set(3, 8, 1000, length_jitter=0.3)
+        lengths = {len(g) for g in gs}
+        assert len(lengths) > 1
+        assert all(700 <= length <= 1300 for length in lengths)

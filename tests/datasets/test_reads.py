@@ -1,0 +1,107 @@
+import numpy as np
+import pytest
+
+from repro.datasets.community import Community, CommunitySpec, build_community
+from repro.datasets.reads import ReadSimulator
+from repro.seqio.alphabet import reverse_complement
+
+
+@pytest.fixture(scope="module")
+def community():
+    spec = CommunitySpec(
+        n_species=3, genome_length=2000, abundance_sigma=0.3, length_jitter=0.0
+    )
+    return build_community(spec, seed=5)
+
+
+def make_sim(community, **kw):
+    defaults = dict(read_length=50, insert_mean=120, insert_sd=10, seed=3)
+    defaults.update(kw)
+    return ReadSimulator(community=community, **defaults)
+
+
+class TestSimulatePair:
+    def test_deterministic(self, community):
+        sim = make_sim(community)
+        a = sim.simulate_pair(7)
+        b = sim.simulate_pair(7)
+        assert a.r1.sequence == b.r1.sequence
+        assert a.r2.sequence == b.r2.sequence
+        assert a.species == b.species
+
+    def test_read_lengths(self, community):
+        sim = make_sim(community)
+        p = sim.simulate_pair(0)
+        assert len(p.r1) == 50
+        assert len(p.r2) == 50
+
+    def test_mate_orientation_error_free(self, community):
+        """With zero errors, R2 is the revcomp of the fragment tail."""
+        sim = make_sim(community, error_rate=0.0, n_rate=0.0)
+        for i in range(10):
+            p = sim.simulate_pair(i)
+            genome = community.genomes[p.species].codes
+            from repro.seqio.alphabet import decode_sequence
+
+            # locate the fragment in the declared orientation
+            r1 = p.r1.sequence
+            if p.forward:
+                frag_start = genome[p.position : p.position + 50]
+                assert r1 == decode_sequence(frag_start)
+            else:
+                # read comes from the reverse strand; its revcomp appears
+                # at the *end* of the forward-strand fragment window
+                assert reverse_complement(r1) in decode_sequence(
+                    genome[p.position : p.position + 400]
+                )
+
+    def test_species_follow_abundance(self, community):
+        sim = make_sim(community)
+        species = [sim.simulate_pair(i).species for i in range(600)]
+        freqs = np.bincount(species, minlength=3) / 600
+        assert np.allclose(freqs, community.abundances, atol=0.08)
+
+    def test_error_rate_applied(self, community):
+        clean = make_sim(community, error_rate=0.0, n_rate=0.0)
+        noisy = make_sim(community, error_rate=0.2, n_rate=0.0)
+        diffs = 0
+        for i in range(20):
+            a = clean.simulate_pair(i).r1.sequence
+            b = noisy.simulate_pair(i).r1.sequence
+            diffs += sum(x != y for x, y in zip(a, b))
+        assert 0.1 < diffs / (20 * 50) < 0.3
+
+    def test_n_rate_produces_ns(self, community):
+        sim = make_sim(community, n_rate=0.1)
+        text = "".join(sim.simulate_pair(i).r1.sequence for i in range(20))
+        assert 0.05 < text.count("N") / len(text) < 0.2
+
+    def test_zero_noise_is_clean(self, community):
+        sim = make_sim(community, error_rate=0.0, n_rate=0.0)
+        for i in range(10):
+            assert "N" not in sim.simulate_pair(i).r1.sequence
+
+    def test_names_carry_pair_id(self, community):
+        sim = make_sim(community)
+        p = sim.simulate_pair(42)
+        assert p.r1.name.endswith("/1")
+        assert p.r2.name.endswith("/2")
+        assert "pair42" in p.r1.name
+
+
+class TestValidation:
+    def test_insert_below_read_rejected(self, community):
+        with pytest.raises(ValueError):
+            make_sim(community, insert_mean=30)
+
+    def test_bad_error_rate_rejected(self, community):
+        with pytest.raises(ValueError):
+            make_sim(community, error_rate=0.9)
+
+
+class TestSimulate:
+    def test_aligned_outputs(self, community):
+        sim = make_sim(community)
+        r1s, r2s = sim.simulate(25)
+        assert len(r1s) == len(r2s) == 25
+        assert r1s[3].name.rsplit("/", 1)[0] == r2s[3].name.rsplit("/", 1)[0]

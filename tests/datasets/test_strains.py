@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+
+from repro.datasets.genomes import Genome, synthesize_genome
+from repro.datasets.strains import (
+    StrainSpec,
+    derive_strain,
+    expected_shared_kmer_fraction,
+    make_strain_family,
+    strain_kmer_similarity,
+)
+from repro.util.rng import rng_for
+
+
+@pytest.fixture()
+def base():
+    rng = rng_for(161, "strains")
+    return synthesize_genome("sp0", 3000, rng)
+
+
+class TestDeriveStrain:
+    def test_deterministic(self, base):
+        a = derive_strain(base, StrainSpec(), seed=5)
+        b = derive_strain(base, StrainSpec(), seed=5)
+        assert np.array_equal(a.codes, b.codes)
+
+    def test_different_seeds_differ(self, base):
+        a = derive_strain(base, StrainSpec(), seed=5)
+        b = derive_strain(base, StrainSpec(), seed=6)
+        assert not np.array_equal(a.codes, b.codes)
+
+    def test_snp_rate_realized(self, base):
+        spec = StrainSpec(snp_rate=0.05, indel_rate=0.0)
+        strain = derive_strain(base, spec, seed=1)
+        assert len(strain) == len(base)
+        diff = (strain.codes != base.codes).mean()
+        assert diff == pytest.approx(0.05, rel=0.35)
+
+    def test_indels_change_length(self, base):
+        spec = StrainSpec(snp_rate=0.0, indel_rate=0.01)
+        strain = derive_strain(base, spec, seed=2)
+        assert len(strain) != len(base)
+
+    def test_zero_divergence_identical(self, base):
+        spec = StrainSpec(snp_rate=0.0, indel_rate=0.0)
+        strain = derive_strain(base, spec, seed=3)
+        assert np.array_equal(strain.codes, base.codes)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            StrainSpec(snp_rate=0.5)
+
+
+class TestFamily:
+    def test_family_size(self, base):
+        family = make_strain_family(base, 3, StrainSpec(), seed=1)
+        assert len(family) == 4
+        assert family[0] is base
+        names = {g.name for g in family}
+        assert len(names) == 4
+
+
+class TestSimilarity:
+    def test_identical_genomes(self, base):
+        assert strain_kmer_similarity(base, base) == pytest.approx(1.0)
+
+    def test_similarity_tracks_analytic_expectation(self, base):
+        """Challenge (i) quantified: shared-k-mer fraction ~ (1-p)^k."""
+        k = 27
+        for rate in (0.002, 0.01):
+            strain = derive_strain(
+                base, StrainSpec(snp_rate=rate, indel_rate=0.0), seed=7
+            )
+            sim = strain_kmer_similarity(base, strain, k=k)
+            expected = expected_shared_kmer_fraction(rate, k)
+            # Jaccard vs shared-fraction differ slightly; wide band
+            assert sim == pytest.approx(
+                expected / (2 - expected), rel=0.25
+            ), rate
+
+    def test_unrelated_genomes_near_zero(self, base):
+        rng = rng_for(162, "strains2")
+        other = synthesize_genome("spX", 3000, rng)
+        assert strain_kmer_similarity(base, other) < 0.01
+
+
+class TestStrainsCoPartition:
+    def test_strains_land_in_one_component(self, base):
+        """The paper's challenge (i) consequence: read-graph partitioning
+        cannot separate 1%-divergent strains — they share ~76% of 27-mers
+        and every shared k-mer is an edge."""
+        from repro.cc.components import reference_components_networkx
+        from repro.seqio.alphabet import decode_sequence
+        from repro.seqio.records import ReadBatch
+
+        strain = derive_strain(
+            base, StrainSpec(snp_rate=0.01, indel_rate=0.0), seed=9
+        )
+        rng = rng_for(163, "strains3")
+        reads, ids = [], []
+        rid = 0
+        for genome in (base, strain):
+            text = genome.sequence
+            # ~8x coverage so reads within each strain surely chain
+            for _ in range(240):
+                pos = int(rng.integers(0, len(text) - 100))
+                reads.append(text[pos : pos + 100])
+                ids.append(rid)
+                rid += 1
+        batch = ReadBatch.from_sequences(reads, read_ids=ids)
+        comps = reference_components_networkx(batch, 27)
+        assert len(comps[0]) > 0.95 * len(reads)

@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.index.merhist import MerHist, build_merhist, histogram_batch
+from repro.kmers.engine import enumerate_canonical_kmers
+from repro.seqio.records import ReadBatch
+
+
+@pytest.fixture()
+def batch(rng):
+    from tests.conftest import random_reads
+
+    return ReadBatch.from_sequences(random_reads(rng, 15, 35, n_prob=0.02))
+
+
+class TestHistogramBatch:
+    def test_total_equals_tuple_count(self, batch):
+        hist = histogram_batch(batch, k=9, m=4)
+        tuples = enumerate_canonical_kmers(batch, 9)
+        assert hist.sum() == len(tuples)
+
+    def test_bins_match_prefixes(self, batch):
+        k, m = 9, 4
+        hist = histogram_batch(batch, k, m)
+        tuples = enumerate_canonical_kmers(batch, k)
+        prefixes = tuples.kmers.mmer_prefix(m).astype(np.int64)
+        want = np.bincount(prefixes, minlength=4**m)
+        assert np.array_equal(hist, want)
+
+    def test_empty_batch(self):
+        hist = histogram_batch(ReadBatch.empty(), 9, 4)
+        assert hist.sum() == 0
+        assert len(hist) == 4**4
+
+
+class TestMerHist:
+    def test_build_accumulates(self, batch):
+        h1 = build_merhist([batch], 9, 4)
+        h2 = build_merhist([batch, batch], 9, 4)
+        assert np.array_equal(h2.counts, 2 * h1.counts.astype(np.int64))
+
+    def test_bin_count(self):
+        h = MerHist(k=9, m=4, counts=np.zeros(256, dtype=np.uint32))
+        assert h.n_bins == 256
+        assert h.nbytes == 1024
+
+    def test_wrong_bin_count_rejected(self):
+        with pytest.raises(ValueError):
+            MerHist(k=9, m=4, counts=np.zeros(100, dtype=np.uint32))
+
+    def test_m_must_be_less_than_k(self):
+        with pytest.raises(ValueError):
+            MerHist(k=3, m=5, counts=np.zeros(4**5, dtype=np.uint32))
+
+    def test_cumulative(self, batch):
+        h = build_merhist([batch], 9, 4)
+        cum = h.cumulative()
+        assert cum[0] == 0
+        assert cum[-1] == h.total_tuples
+        assert np.all(np.diff(cum) >= 0)
+
+    def test_count_in_bin_range(self, batch):
+        h = build_merhist([batch], 9, 4)
+        total = h.count_in_bin_range(0, h.n_bins)
+        assert total == h.total_tuples
+        mid = h.n_bins // 2
+        assert (
+            h.count_in_bin_range(0, mid) + h.count_in_bin_range(mid, h.n_bins)
+            == total
+        )
+
+    def test_save_load_roundtrip(self, batch, tmp_path):
+        h = build_merhist([batch], 9, 4)
+        path = tmp_path / "merhist.bin"
+        h.save(path)
+        back = MerHist.load(path)
+        assert back.k == 9
+        assert back.m == 4
+        assert np.array_equal(back.counts, h.counts)

@@ -1,0 +1,150 @@
+import numpy as np
+import pytest
+
+from repro.index.fastqpart import build_fastqpart, load_chunk_reads
+from repro.index.offsets import (
+    chunk_assignment,
+    recv_counts_matrix,
+    send_counts_matrix,
+    thread_write_offsets,
+)
+from repro.index.passplan import balanced_boundaries
+from repro.kmers.engine import enumerate_canonical_kmers
+from repro.seqio.fastq import write_fastq
+from repro.seqio.records import FastqRecord
+
+
+K, M = 9, 4
+
+
+@pytest.fixture()
+def table(tmp_path, rng):
+    from tests.conftest import random_reads
+
+    recs = [
+        FastqRecord(f"r{i}", s, "I" * len(s))
+        for i, s in enumerate(random_reads(rng, 40, 30))
+    ]
+    p = tmp_path / "reads.fastq"
+    write_fastq(p, recs)
+    return build_fastqpart([str(p)], k=K, m=M, n_chunks=8)
+
+
+class TestChunkAssignment:
+    def test_round_robin(self):
+        a = chunk_assignment(10, 2, 2)
+        assert a.tolist() == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+    def test_every_slot_used_when_enough_chunks(self):
+        a = chunk_assignment(16, 2, 4)
+        assert set(a.tolist()) == set(range(8))
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_assignment(4, 0, 2)
+
+
+class TestSendCounts:
+    def _actual_counts(self, table, assignment, edges, P, T, lo=0, hi=None):
+        """Ground truth by running the actual enumeration."""
+        hi = hi if hi is not None else table.n_bins
+        actual = np.zeros((P, T, P), dtype=np.int64)
+        for c in range(table.n_chunks):
+            p, t = divmod(int(assignment[c]), T)
+            batch = load_chunk_reads(table, c, keep_metadata=False)
+            tuples = enumerate_canonical_kmers(batch, K)
+            bins = tuples.kmers.mmer_prefix(M).astype(np.int64)
+            bins = bins[(bins >= lo) & (bins < hi)]
+            dest = np.clip(np.searchsorted(edges, bins, side="right") - 1, 0, P - 1)
+            for d in range(P):
+                actual[p, t, d] += int((dest == d).sum())
+        return actual
+
+    def test_exactly_predicts_production(self, table):
+        P, T = 2, 2
+        assignment = chunk_assignment(table.n_chunks, P, T)
+        edges = balanced_boundaries(table.global_histogram(), P)
+        predicted = send_counts_matrix(table, assignment, edges, P, T)
+        actual = self._actual_counts(table, assignment, edges, P, T)
+        assert np.array_equal(predicted, actual)
+
+    def test_with_pass_range_restriction(self, table):
+        P, T = 2, 2
+        assignment = chunk_assignment(table.n_chunks, P, T)
+        hist = table.global_histogram()
+        lo, hi = 30, 200
+        edges = balanced_boundaries(hist, P, lo, hi)
+        predicted = send_counts_matrix(
+            table, assignment, edges, P, T, pass_lo=lo, pass_hi=hi
+        )
+        actual = self._actual_counts(table, assignment, edges, P, T, lo, hi)
+        assert np.array_equal(predicted, actual)
+
+    def test_total_preserved(self, table):
+        P, T = 3, 2
+        assignment = chunk_assignment(table.n_chunks, P, T)
+        edges = balanced_boundaries(table.global_histogram(), P)
+        counts = send_counts_matrix(table, assignment, edges, P, T)
+        assert counts.sum() == table.global_histogram().sum()
+
+    def test_wrong_edge_count_rejected(self, table):
+        with pytest.raises(ValueError):
+            send_counts_matrix(
+                table,
+                chunk_assignment(table.n_chunks, 2, 2),
+                np.array([0, table.n_bins]),
+                2,
+                2,
+            )
+
+
+class TestRecvCounts:
+    def test_transpose_relation(self, table):
+        P, T = 2, 2
+        assignment = chunk_assignment(table.n_chunks, P, T)
+        edges = balanced_boundaries(table.global_histogram(), P)
+        send = send_counts_matrix(table, assignment, edges, P, T)
+        recv = recv_counts_matrix(send)
+        for p in range(P):
+            for q in range(P):
+                assert recv[p, q] == send[q, :, p].sum()
+
+    def test_conservation(self, table):
+        P, T = 4, 1
+        assignment = chunk_assignment(table.n_chunks, P, T)
+        edges = balanced_boundaries(table.global_histogram(), P)
+        send = send_counts_matrix(table, assignment, edges, P, T)
+        recv = recv_counts_matrix(send)
+        assert recv.sum() == send.sum()
+
+
+class TestThreadWriteOffsets:
+    def test_layout_destination_major_thread_minor(self, table):
+        P, T = 2, 2
+        assignment = chunk_assignment(table.n_chunks, P, T)
+        edges = balanced_boundaries(table.global_histogram(), P)
+        send = send_counts_matrix(table, assignment, edges, P, T)
+        offsets = thread_write_offsets(send)
+        assert len(offsets) == P
+        for p in range(P):
+            off = offsets[p]
+            assert off.shape == (T + 1, P)
+            # block d starts where block d-1 ends
+            for d in range(1, P):
+                assert off[0, d] == off[T, d - 1]
+            # within a block, thread t's region is exactly its count
+            for d in range(P):
+                for t in range(T):
+                    assert off[t + 1, d] - off[t, d] == send[p, t, d]
+            # final end == total tuples of task p
+            assert off[T, P - 1] == send[p].sum()
+
+    def test_offsets_start_at_zero(self, table):
+        P, T = 2, 3
+        assignment = chunk_assignment(table.n_chunks, P, T)
+        edges = balanced_boundaries(table.global_histogram(), P)
+        offsets = thread_write_offsets(
+            send_counts_matrix(table, assignment, edges, P, T)
+        )
+        for p in range(P):
+            assert offsets[p][0, 0] == 0

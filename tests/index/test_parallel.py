@@ -1,0 +1,61 @@
+import numpy as np
+import pytest
+
+from repro.index.create import index_create
+from repro.index.parallel import parallel_index_create
+
+
+class TestParallelIndexCreate:
+    @pytest.mark.parametrize("P,T", [(1, 1), (2, 3), (4, 2)])
+    def test_identical_tables_to_sequential(self, tiny_hg, P, T):
+        seq = index_create(tiny_hg.units, k=27, m=5, n_chunks=8)
+        par, stats = parallel_index_create(
+            tiny_hg.units, k=27, m=5, n_chunks=8, n_tasks=P, n_threads=T
+        )
+        assert np.array_equal(par.merhist.counts, seq.merhist.counts)
+        assert np.array_equal(par.fastqpart.hist, seq.fastqpart.hist)
+        assert np.array_equal(par.fastqpart.offset1, seq.fastqpart.offset1)
+
+    def test_work_accounted_per_slot(self, tiny_hg):
+        _, stats = parallel_index_create(
+            tiny_hg.units, k=27, m=5, n_chunks=8, n_tasks=2, n_threads=2
+        )
+        assert stats.bases_scanned.shape == (2, 2)
+        # every base of every read scanned exactly once: n_pairs pairs,
+        # two 100 bp mates each
+        assert stats.bases_scanned.sum() == tiny_hg.n_pairs * 2 * 100
+
+    def test_balance_reasonable(self, tiny_hg):
+        _, stats = parallel_index_create(
+            tiny_hg.units, k=27, m=5, n_chunks=16, n_tasks=2, n_threads=2
+        )
+        assert stats.imbalance() < 1.3
+
+    def test_projection_speedup(self, tiny_hg):
+        _, s1 = parallel_index_create(
+            tiny_hg.units, k=27, m=5, n_chunks=16, n_tasks=1, n_threads=1
+        )
+        _, s8 = parallel_index_create(
+            tiny_hg.units, k=27, m=5, n_chunks=16, n_tasks=2, n_threads=4
+        )
+        rate = 10e6
+        assert s8.projected_seconds(rate) < s1.projected_seconds(rate)
+
+    def test_result_drives_pipeline(self, tiny_hg):
+        from repro.core.config import PipelineConfig
+        from repro.core.pipeline import MetaPrep
+
+        par, _ = parallel_index_create(
+            tiny_hg.units, k=27, m=5, n_chunks=8, n_tasks=2, n_threads=2
+        )
+        seq = index_create(tiny_hg.units, k=27, m=5, n_chunks=8)
+        cfg = PipelineConfig(k=27, m=5, n_threads=2, write_outputs=False)
+        a = MetaPrep(cfg).run(tiny_hg.units, index=par)
+        b = MetaPrep(cfg).run(tiny_hg.units, index=seq)
+        assert np.array_equal(a.partition.labels, b.partition.labels)
+
+    def test_invalid_decomposition_rejected(self, tiny_hg):
+        with pytest.raises(ValueError):
+            parallel_index_create(
+                tiny_hg.units, k=27, m=5, n_chunks=8, n_tasks=0
+            )

@@ -1,0 +1,153 @@
+import numpy as np
+import pytest
+
+from repro.index.merhist import MerHist
+from repro.index.passplan import (
+    balanced_boundaries,
+    passes_for_memory_budget,
+    plan_passes,
+)
+
+
+def hist_of(counts, k=9):
+    counts = np.asarray(counts, dtype=np.uint32)
+    m = int(np.log2(len(counts)) / 2)
+    assert 4**m == len(counts)
+    return MerHist(k=k, m=m, counts=counts)
+
+
+@pytest.fixture()
+def skewed_hist(rng):
+    counts = rng.integers(0, 50, size=256).astype(np.uint32)
+    counts[3] = 5000  # heavy bin
+    return MerHist(k=9, m=4, counts=counts)
+
+
+class TestBalancedBoundaries:
+    def test_spans_range(self):
+        counts = np.ones(64, dtype=np.int64)
+        edges = balanced_boundaries(counts, 4)
+        assert edges[0] == 0 and edges[-1] == 64
+        assert len(edges) == 5
+
+    def test_uniform_counts_equal_split(self):
+        counts = np.ones(64, dtype=np.int64)
+        edges = balanced_boundaries(counts, 4)
+        assert edges.tolist() == [0, 16, 32, 48, 64]
+
+    def test_skewed_counts_balance_mass(self, skewed_hist):
+        counts = skewed_hist.counts.astype(np.int64)
+        edges = balanced_boundaries(counts, 4)
+        masses = [counts[edges[i]:edges[i+1]].sum() for i in range(4)]
+        # the heavy bin cannot be split, so one part dominates; the others
+        # must not contain more than ~2x the fair share of the remainder
+        fair = counts.sum() / 4
+        light = sorted(masses)[:-1]
+        assert all(mass <= 2 * fair for mass in light)
+
+    def test_empty_range(self):
+        counts = np.zeros(16, dtype=np.int64)
+        edges = balanced_boundaries(counts, 4)
+        assert edges[0] == 0 and edges[-1] == 16
+        assert np.all(np.diff(edges) >= 0)
+
+    def test_subrange(self):
+        counts = np.ones(64, dtype=np.int64)
+        edges = balanced_boundaries(counts, 2, lo=10, hi=30)
+        assert edges[0] == 10 and edges[-1] == 30
+        assert edges[1] == 20
+
+    def test_monotone(self, skewed_hist):
+        edges = balanced_boundaries(skewed_hist.counts.astype(np.int64), 8)
+        assert np.all(np.diff(edges) >= 0)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            balanced_boundaries(np.ones(8, dtype=np.int64), 2, lo=5, hi=3)
+
+
+class TestPlanPasses:
+    def test_passes_tile_bins(self, skewed_hist):
+        plan = plan_passes(skewed_hist, n_passes=3, n_tasks=2, n_threads=2)
+        assert plan.n_passes == 3
+        plan.validate_disjoint(skewed_hist.n_bins)  # no exception
+
+    def test_nesting_task_within_pass(self, skewed_hist):
+        plan = plan_passes(skewed_hist, 2, 4, 2)
+        for spec in plan.passes:
+            assert spec.task_edges[0] == spec.bin_lo
+            assert spec.task_edges[-1] == spec.bin_hi
+            for p in range(4):
+                te = spec.thread_edges[p]
+                assert te[0] == spec.task_edges[p]
+                assert te[-1] == spec.task_edges[p + 1]
+
+    def test_total_tuples_conserved(self, skewed_hist):
+        plan = plan_passes(skewed_hist, 4, 2, 2)
+        assert plan.total_tuples == skewed_hist.total_tuples
+
+    def test_single_pass_single_task(self, skewed_hist):
+        plan = plan_passes(skewed_hist, 1, 1, 1)
+        spec = plan.passes[0]
+        assert spec.bin_lo == 0
+        assert spec.bin_hi == skewed_hist.n_bins
+        assert spec.tuples == skewed_hist.total_tuples
+
+    def test_tuples_per_task(self, skewed_hist):
+        plan = plan_passes(skewed_hist, 1, 4, 1)
+        per_task = plan.passes[0].tuples_per_task(skewed_hist)
+        assert per_task.sum() == skewed_hist.total_tuples
+
+
+class TestPassesForMemoryBudget:
+    def test_one_pass_when_budget_large(self):
+        hist = hist_of(np.full(256, 100))
+        s = passes_for_memory_budget(
+            hist, n_tasks=1, tuple_bytes=12, memory_budget_per_task=10**9
+        )
+        assert s == 1
+
+    def test_more_passes_when_budget_tight(self):
+        hist = hist_of(np.full(256, 1000))
+        total = hist.total_tuples
+        # budget fits half the tuples' buffers
+        budget = 2 * 12 * total // 2
+        s = passes_for_memory_budget(hist, 1, 12, budget)
+        assert s >= 2
+        # and the chosen s actually fits
+        worst_per_pass = int(np.ceil(total / s))
+        assert 2 * 12 * worst_per_pass <= budget
+
+    def test_more_tasks_fewer_passes(self):
+        hist = hist_of(np.full(256, 1000))
+        budget = 2 * 12 * hist.total_tuples // 3
+        s1 = passes_for_memory_budget(hist, 1, 12, budget)
+        s4 = passes_for_memory_budget(hist, 4, 12, budget)
+        assert s4 <= s1
+
+    def test_reserved_bytes_reduce_budget(self):
+        hist = hist_of(np.full(256, 1000))
+        budget = 2 * 12 * hist.total_tuples
+        s_clean = passes_for_memory_budget(hist, 1, 12, budget)
+        s_reserved = passes_for_memory_budget(
+            hist, 1, 12, budget, reserved_bytes_per_task=budget // 2
+        )
+        assert s_reserved >= s_clean
+
+    def test_impossible_budget_rejected(self):
+        hist = hist_of(np.full(256, 1000))
+        with pytest.raises(ValueError):
+            passes_for_memory_budget(
+                hist, 1, 12, 100, reserved_bytes_per_task=200
+            )
+
+    def test_heavy_single_bin_bounds_passes(self):
+        # one bin holds everything: more passes cannot help
+        counts = np.zeros(256, dtype=np.uint32)
+        counts[7] = 10_000
+        hist = hist_of(counts)
+        need = 2 * 12 * 10_000
+        s = passes_for_memory_budget(hist, 1, 12, need)
+        assert s == 1
+        with pytest.raises(ValueError):
+            passes_for_memory_budget(hist, 1, 12, need // 2)

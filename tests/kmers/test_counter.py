@@ -1,0 +1,89 @@
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.kmers.codec import KmerCodec
+from repro.kmers.counter import (
+    KmerSpectrum,
+    count_canonical_kmers,
+    spectrum_from_tuples,
+)
+from repro.kmers.engine import enumerate_canonical_kmers
+from repro.seqio.records import ReadBatch
+
+
+def brute_counts(seqs, k):
+    codec = KmerCodec(k)
+    counts = Counter()
+    for seq in seqs:
+        for i in range(len(seq) - k + 1):
+            window = seq[i : i + k]
+            if "N" not in window:
+                counts[codec.canonical(window)] += 1
+    return counts
+
+
+class TestSpectrum:
+    def test_counts_match_brute_force(self, rng):
+        from tests.conftest import random_reads
+
+        seqs = random_reads(rng, 10, 25)
+        batch = ReadBatch.from_sequences(seqs)
+        spec = count_canonical_kmers(batch, 6)
+        codec = KmerCodec(6)
+        got = dict(zip(codec.decode_array(spec.kmers), spec.counts.tolist()))
+        assert got == dict(brute_counts(seqs, 6))
+
+    def test_total_equals_tuple_count(self, small_batch):
+        tuples = enumerate_canonical_kmers(small_batch, 5)
+        spec = spectrum_from_tuples(tuples)
+        assert spec.total == len(tuples)
+
+    def test_kmers_sorted(self, small_batch):
+        spec = count_canonical_kmers(small_batch, 5)
+        assert np.all(spec.kmers.lo[:-1] <= spec.kmers.lo[1:])
+
+    def test_empty(self):
+        spec = count_canonical_kmers(ReadBatch.empty(), 5)
+        assert spec.n_distinct == 0
+        assert spec.total == 0
+
+    def test_count_of_present_and_absent(self):
+        batch = ReadBatch.from_sequences(["AAAAAA"])
+        spec = count_canonical_kmers(batch, 3)
+        codec = KmerCodec(3)
+        _, aaa = codec.encode("AAA")
+        assert spec.count_of(aaa) == 4
+        _, ccc = codec.encode("CCC")
+        assert spec.count_of(ccc) == 0
+
+    def test_count_of_two_limb(self):
+        batch = ReadBatch.from_sequences(["A" * 40])
+        spec = count_canonical_kmers(batch, 35)
+        hi, lo = KmerCodec(35).encode("A" * 35)
+        assert spec.count_of(lo, hi) == 6
+        assert spec.count_of(lo + 1, hi) == 0
+
+    def test_abundance_histogram(self):
+        batch = ReadBatch.from_sequences(["AAAAA", "CCCC"])
+        spec = count_canonical_kmers(batch, 4)
+        # AAAA appears 2x, CCCC->GGGG appears 1x
+        hist = spec.abundance_histogram(max_count=4)
+        assert hist[1] == 1
+        assert hist[2] == 1
+
+    def test_abundance_histogram_clips_tail(self):
+        batch = ReadBatch.from_sequences(["A" * 20])
+        spec = count_canonical_kmers(batch, 3)
+        hist = spec.abundance_histogram(max_count=5)
+        assert hist[5] == 1  # 18 occurrences clipped into the tail slot
+
+    def test_length_mismatch_rejected(self):
+        from repro.kmers.codec import KmerArray
+
+        with pytest.raises(ValueError):
+            KmerSpectrum(
+                KmerArray(5, np.zeros(2, dtype=np.uint64)),
+                np.zeros(3, dtype=np.int64),
+            )

@@ -1,0 +1,156 @@
+import numpy as np
+import pytest
+
+from repro.kmers.codec import KmerCodec
+from repro.kmers.engine import (
+    KmerTuples,
+    count_kmer_positions,
+    enumerate_canonical_kmers,
+)
+from repro.seqio.records import ReadBatch
+
+
+def brute_force_kmers(seqs, k, read_ids=None):
+    """Reference enumeration: python loop, canonical via codec."""
+    codec = KmerCodec(k)
+    out = []
+    ids = read_ids or list(range(len(seqs)))
+    for rid, seq in zip(ids, seqs):
+        for i in range(len(seq) - k + 1):
+            window = seq[i : i + k]
+            if "N" in window:
+                continue
+            out.append((codec.canonical(window), rid))
+    return out
+
+
+def tuples_as_pairs(tuples: KmerTuples):
+    codec = KmerCodec(tuples.k)
+    return list(zip(codec.decode_array(tuples.kmers), tuples.read_ids.tolist()))
+
+
+class TestEnumerationCorrectness:
+    @pytest.mark.parametrize("k", [3, 5, 11, 27, 31])
+    def test_matches_brute_force_one_limb(self, rng, k):
+        seqs = []
+        for _ in range(6):
+            length = int(rng.integers(k, 3 * k + 10))
+            seqs.append("".join(rng.choice(list("ACGT"), size=length)))
+        batch = ReadBatch.from_sequences(seqs)
+        got = tuples_as_pairs(enumerate_canonical_kmers(batch, k))
+        assert got == brute_force_kmers(seqs, k)
+
+    @pytest.mark.parametrize("k", [33, 45, 63])
+    def test_matches_brute_force_two_limb(self, rng, k):
+        seqs = []
+        for _ in range(4):
+            length = int(rng.integers(k, 2 * k + 8))
+            seqs.append("".join(rng.choice(list("ACGT"), size=length)))
+        batch = ReadBatch.from_sequences(seqs)
+        got = tuples_as_pairs(enumerate_canonical_kmers(batch, k))
+        assert got == brute_force_kmers(seqs, k)
+
+    def test_n_windows_skipped(self):
+        batch = ReadBatch.from_sequences(["ACGNACGT"])
+        got = tuples_as_pairs(enumerate_canonical_kmers(batch, 3))
+        assert got == brute_force_kmers(["ACGNACGT"], 3)
+        # windows covering position 3 are absent
+        assert len(got) == 3  # ACG + ACG, CGT -> positions 0, 4, 5
+
+    def test_all_n_read(self):
+        batch = ReadBatch.from_sequences(["NNNNNN"])
+        assert len(enumerate_canonical_kmers(batch, 3)) == 0
+
+    def test_read_shorter_than_k(self):
+        batch = ReadBatch.from_sequences(["ACG", "ACGTACGT"])
+        tuples = enumerate_canonical_kmers(batch, 5)
+        assert set(tuples.read_ids.tolist()) == {1}
+
+    def test_windows_do_not_cross_reads(self):
+        # "AC" + "GT" must NOT produce "ACGT"-spanning k-mers
+        batch = ReadBatch.from_sequences(["ACAC", "GTGT"])
+        got = tuples_as_pairs(enumerate_canonical_kmers(batch, 4))
+        assert got == brute_force_kmers(["ACAC", "GTGT"], 4)
+
+    def test_empty_batch(self):
+        assert len(enumerate_canonical_kmers(ReadBatch.empty(), 5)) == 0
+
+    def test_read_ids_respected(self):
+        batch = ReadBatch.from_sequences(["ACGTA", "ACGTA"], read_ids=[9, 9])
+        tuples = enumerate_canonical_kmers(batch, 4)
+        assert set(tuples.read_ids.tolist()) == {9}
+
+    def test_canonical_strand_invariance(self):
+        from repro.seqio.alphabet import reverse_complement
+
+        seq = "ACCGTAGGTAC"
+        fwd = enumerate_canonical_kmers(ReadBatch.from_sequences([seq]), 5)
+        rev = enumerate_canonical_kmers(
+            ReadBatch.from_sequences([reverse_complement(seq)]), 5
+        )
+        codec = KmerCodec(5)
+        assert sorted(codec.decode_array(fwd.kmers)) == sorted(
+            codec.decode_array(rev.kmers)
+        )
+
+    def test_deterministic_order(self):
+        batch = ReadBatch.from_sequences(["ACGTACG", "TTGGCCA"])
+        a = enumerate_canonical_kmers(batch, 4)
+        b = enumerate_canonical_kmers(batch, 4)
+        assert np.array_equal(a.kmers.lo, b.kmers.lo)
+        assert np.array_equal(a.read_ids, b.read_ids)
+
+
+class TestKmerTuples:
+    def test_nbytes_one_limb(self):
+        batch = ReadBatch.from_sequences(["ACGTACGTAC"])
+        t = enumerate_canonical_kmers(batch, 5)
+        assert t.nbytes == 12 * len(t)
+
+    def test_nbytes_two_limb(self):
+        batch = ReadBatch.from_sequences(["ACGT" * 20])
+        t = enumerate_canonical_kmers(batch, 35)
+        assert t.nbytes == 20 * len(t)
+
+    def test_length_mismatch_rejected(self):
+        from repro.kmers.codec import KmerArray
+
+        with pytest.raises(ValueError):
+            KmerTuples(
+                KmerArray(5, np.zeros(3, dtype=np.uint64)),
+                np.zeros(2, dtype=np.uint32),
+            )
+
+    def test_concatenate_and_slice(self):
+        batch = ReadBatch.from_sequences(["ACGTAC", "GGTTCC"])
+        t = enumerate_canonical_kmers(batch, 4)
+        parts = [t.slice(0, 2), t.slice(2, len(t))]
+        merged = KmerTuples.concatenate(parts)
+        assert np.array_equal(merged.kmers.lo, t.kmers.lo)
+        assert np.array_equal(merged.read_ids, t.read_ids)
+
+    def test_take(self):
+        batch = ReadBatch.from_sequences(["ACGTAC"])
+        t = enumerate_canonical_kmers(batch, 4)
+        sub = t.take(np.array([0, 2]))
+        assert len(sub) == 2
+
+    def test_empty(self):
+        t = KmerTuples.empty(27)
+        assert len(t) == 0
+        assert t.k == 27
+
+
+class TestCountKmerPositions:
+    @pytest.mark.parametrize("nprob", [0.0, 0.1])
+    def test_matches_enumeration(self, rng, nprob):
+        from tests.conftest import random_reads
+
+        seqs = random_reads(rng, 8, 30, n_prob=nprob)
+        batch = ReadBatch.from_sequences(seqs)
+        assert count_kmer_positions(batch, 7) == len(
+            enumerate_canonical_kmers(batch, 7)
+        )
+
+    def test_empty(self):
+        assert count_kmer_positions(ReadBatch.empty(), 5) == 0

@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+
+from repro.kmers.filter import FrequencyFilter
+
+
+class TestConstruction:
+    def test_identity(self):
+        f = FrequencyFilter()
+        assert f.is_identity
+        assert f.describe() == "None"
+
+    def test_upper_only(self):
+        f = FrequencyFilter(max_freq=30)
+        assert not f.is_identity
+        assert f.describe() == "KF < 30"
+
+    def test_band(self):
+        f = FrequencyFilter(10, 30)
+        assert f.describe() == "10 <= KF < 30"
+
+    def test_lower_only(self):
+        assert FrequencyFilter(10).describe() == "KF >= 10"
+
+    def test_invalid_min_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyFilter(0)
+
+    def test_inverted_band_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyFilter(30, 10)
+        with pytest.raises(ValueError):
+            FrequencyFilter(10, 10)
+
+
+class TestSemantics:
+    def test_band_is_half_open(self):
+        f = FrequencyFilter(10, 30)
+        assert not f.accepts(9)
+        assert f.accepts(10)
+        assert f.accepts(29)
+        assert not f.accepts(30)
+
+    def test_upper_half_open(self):
+        f = FrequencyFilter(max_freq=30)
+        assert f.accepts(1)
+        assert f.accepts(29)
+        assert not f.accepts(30)
+
+    def test_vectorized_matches_scalar(self):
+        f = FrequencyFilter(3, 8)
+        counts = np.arange(1, 12)
+        vec = f.accept_counts(counts)
+        assert vec.tolist() == [f.accepts(int(c)) for c in counts]
+
+    def test_identity_accepts_everything(self):
+        f = FrequencyFilter()
+        assert f.accept_counts(np.array([1, 5, 10**6])).all()
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "text,expect",
+        [
+            ("none", FrequencyFilter()),
+            ("", FrequencyFilter()),
+            ("<30", FrequencyFilter(1, 30)),
+            ("10:30", FrequencyFilter(10, 30)),
+            ("10:", FrequencyFilter(10, None)),
+            (":30", FrequencyFilter(1, 30)),
+        ],
+    )
+    def test_accepted_forms(self, text, expect):
+        assert FrequencyFilter.parse(text) == expect
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyFilter.parse("between 10 and 30")

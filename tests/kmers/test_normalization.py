@@ -1,0 +1,126 @@
+import numpy as np
+import pytest
+
+from repro.kmers.normalization import DigitalNormalizer
+from repro.seqio.records import ReadBatch
+from repro.util.rng import rng_for
+
+
+def coverage_reads(genome, read_len, depth, step=None):
+    """Tile a genome ``depth`` times."""
+    step = step or max(read_len // depth, 1)
+    return [
+        genome[i : i + read_len]
+        for _ in range(depth)
+        for i in range(0, len(genome) - read_len + 1, read_len)
+    ]
+
+
+@pytest.fixture()
+def genome():
+    rng = rng_for(66, "diginorm")
+    return "".join(rng.choice(list("ACGT"), size=400))
+
+
+class TestNormalize:
+    def test_low_coverage_all_kept(self, genome):
+        reads = [genome[i : i + 50] for i in range(0, 350, 50)]  # 1x
+        batch = ReadBatch.from_sequences(reads)
+        kept, stats = DigitalNormalizer(k=15, coverage=5).normalize(batch)
+        assert stats.n_reads_kept == len(reads)
+        assert kept.n_reads == len(reads)
+
+    def test_redundant_reads_discarded(self, genome):
+        read = genome[:60]
+        batch = ReadBatch.from_sequences([read] * 30)
+        kept, stats = DigitalNormalizer(k=15, coverage=5).normalize(batch)
+        # after ~5 copies the median coverage reaches C
+        assert stats.n_reads_kept == 5
+        assert kept.n_reads == 5
+
+    def test_keep_fraction_drops_with_depth(self, genome):
+        shallow = ReadBatch.from_sequences(
+            [genome[i : i + 50] for i in range(0, 350, 25)] * 2
+        )
+        deep = ReadBatch.from_sequences(
+            [genome[i : i + 50] for i in range(0, 350, 25)] * 20
+        )
+        _, s_shallow = DigitalNormalizer(k=15, coverage=10).normalize(shallow)
+        _, s_deep = DigitalNormalizer(k=15, coverage=10).normalize(deep)
+        assert s_deep.keep_fraction < s_shallow.keep_fraction
+
+    def test_rare_species_survives_deep_common_one(self, genome):
+        rng = rng_for(67, "diginorm2")
+        other = "".join(rng.choice(list("ACGT"), size=200))
+        common = [genome[i : i + 50] for i in range(0, 350, 10)] * 10
+        rare = [other[i : i + 50] for i in range(0, 150, 50)]
+        batch = ReadBatch.from_sequences(common + rare)
+        kept, _ = DigitalNormalizer(k=15, coverage=8).normalize(batch)
+        kept_seqs = {kept.sequence(i) for i in range(kept.n_reads)}
+        # every rare-species read survives
+        assert all(r in kept_seqs for r in rare)
+
+    def test_deterministic(self, genome):
+        batch = ReadBatch.from_sequences([genome[:60]] * 10 + [genome[100:160]] * 3)
+        a, _ = DigitalNormalizer(k=15, coverage=4).normalize(batch)
+        b, _ = DigitalNormalizer(k=15, coverage=4).normalize(batch)
+        assert a.n_reads == b.n_reads
+        assert np.array_equal(a.read_ids, b.read_ids)
+
+    def test_order_matters_state_accumulates(self, genome):
+        """A normalizer instance is stateful across calls (streaming)."""
+        norm = DigitalNormalizer(k=15, coverage=3)
+        batch = ReadBatch.from_sequences([genome[:60]] * 3)
+        kept1, _ = norm.normalize(batch)
+        kept2, _ = norm.normalize(batch)
+        assert kept1.n_reads == 3
+        assert kept2.n_reads == 0  # coverage already saturated
+        norm.reset()
+        kept3, _ = norm.normalize(batch)
+        assert kept3.n_reads == 3
+
+    def test_median_histogram_populated(self, genome):
+        batch = ReadBatch.from_sequences([genome[:60]] * 8)
+        _, stats = DigitalNormalizer(k=15, coverage=4).normalize(batch)
+        assert sum(stats.median_histogram.values()) == 8
+
+    def test_empty_batch(self):
+        kept, stats = DigitalNormalizer(k=15, coverage=4).normalize(
+            ReadBatch.empty()
+        )
+        assert kept.n_reads == 0
+        assert stats.keep_fraction == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DigitalNormalizer(k=40, coverage=4)  # > one-limb limit
+        with pytest.raises(ValueError):
+            DigitalNormalizer(k=15, coverage=0)
+
+
+class TestNormalizePairs:
+    def test_pairs_kept_together(self, genome):
+        # pair ids shared; one deep region, one shallow mate
+        seqs, ids = [], []
+        for i in range(12):
+            seqs.extend([genome[:60], genome[200:260]])
+            ids.extend([i, i])
+        batch = ReadBatch.from_sequences(seqs, read_ids=ids)
+        kept, stats = DigitalNormalizer(k=15, coverage=4).normalize_pairs(batch)
+        # mates always kept/dropped together
+        kept_ids = kept.read_ids.tolist()
+        for rid in set(kept_ids):
+            assert kept_ids.count(rid) == 2
+        assert stats.n_reads_kept == kept.n_reads
+
+    def test_pair_kept_if_either_mate_novel(self, genome):
+        rng = rng_for(68, "diginorm3")
+        novel = "".join(rng.choice(list("ACGT"), size=60))
+        seqs = [genome[:60], genome[:60]] * 10  # saturate the region
+        ids = [i for i in range(10) for _ in range(2)]
+        # final pair: one saturated mate + one novel mate
+        seqs += [genome[:60], novel]
+        ids += [10, 10]
+        batch = ReadBatch.from_sequences(seqs, read_ids=ids)
+        kept, _ = DigitalNormalizer(k=15, coverage=3).normalize_pairs(batch)
+        assert 10 in kept.read_ids.tolist()

@@ -1,0 +1,96 @@
+import numpy as np
+import pytest
+
+from repro.kmers.counter import count_canonical_kmers
+from repro.kmers.spectrum_analysis import (
+    analyze_spectrum,
+    find_error_trough,
+    recommended_filter_band,
+)
+from repro.seqio.records import ReadBatch
+from repro.util.rng import rng_for
+
+
+def simulated_batch(coverage, error_rate, genome_len=2000, read_len=80, seed=31):
+    rng = rng_for(seed, "spectrum", coverage, error_rate)
+    genome = rng.integers(0, 4, size=genome_len, dtype=np.int64).astype(np.uint8)
+    from repro.seqio.alphabet import decode_sequence
+
+    reads = []
+    n_reads = coverage * genome_len // read_len
+    for _ in range(n_reads):
+        pos = int(rng.integers(0, genome_len - read_len))
+        codes = genome[pos : pos + read_len].copy()
+        errs = rng.random(read_len) < error_rate
+        if errs.any():
+            shift = rng.integers(1, 4, size=int(errs.sum()))
+            codes[errs] = (codes[errs].astype(np.int64) + shift) % 4
+        reads.append(decode_sequence(codes))
+    return ReadBatch.from_sequences(reads)
+
+
+class TestFindErrorTrough:
+    def test_bimodal_histogram(self):
+        hist = np.array([0, 1000, 200, 30, 5, 8, 30, 100, 150, 90, 20])
+        trough = find_error_trough(hist)
+        assert 3 <= trough <= 5
+
+    def test_monotone_histogram_no_trough(self):
+        hist = np.array([0, 100, 50, 25, 12, 6, 3, 1])
+        assert find_error_trough(hist) == 1
+
+
+class TestAnalyzeSpectrum:
+    def test_coverage_estimate_tracks_depth(self):
+        for depth in (15, 30):
+            batch = simulated_batch(coverage=depth, error_rate=0.005)
+            spectrum = count_canonical_kmers(batch, 17)
+            report = analyze_spectrum(spectrum)
+            # k-mer coverage = base coverage * (L-k+1)/L ~ 0.8 * depth
+            expected = depth * (80 - 17 + 1) / 80
+            assert report.coverage_peak == pytest.approx(expected, rel=0.35)
+
+    def test_genome_size_estimate(self):
+        batch = simulated_batch(coverage=25, error_rate=0.002, genome_len=3000)
+        spectrum = count_canonical_kmers(batch, 17)
+        report = analyze_spectrum(spectrum)
+        assert report.genome_size_estimate == pytest.approx(3000, rel=0.35)
+
+    def test_error_fraction_grows_with_error_rate(self):
+        clean = analyze_spectrum(
+            count_canonical_kmers(simulated_batch(25, 0.0), 17)
+        )
+        noisy = analyze_spectrum(
+            count_canonical_kmers(simulated_batch(25, 0.02), 17)
+        )
+        assert noisy.error_occurrence_fraction > clean.error_occurrence_fraction
+
+    def test_empty_spectrum(self):
+        report = analyze_spectrum(count_canonical_kmers(ReadBatch.empty(), 17))
+        assert report.coverage_peak == 0
+        assert report.genome_size_estimate == 0
+
+    def test_as_dict(self):
+        batch = simulated_batch(20, 0.005)
+        report = analyze_spectrum(count_canonical_kmers(batch, 17))
+        d = report.as_dict()
+        assert set(d) >= {"coverage_peak", "genome_size_estimate", "trough"}
+
+
+class TestRecommendedFilterBand:
+    def test_band_brackets_coverage(self):
+        batch = simulated_batch(coverage=25, error_rate=0.01)
+        report = analyze_spectrum(count_canonical_kmers(batch, 17))
+        lo, hi = recommended_filter_band(report)
+        assert lo <= report.coverage_peak < hi
+        assert lo >= 2
+
+    def test_band_usable_as_filter(self):
+        from repro.kmers.filter import FrequencyFilter
+
+        batch = simulated_batch(coverage=25, error_rate=0.01)
+        report = analyze_spectrum(count_canonical_kmers(batch, 17))
+        lo, hi = recommended_filter_band(report)
+        kfilter = FrequencyFilter(lo, hi)
+        assert kfilter.accepts(report.coverage_peak)
+        assert not kfilter.accepts(1)

@@ -1,0 +1,60 @@
+import csv
+
+import numpy as np
+import pytest
+
+from repro.perf.sweeps import SweepDriver
+
+
+@pytest.fixture(scope="module")
+def driver(tiny_hg):
+    return SweepDriver(tiny_hg.units, k=27, m=5, n_chunks=16, scale_factor=100.0)
+
+
+class TestSweepDriver:
+    def test_index_built_once(self, driver):
+        a = driver.index
+        b = driver.index
+        assert a is b
+
+    def test_thread_sweep_speedup_monotone(self, driver):
+        sweep = driver.thread_sweep([1, 2, 4])
+        speedups = sweep.speedups()
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups == sorted(speedups)
+
+    def test_node_sweep_partitions_identical(self, driver):
+        sweep = driver.node_sweep([1, 2, 4], n_threads=2)
+        labels = [p.result.partition.labels for p in sweep.points]
+        for other in labels[1:]:
+            assert np.array_equal(labels[0], other)
+
+    def test_pass_sweep_tuples_conserved(self, driver):
+        sweep = driver.pass_sweep([1, 2, 4], n_tasks=2, n_threads=2)
+        totals = {p.result.total_tuples for p in sweep.points}
+        assert len(totals) == 1
+
+    def test_point_rows_have_all_steps(self, driver):
+        from repro.runtime.work import StepNames
+
+        point = driver.run_point(2, 2)
+        row = point.as_row()
+        for step in StepNames.ORDER:
+            assert step in row
+
+    def test_csv_export(self, driver, tmp_path):
+        sweep = driver.thread_sweep([1, 2])
+        path = tmp_path / "sweep.csv"
+        n = sweep.write_csv(path)
+        assert n == 2
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2
+        assert rows[0]["threads"] == "1"
+        assert float(rows[0]["projected_total_s"]) > 0
+
+    def test_empty_sweep_rejected(self, tmp_path):
+        from repro.perf.sweeps import SweepResult
+
+        with pytest.raises(ValueError):
+            SweepResult([]).write_csv(tmp_path / "x.csv")

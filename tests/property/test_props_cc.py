@@ -1,0 +1,119 @@
+"""Hypothesis properties of union-find and the distributed merge."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc.dsf import DisjointSetForest
+from repro.cc.mergecc import merge_component_arrays
+from repro.cc.components import compact_labels
+
+
+def edges_strategy(max_n=40, max_edges=120):
+    return st.integers(2, max_n).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                max_size=max_edges,
+            ),
+        )
+    )
+
+
+def nx_partition(n, edges):
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(edges)
+    return {frozenset(c) for c in nx.connected_components(g)}
+
+
+def dsf_partition(forest):
+    roots = forest.roots()
+    groups = {}
+    for v, r in enumerate(roots.tolist()):
+        groups.setdefault(r, set()).add(v)
+    return {frozenset(c) for c in groups.values()}
+
+
+@settings(max_examples=80)
+@given(edges_strategy())
+def test_union_find_matches_networkx(case):
+    n, edges = case
+    forest = DisjointSetForest(n)
+    if edges:
+        us, vs = zip(*edges)
+        forest.process_edges(np.array(us), np.array(vs))
+    assert dsf_partition(forest) == nx_partition(n, edges)
+
+
+@settings(max_examples=50)
+@given(edges_strategy(), st.randoms(use_true_random=False))
+def test_edge_order_irrelevant(case, pyrandom):
+    n, edges = case
+    a = DisjointSetForest(n)
+    if edges:
+        us, vs = zip(*edges)
+        a.process_edges(np.array(us), np.array(vs))
+    shuffled = list(edges)
+    pyrandom.shuffle(shuffled)
+    b = DisjointSetForest(n)
+    if shuffled:
+        us, vs = zip(*shuffled)
+        b.process_edges(np.array(us), np.array(vs))
+    assert dsf_partition(a) == dsf_partition(b)
+
+
+@settings(max_examples=50)
+@given(edges_strategy(), st.integers(1, 6))
+def test_distributed_merge_equals_sequential(case, n_tasks):
+    """Splitting the edges across P tasks and tree-merging the forests
+    gives the same partition as one sequential union-find."""
+    n, edges = case
+    ref = DisjointSetForest(n)
+    if edges:
+        us, vs = zip(*edges)
+        ref.process_edges(np.array(us), np.array(vs))
+
+    chunks = [edges[i::n_tasks] for i in range(n_tasks)]
+    parents = []
+    for chunk in chunks:
+        f = DisjointSetForest(n)
+        if chunk:
+            us, vs = zip(*chunk)
+            f.process_edges(np.array(us), np.array(vs))
+        parents.append(f.parent)
+    merged, _ = merge_component_arrays(parents)
+    merged_forest = DisjointSetForest.from_parent_array(merged)
+    assert dsf_partition(merged_forest) == dsf_partition(ref)
+
+
+@settings(max_examples=50)
+@given(edges_strategy())
+def test_compact_labels_canonical(case):
+    """Two equivalent forests produce identical compact labelings."""
+    n, edges = case
+    a = DisjointSetForest(n)
+    b = DisjointSetForest(n)
+    if edges:
+        us, vs = zip(*edges)
+        a.process_edges(np.array(us), np.array(vs))
+        b.process_edges(np.array(vs), np.array(us))  # reversed endpoints
+    assert np.array_equal(compact_labels(a.parent), compact_labels(b.parent))
+
+
+@settings(max_examples=50)
+@given(edges_strategy())
+def test_union_by_index_root_is_max_of_component(case):
+    """With union-by-index the root of every tree is its maximum vertex —
+    a structural invariant of the paper's union policy."""
+    n, edges = case
+    forest = DisjointSetForest(n)
+    if edges:
+        us, vs = zip(*edges)
+        forest.process_edges(np.array(us), np.array(vs))
+    roots = forest.roots()
+    for comp in dsf_partition(forest):
+        members = np.array(sorted(comp))
+        assert roots[members[0]] == members.max()

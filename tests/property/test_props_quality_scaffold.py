@@ -1,0 +1,99 @@
+"""Hypothesis properties for the quality and scaffolding utilities."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seqio.quality import (
+    decode_phred,
+    encode_phred,
+    quality_filter,
+    trim_tail,
+)
+from repro.seqio.records import FastqRecord
+
+scores_strategy = st.lists(st.integers(0, 93), min_size=0, max_size=60)
+
+
+@given(scores_strategy)
+def test_phred_roundtrip(scores):
+    assert decode_phred(encode_phred(scores)).tolist() == scores
+
+
+@given(scores_strategy, st.integers(0, 93))
+def test_trim_is_prefix(scores, threshold):
+    rec = FastqRecord("r", "A" * len(scores), encode_phred(scores))
+    out = trim_tail(rec, threshold)
+    assert len(out) <= len(rec)
+    assert rec.sequence.startswith(out.sequence)
+    assert rec.quality.startswith(out.quality)
+
+
+@given(scores_strategy, st.integers(0, 93))
+def test_trim_idempotent(scores, threshold):
+    rec = FastqRecord("r", "A" * len(scores), encode_phred(scores))
+    once = trim_tail(rec, threshold)
+    twice = trim_tail(once, threshold)
+    assert once == twice
+
+
+@given(scores_strategy)
+def test_trim_removes_only_below_threshold_suffix_mass(scores):
+    """The trimmed suffix must have mean quality below the threshold
+    (otherwise trimming it could not have maximized the running sum)."""
+    threshold = 20
+    rec = FastqRecord("r", "A" * len(scores), encode_phred(scores))
+    out = trim_tail(rec, threshold)
+    cut = len(out)
+    tail = scores[cut:]
+    if tail:
+        assert sum(threshold - q for q in tail) > 0
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 93), st.integers(10, 50)),
+        min_size=0,
+        max_size=12,
+    ),
+    st.floats(0, 40),
+)
+def test_quality_filter_kept_subset_order_preserved(read_specs, min_q):
+    records = [
+        FastqRecord(f"r{i}", "A" * n, encode_phred([q] * n))
+        for i, (q, n) in enumerate(read_specs)
+    ]
+    kept, stats = quality_filter(records, min_mean_quality=min_q, min_length=1)
+    names = [r.name for r in kept]
+    original_order = [r.name for r in records if r.name in set(names)]
+    assert names == original_order
+    assert stats.n_kept + stats.n_dropped_quality + stats.n_dropped_length == stats.n_in
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_scaffold_never_loses_contig_sequence(seed):
+    """Every input contig appears in exactly one scaffold (possibly
+    reverse-complemented), regardless of pairing noise."""
+    from repro.assembly.scaffold import ScaffoldConfig, scaffold_contigs
+    from repro.seqio.alphabet import reverse_complement
+
+    rng = np.random.default_rng(seed)
+    genome = "".join(rng.choice(list("ACGT"), size=500))
+    contigs = [genome[:200], genome[250:450]]
+    # noisy pairs: half genuine spanning pairs, half junk
+    pairs = []
+    for _ in range(20):
+        pos = int(rng.integers(0, 220))
+        frag = genome[pos : pos + 280]
+        pairs.append((frag[:60], reverse_complement(frag[-60:])))
+    junk = "".join(rng.choice(list("ACGT"), size=60))
+    pairs.append((junk, junk))
+    scaffolds, _ = scaffold_contigs(
+        contigs, pairs, ScaffoldConfig(min_links=2)
+    )
+    joined = " ".join(scaffolds)
+    joined_rc = " ".join(reverse_complement(s) for s in scaffolds)
+    for contig in contigs:
+        assert contig in joined or contig in joined_rc

@@ -1,0 +1,71 @@
+import pytest
+
+from repro.runtime.machines import EDISON, GANGA, get_machine
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_machine("edison") is EDISON
+        assert get_machine("GANGA") is GANGA
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown machine"):
+            get_machine("summit")
+
+
+class TestEdisonSpec:
+    def test_paper_constants(self):
+        assert EDISON.cores_per_node == 24
+        assert EDISON.stream_bw == pytest.approx(99e9)
+        assert EDISON.link_bw == pytest.approx(8e9)
+        assert EDISON.io_scales_with_nodes
+
+    def test_ganga_slower_and_smaller(self):
+        assert GANGA.cores_per_node == 12
+        assert GANGA.kmer_rate < EDISON.kmer_rate
+        assert not GANGA.io_scales_with_nodes
+
+
+class TestBandwidthModels:
+    def test_read_bw_splits_across_tasks(self):
+        bw1 = EDISON.task_io_read_bw(1)
+        bw16 = EDISON.task_io_read_bw(16)
+        assert bw16 <= bw1
+        assert bw16 > 0
+
+    def test_node_injection_cap(self):
+        # one task cannot exceed the node injection cap
+        assert EDISON.task_io_read_bw(1) <= EDISON.node_io_bw
+
+    def test_saturation_bends_thread_scaling(self):
+        r1 = EDISON.core_rate_with_saturation(EDISON.kmer_rate, 1)
+        r24 = EDISON.core_rate_with_saturation(EDISON.kmer_rate, 24)
+        assert r1 == EDISON.kmer_rate
+        assert r24 <= r1
+        # aggregate throughput still grows with threads
+        assert 24 * r24 > 1 * r1
+
+    def test_saturation_respects_stream_bw(self):
+        t = 24
+        r = EDISON.core_rate_with_saturation(
+            EDISON.sort_rate, t, EDISON.sort_bytes_touched
+        )
+        assert r * t * EDISON.sort_bytes_touched <= EDISON.stream_bw * 1.001
+
+    def test_random_scatter_kernels_saturate_first(self):
+        t = 24
+        kmer = EDISON.core_rate_with_saturation(
+            EDISON.kmer_rate, t, EDISON.kmer_bytes_touched
+        )
+        sort = EDISON.core_rate_with_saturation(
+            EDISON.sort_rate, t, EDISON.sort_bytes_touched
+        )
+        # streaming kernel keeps full rate; scatter kernel is capped
+        assert kmer == EDISON.kmer_rate
+        assert sort < EDISON.sort_rate
+
+    def test_hyperthreads_add_no_throughput(self):
+        r12 = GANGA.core_rate_with_saturation(GANGA.kmer_rate, 12)
+        r24 = GANGA.core_rate_with_saturation(GANGA.kmer_rate, 24)
+        # 24 threads on 12 cores: per-thread rate halves, aggregate flat
+        assert 24 * r24 <= 12 * r12 * 1.001

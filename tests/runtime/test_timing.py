@@ -1,0 +1,170 @@
+"""Timing-model behaviour: the *shapes* the projections must show."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.machines import EDISON, GANGA
+from repro.runtime.timing import TimingModel
+from repro.runtime.work import RunWork, StepNames
+
+
+def uniform_work(P, T, S=1, tuples_total=2_200_000_000, reads=12_700_000, k=27):
+    # defaults are HG-scale (paper Table 2): realistic volumes keep fixed
+    # per-pass overheads in proportion, as on the real machine
+    """A perfectly balanced workload of fixed total size."""
+    w = RunWork(n_tasks=P, n_threads=T, n_passes=S, n_reads=reads, k=k, tuple_bytes=12)
+    per_slot = tuples_total // (P * T)
+    w.kmergen_tuples += per_slot
+    w.kmergen_positions_scanned += per_slot * S
+    w.kmergen_io_bytes += (tuples_total * 2 // (P * T)) * S
+    w.fastq_parse_bytes[:] = w.kmergen_io_bytes
+    w.partition_tuples += per_slot
+    w.sort_tuple_passes += per_slot * 8
+    w.cc_edges_first_pass += per_slot // 3
+    w.ccio_bytes += tuples_total * 2 // (P * T)
+    if P > 1:
+        per_msg = tuples_total * 12 // (P * P)
+        w.comm_bytes_matrix += per_msg
+        w.comm_stage_max_bytes = [
+            [0] + [per_msg] * (P - 1) for _ in range(S)
+        ]
+        from repro.cc.mergecc import tree_merge_schedule
+
+        w.merge_rounds = tree_merge_schedule(P)
+        w.merge_bytes_per_send = 4 * reads
+        w.broadcast_bytes = 4 * reads
+        w.merge_entries_by_task = np.zeros(P, dtype=np.int64)
+    return w
+
+
+class TestSingleNodeScaling:
+    def test_more_threads_faster(self):
+        model = TimingModel(EDISON)
+        t1 = model.project(uniform_work(1, 1)).total_seconds
+        t24 = model.project(uniform_work(1, 24)).total_seconds
+        assert t24 < t1
+
+    def test_speedup_sublinear_at_high_threads(self):
+        """Fig 5: 14.5x on 24 cores, not 24x (bandwidth saturation)."""
+        model = TimingModel(EDISON)
+        t1 = model.project(uniform_work(1, 1)).total_seconds
+        t24 = model.project(uniform_work(1, 24)).total_seconds
+        speedup = t1 / t24
+        assert 6 < speedup < 23
+
+    def test_ganga_writes_do_not_scale(self):
+        """Fig 5: CC-I/O does not improve with threads on the shared FS —
+        contention makes it flat-to-worse."""
+        model = TimingModel(GANGA)
+        io1 = model.project(uniform_work(1, 1)).step_seconds(StepNames.CC_IO)
+        io12 = model.project(uniform_work(1, 12)).step_seconds(StepNames.CC_IO)
+        assert io12 >= io1 * 0.99
+
+    def test_ganga_hyperthreads_regress(self):
+        """Fig 5 Ganga: past the physical cores, more threads hurt."""
+        model = TimingModel(GANGA)
+        t12 = model.project(uniform_work(1, 12)).total_seconds
+        t24 = model.project(uniform_work(1, 24)).total_seconds
+        assert t24 >= t12
+
+    def test_edison_writes_scale_with_threads(self):
+        model = TimingModel(EDISON)
+        io1 = model.project(uniform_work(1, 1)).step_seconds(StepNames.CC_IO)
+        io24 = model.project(uniform_work(1, 24)).step_seconds(StepNames.CC_IO)
+        assert io24 < io1
+
+    def test_edison_node_faster_than_ganga(self):
+        """Paper: 'A single Edison node is nearly 5 times faster'."""
+        te = TimingModel(EDISON).project(uniform_work(1, 24)).total_seconds
+        tg = TimingModel(GANGA).project(uniform_work(1, 12)).total_seconds
+        assert 2.5 < tg / te < 9
+
+
+class TestMultiNode:
+    def test_no_comm_single_task(self):
+        proj = TimingModel(EDISON).project(uniform_work(1, 8))
+        assert proj.step_seconds(StepNames.KMERGEN_COMM) == 0.0
+        assert proj.step_seconds(StepNames.MERGE_COMM) == 0.0
+
+    def test_comm_appears_with_tasks(self):
+        proj = TimingModel(EDISON).project(uniform_work(4, 8))
+        assert proj.step_seconds(StepNames.KMERGEN_COMM) > 0
+        assert proj.step_seconds(StepNames.MERGECC) > 0
+
+    def test_multi_node_speedup_below_ideal(self):
+        """Fig 6: 16-node speedup well below 16x."""
+        model = TimingModel(EDISON)
+        t1 = model.project(uniform_work(1, 24)).total_seconds
+        t16 = model.project(uniform_work(16, 24)).total_seconds
+        speedup = t1 / t16
+        assert 1.5 < speedup < 16
+
+    def test_mergecc_grows_with_tasks(self):
+        """MergeCC cost rises with P (the paper's noted scalability limit)."""
+        model = TimingModel(EDISON)
+        m4 = model.project(uniform_work(4, 24)).step_seconds(StepNames.MERGECC)
+        m16 = model.project(uniform_work(16, 24)).step_seconds(StepNames.MERGECC)
+        assert m16 > m4
+
+    def test_rank0_busiest_in_merge(self):
+        proj = TimingModel(EDISON).project(uniform_work(8, 4))
+        merge = proj.per_task[StepNames.MERGECC]
+        assert merge[0] == merge.max()
+        assert merge[0] > merge[1]
+
+
+class TestMultipassTradeoffs:
+    """Table 3's directions: more passes -> KmerGen up, per-pass comm down."""
+
+    def test_kmergen_grows_with_passes(self):
+        model = TimingModel(EDISON)
+        one = model.project(uniform_work(4, 6, S=1))
+        eight = model.project(uniform_work(4, 6, S=8))
+        assert eight.step_seconds(StepNames.KMERGEN_IO) > one.step_seconds(
+            StepNames.KMERGEN_IO
+        )
+        assert eight.step_seconds(StepNames.KMERGEN) > one.step_seconds(
+            StepNames.KMERGEN
+        )
+
+    def test_localsort_unchanged_by_passes(self):
+        model = TimingModel(EDISON)
+        one = model.project(uniform_work(4, 6, S=1))
+        eight = model.project(uniform_work(4, 6, S=8))
+        assert eight.step_seconds(StepNames.LOCALSORT) == pytest.approx(
+            one.step_seconds(StepNames.LOCALSORT), rel=0.05
+        )
+
+    def test_later_pass_edges_cheaper(self):
+        """LocalCC-Opt: component-id enumeration speeds later passes."""
+        model = TimingModel(EDISON)
+        w_first = uniform_work(1, 4)
+        w_later = uniform_work(1, 4)
+        w_later.cc_edges_later_passes = w_later.cc_edges_first_pass.copy()
+        w_later.cc_edges_first_pass[:] = 0
+        t_first = model.project(w_first).step_seconds(StepNames.LOCALCC)
+        t_later = model.project(w_later).step_seconds(StepNames.LOCALCC)
+        assert t_later < t_first
+
+
+class TestProjectedTimes:
+    def test_breakdown_ordered(self):
+        proj = TimingModel(EDISON).project(uniform_work(2, 4))
+        steps = [k for k, _ in proj.breakdown().items()]
+        assert steps == [s for s in StepNames.ORDER if s in steps]
+
+    def test_spread(self):
+        proj = TimingModel(EDISON).project(uniform_work(4, 4))
+        s = proj.spread(StepNames.MERGECC)
+        assert s["min"] <= s["median"] <= s["max"]
+
+    def test_task_totals_shape(self):
+        proj = TimingModel(EDISON).project(uniform_work(4, 4))
+        assert proj.task_totals().shape == (4,)
+
+    def test_load_imbalance_propagates(self):
+        w = uniform_work(2, 2)
+        w.kmergen_tuples[1, :] *= 3
+        proj = TimingModel(EDISON).project(w)
+        gen = proj.per_task[StepNames.KMERGEN]
+        assert gen[1] > gen[0]

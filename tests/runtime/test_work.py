@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+
+from repro.runtime.work import RunWork, StepNames
+
+
+def make_work(P=2, T=2, S=1, R=100):
+    w = RunWork(n_tasks=P, n_threads=T, n_passes=S, n_reads=R, k=27, tuple_bytes=12)
+    w.kmergen_tuples += 50
+    w.kmergen_io_bytes += 1000
+    w.cc_edges_first_pass += 10
+    w.comm_bytes_matrix += 600
+    w.comm_stage_max_bytes = [[0, 600]]
+    w.merge_bytes_per_send = 4 * R
+    w.broadcast_bytes = 4 * R
+    w.merge_rounds = [[(1, 0)]]
+    return w
+
+
+class TestStepNames:
+    def test_order_covers_all_figure_steps(self):
+        assert StepNames.ORDER[0] == "KmerGen-I/O"
+        assert StepNames.ORDER[-1] == "CC-I/O"
+        assert len(StepNames.ORDER) == 8
+        assert len(set(StepNames.ORDER)) == 8
+
+
+class TestRunWork:
+    def test_arrays_default_zeroed(self):
+        w = RunWork(2, 3, 1, 10, 27, 12)
+        assert w.kmergen_tuples.shape == (2, 3)
+        assert w.comm_bytes_matrix.shape == (2, 2)
+        assert w.total_tuples == 0
+
+    def test_totals(self):
+        w = make_work()
+        assert w.total_tuples == 50 * 4
+        assert w.total_edges == 10 * 4
+
+    def test_wire_bytes_excludes_diagonal(self):
+        w = RunWork(2, 1, 1, 10, 27, 12)
+        w.comm_bytes_matrix = np.array([[5, 7], [11, 13]], dtype=np.int64)
+        assert w.wire_bytes == 18
+
+    def test_imbalance_balanced(self):
+        w = make_work()
+        assert w.imbalance(w.kmergen_tuples) == pytest.approx(1.0)
+
+    def test_imbalance_skewed(self):
+        w = RunWork(2, 1, 1, 10, 27, 12)
+        w.kmergen_tuples = np.array([[30], [10]], dtype=np.int64)
+        assert w.imbalance(w.kmergen_tuples) == pytest.approx(1.5)
+
+
+class TestScaled:
+    def test_volumes_scale_linearly(self):
+        w = make_work()
+        s = w.scaled(10.0)
+        assert s.total_tuples == 10 * w.total_tuples
+        assert s.n_reads == 10 * w.n_reads
+        assert s.merge_bytes_per_send == 10 * w.merge_bytes_per_send
+        assert s.comm_stage_max_bytes == [[0, 6000]]
+
+    def test_structure_preserved(self):
+        w = make_work(P=3, T=2)
+        w.kmergen_tuples[1, 0] = 999  # imbalance
+        s = w.scaled(7.0)
+        assert s.imbalance(s.kmergen_tuples) == pytest.approx(
+            w.imbalance(w.kmergen_tuples), rel=1e-3
+        )
+        assert s.merge_rounds == w.merge_rounds
+
+    def test_original_unchanged(self):
+        w = make_work()
+        before = w.kmergen_tuples.copy()
+        w.scaled(5.0)
+        assert np.array_equal(w.kmergen_tuples, before)
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            make_work().scaled(0)

@@ -1,0 +1,128 @@
+import pytest
+
+from repro.seqio.fastq import (
+    FastqParseError,
+    count_reads,
+    interleave_paired,
+    iter_fastq,
+    read_fastq,
+    read_fastq_region,
+    record_boundaries,
+    write_fastq,
+)
+from repro.seqio.records import FastqRecord
+
+
+def _recs(n=5, length=8):
+    return [
+        FastqRecord(f"read{i}", "ACGT" * (length // 4), "I" * length)
+        for i in range(n)
+    ]
+
+
+class TestRoundtrip:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "x.fastq"
+        recs = _recs(5)
+        assert write_fastq(path, recs) == 5
+        back = read_fastq(path)
+        assert back == recs
+
+    def test_append(self, tmp_path):
+        path = tmp_path / "x.fastq"
+        write_fastq(path, _recs(2))
+        write_fastq(path, _recs(3), append=True)
+        assert count_reads(path) == 5
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "x.fastq"
+        write_fastq(path, _recs(1))
+        assert path.exists()
+
+    def test_count_reads(self, tmp_path):
+        path = tmp_path / "x.fastq"
+        write_fastq(path, _recs(7))
+        assert count_reads(path) == 7
+
+
+class TestParseErrors:
+    def test_missing_at_header(self, tmp_path):
+        path = tmp_path / "bad.fastq"
+        path.write_text("read1\nACGT\n+\nIIII\n")
+        with pytest.raises(FastqParseError, match="'@'"):
+            read_fastq(path)
+
+    def test_missing_plus(self, tmp_path):
+        path = tmp_path / "bad.fastq"
+        path.write_text("@read1\nACGT\nIIII\nACGT\n")
+        with pytest.raises(FastqParseError, match=r"\+"):
+            read_fastq(path)
+
+    def test_length_mismatch(self, tmp_path):
+        path = tmp_path / "bad.fastq"
+        path.write_text("@read1\nACGT\n+\nII\n")
+        with pytest.raises(FastqParseError, match="mismatch"):
+            read_fastq(path)
+
+    def test_truncated(self, tmp_path):
+        path = tmp_path / "bad.fastq"
+        path.write_text("@read1\n")
+        with pytest.raises(FastqParseError):
+            read_fastq(path)
+
+    def test_trailing_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "ok.fastq"
+        path.write_text("@r\nACGT\n+\nIIII\n\n\n")
+        assert len(read_fastq(path)) == 1
+
+
+class TestRegions:
+    def test_boundaries_cover_file(self, tmp_path):
+        path = tmp_path / "x.fastq"
+        recs = _recs(4)
+        write_fastq(path, recs)
+        bounds = record_boundaries(path)
+        assert len(bounds) == 5
+        assert bounds[0] == 0
+        assert bounds[-1] == path.stat().st_size
+
+    def test_region_reads_exact_records(self, tmp_path):
+        path = tmp_path / "x.fastq"
+        recs = _recs(6)
+        write_fastq(path, recs)
+        bounds = record_boundaries(path)
+        # middle region: records 2..4
+        region = read_fastq_region(path, bounds[2], bounds[5] - bounds[2])
+        assert region == recs[2:5]
+
+    def test_regions_tile_file(self, tmp_path):
+        path = tmp_path / "x.fastq"
+        recs = _recs(9)
+        write_fastq(path, recs)
+        bounds = record_boundaries(path)
+        collected = []
+        for lo, hi in [(0, 3), (3, 7), (7, 9)]:
+            collected.extend(
+                read_fastq_region(path, bounds[lo], bounds[hi] - bounds[lo])
+            )
+        assert collected == recs
+
+
+class TestInterleave:
+    def test_interleaves(self):
+        r1 = _recs(2)
+        r2 = [FastqRecord(f"m{i}", "GGGG", "IIII") for i in range(2)]
+        out = interleave_paired(r1, r2)
+        assert [r.name for r in out] == ["read0", "m0", "read1", "m1"]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            interleave_paired(_recs(2), _recs(3))
+
+
+class TestIterFastq:
+    def test_streaming_matches_eager(self, tmp_path):
+        path = tmp_path / "x.fastq"
+        recs = _recs(4)
+        write_fastq(path, recs)
+        assert list(iter_fastq(path)) == recs

@@ -1,0 +1,49 @@
+import pytest
+
+from repro.seqio.fastq import (
+    FastqParseError,
+    count_reads,
+    read_fastq,
+    read_fastq_region,
+    record_boundaries,
+    write_fastq,
+)
+from repro.seqio.records import FastqRecord
+
+
+def _recs(n=5):
+    return [FastqRecord(f"r{i}", "ACGTACGT", "IIIIIIII") for i in range(n)]
+
+
+class TestGzipRoundtrip:
+    def test_write_read_gz(self, tmp_path):
+        path = tmp_path / "x.fastq.gz"
+        write_fastq(path, _recs(5))
+        assert read_fastq(path) == _recs(5)
+        # file really is gzip
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+    def test_append_gz(self, tmp_path):
+        path = tmp_path / "x.fastq.gz"
+        write_fastq(path, _recs(2))
+        write_fastq(path, _recs(3), append=True)
+        assert count_reads(path) == 5
+
+    def test_plain_unaffected(self, tmp_path):
+        path = tmp_path / "x.fastq"
+        write_fastq(path, _recs(2))
+        assert path.read_bytes()[:1] == b"@"
+
+
+class TestGzipChunkedAccessRejected:
+    def test_region_rejected(self, tmp_path):
+        path = tmp_path / "x.fastq.gz"
+        write_fastq(path, _recs(2))
+        with pytest.raises(FastqParseError, match="decompress"):
+            read_fastq_region(path, 0, 10)
+
+    def test_boundaries_rejected(self, tmp_path):
+        path = tmp_path / "x.fastq.gz"
+        write_fastq(path, _recs(2))
+        with pytest.raises(FastqParseError, match="decompress"):
+            record_boundaries(path)

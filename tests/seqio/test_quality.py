@@ -1,0 +1,109 @@
+import numpy as np
+import pytest
+
+from repro.seqio.quality import (
+    decode_phred,
+    encode_phred,
+    error_probability,
+    mean_quality,
+    quality_filter,
+    trim_tail,
+)
+from repro.seqio.records import FastqRecord
+
+
+class TestPhredCodec:
+    def test_roundtrip(self):
+        scores = [0, 20, 40, 93]
+        assert decode_phred(encode_phred(scores)).tolist() == scores
+
+    def test_known_values(self):
+        assert decode_phred("!").tolist() == [0]
+        assert decode_phred("I").tolist() == [40]
+
+    def test_below_offset_rejected(self):
+        with pytest.raises(ValueError):
+            decode_phred("\x1f")
+
+    def test_out_of_range_scores_rejected(self):
+        with pytest.raises(ValueError):
+            encode_phred([94])
+        with pytest.raises(ValueError):
+            encode_phred([-1])
+
+
+class TestMeanAndError:
+    def test_mean(self):
+        rec = FastqRecord("r", "ACGT", encode_phred([10, 20, 30, 40]))
+        assert mean_quality(rec) == pytest.approx(25.0)
+
+    def test_error_probability(self):
+        rec = FastqRecord("r", "AC", encode_phred([10, 20]))
+        # 10^-1 and 10^-2 -> mean 0.055
+        assert error_probability(rec) == pytest.approx(0.055)
+
+    def test_empty(self):
+        rec = FastqRecord("r", "", "")
+        assert mean_quality(rec) == 0.0
+        assert error_probability(rec) == 0.0
+
+
+class TestTrimTail:
+    def test_bad_tail_removed(self):
+        scores = [38] * 20 + [2] * 10
+        rec = FastqRecord("r", "A" * 30, encode_phred(scores))
+        out = trim_tail(rec, threshold=20)
+        assert len(out) == 20
+        assert out.sequence == "A" * 20
+
+    def test_good_read_untouched(self):
+        rec = FastqRecord("r", "ACGT" * 5, encode_phred([38] * 20))
+        assert trim_tail(rec, threshold=20) == rec
+
+    def test_internal_dip_tolerated(self):
+        # one mid-read low base should not trigger a huge trim
+        scores = [38] * 10 + [5] + [38] * 10
+        rec = FastqRecord("r", "A" * 21, encode_phred(scores))
+        out = trim_tail(rec, threshold=20)
+        assert len(out) == 21
+
+    def test_all_bad_trims_everything(self):
+        rec = FastqRecord("r", "ACGT", encode_phred([2, 2, 2, 2]))
+        out = trim_tail(rec, threshold=20)
+        assert len(out) == 0
+
+
+class TestQualityFilter:
+    def _rec(self, q, length=40):
+        return FastqRecord("r", "A" * length, encode_phred([q] * length))
+
+    def test_low_quality_dropped(self):
+        kept, stats = quality_filter(
+            [self._rec(35), self._rec(10)], min_mean_quality=20
+        )
+        assert len(kept) == 1
+        assert stats.n_dropped_quality == 1
+        assert stats.keep_fraction == pytest.approx(0.5)
+
+    def test_short_after_trim_dropped(self):
+        bad_tail = FastqRecord(
+            "r", "A" * 40, encode_phred([38] * 10 + [2] * 30)
+        )
+        kept, stats = quality_filter(
+            [bad_tail], trim_threshold=20, min_length=30
+        )
+        assert kept == []
+        assert stats.n_dropped_length == 1
+        assert stats.bases_trimmed == 30
+
+    def test_trimming_accounted(self):
+        rec = FastqRecord("r", "A" * 40, encode_phred([38] * 35 + [2] * 5))
+        kept, stats = quality_filter([rec], trim_threshold=20, min_length=30)
+        assert len(kept) == 1
+        assert len(kept[0]) == 35
+        assert stats.bases_trimmed == 5
+
+    def test_empty_input(self):
+        kept, stats = quality_filter([])
+        assert kept == []
+        assert stats.keep_fraction == 0.0

@@ -1,0 +1,99 @@
+import numpy as np
+import pytest
+
+from repro.seqio.records import FastqRecord, ReadBatch
+
+
+class TestFastqRecord:
+    def test_basic(self):
+        rec = FastqRecord("r1", "ACGT", "IIII")
+        assert len(rec) == 4
+        assert rec.to_fastq() == "@r1\nACGT\n+\nIIII\n"
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FastqRecord("r1", "ACGT", "II")
+
+
+class TestReadBatchConstruction:
+    def test_from_sequences(self):
+        batch = ReadBatch.from_sequences(["ACGT", "GG", "TTTTT"])
+        assert batch.n_reads == 3
+        assert batch.n_bases == 11
+        assert batch.lengths.tolist() == [4, 2, 5]
+        assert batch.sequence(0) == "ACGT"
+        assert batch.sequence(2) == "TTTTT"
+
+    def test_from_records_keeps_metadata(self):
+        recs = [FastqRecord("a", "ACGT", "!!!!"), FastqRecord("b", "GG", "II")]
+        batch = ReadBatch.from_records(recs)
+        assert batch.record(0).name == "a"
+        assert batch.record(0).quality == "!!!!"
+
+    def test_custom_read_ids_with_duplicates(self):
+        # paired-end: both mates share a global id
+        batch = ReadBatch.from_sequences(["ACGT", "ACGT"], read_ids=[5, 5])
+        assert batch.read_ids.tolist() == [5, 5]
+
+    def test_empty(self):
+        batch = ReadBatch.empty()
+        assert batch.n_reads == 0
+        assert batch.n_bases == 0
+
+    def test_invalid_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            ReadBatch(
+                np.zeros(4, dtype=np.uint8),
+                np.array([0, 2], dtype=np.int64),  # doesn't end at 4
+                np.array([0], dtype=np.int64),
+            )
+
+    def test_metadata_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ReadBatch(
+                np.zeros(4, dtype=np.uint8),
+                np.array([0, 4], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+                names=["a", "b"],
+            )
+
+
+class TestReadBatchOps:
+    def test_iteration(self):
+        batch = ReadBatch.from_sequences(["ACGT", "GGCC"])
+        seqs = [r.sequence for r in batch]
+        assert seqs == ["ACGT", "GGCC"]
+
+    def test_select_gathers(self):
+        batch = ReadBatch.from_sequences(["AAAA", "CCCC", "GGGG"])
+        sub = batch.select(np.array([2, 0]))
+        assert sub.n_reads == 2
+        assert sub.sequence(0) == "GGGG"
+        assert sub.sequence(1) == "AAAA"
+        assert sub.read_ids.tolist() == [2, 0]
+
+    def test_concatenate(self):
+        a = ReadBatch.from_sequences(["ACGT"], read_ids=[0])
+        b = ReadBatch.from_sequences(["GG", "TT"], read_ids=[1, 2])
+        merged = ReadBatch.concatenate([a, b])
+        assert merged.n_reads == 3
+        assert merged.sequence(1) == "GG"
+        assert merged.read_ids.tolist() == [0, 1, 2]
+
+    def test_concatenate_empty_list(self):
+        assert ReadBatch.concatenate([]).n_reads == 0
+
+    def test_concatenate_skips_empty_batches(self):
+        a = ReadBatch.empty()
+        b = ReadBatch.from_sequences(["ACGT"])
+        assert ReadBatch.concatenate([a, b]).n_reads == 1
+
+    def test_n_symbol_preserved(self):
+        batch = ReadBatch.from_sequences(["ACNGT"])
+        assert batch.sequence(0) == "ACNGT"
+
+    def test_record_synthesizes_metadata(self):
+        batch = ReadBatch.from_sequences(["ACGT"], read_ids=[42])
+        rec = batch.record(0)
+        assert "42" in rec.name
+        assert len(rec.quality) == 4

@@ -1,0 +1,64 @@
+import numpy as np
+import pytest
+
+from repro.seqio.tables import BinaryTableError, read_table, write_table
+
+
+class TestRoundtrip:
+    def test_meta_and_arrays(self, tmp_path):
+        path = tmp_path / "t.bin"
+        arrays = {
+            "counts": np.arange(16, dtype=np.uint32),
+            "hist": np.ones((3, 4), dtype=np.int64),
+        }
+        write_table(path, "test/schema", {"k": 27, "name": "x"}, arrays)
+        meta, back = read_table(path, expect_schema="test/schema")
+        assert meta == {"k": 27, "name": "x"}
+        assert np.array_equal(back["counts"], arrays["counts"])
+        assert np.array_equal(back["hist"], arrays["hist"])
+        assert back["hist"].shape == (3, 4)
+
+    def test_returns_bytes_written(self, tmp_path):
+        path = tmp_path / "t.bin"
+        n = write_table(path, "s", {}, {"a": np.zeros(10, dtype=np.float64)})
+        assert n == path.stat().st_size
+
+    def test_empty_arrays(self, tmp_path):
+        path = tmp_path / "t.bin"
+        write_table(path, "s", {}, {"a": np.empty(0, dtype=np.uint64)})
+        _, back = read_table(path)
+        assert len(back["a"]) == 0
+
+    def test_dtype_preserved(self, tmp_path):
+        path = tmp_path / "t.bin"
+        write_table(path, "s", {}, {"a": np.array([1], dtype=np.uint32)})
+        _, back = read_table(path)
+        assert back["a"].dtype == np.uint32
+
+
+class TestErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "t.bin"
+        path.write_bytes(b"NOTATABLE" * 4)
+        with pytest.raises(BinaryTableError, match="magic"):
+            read_table(path)
+
+    def test_schema_mismatch(self, tmp_path):
+        path = tmp_path / "t.bin"
+        write_table(path, "schema/a", {}, {})
+        with pytest.raises(BinaryTableError, match="schema"):
+            read_table(path, expect_schema="schema/b")
+
+    def test_truncated_array(self, tmp_path):
+        path = tmp_path / "t.bin"
+        write_table(path, "s", {}, {"a": np.zeros(100, dtype=np.int64)})
+        data = path.read_bytes()
+        path.write_bytes(data[:-50])
+        with pytest.raises(BinaryTableError, match="truncated"):
+            read_table(path)
+
+    def test_no_schema_check_when_not_requested(self, tmp_path):
+        path = tmp_path / "t.bin"
+        write_table(path, "whatever", {}, {})
+        meta, arrays = read_table(path)  # no expect_schema
+        assert arrays == {}

@@ -1,0 +1,96 @@
+import numpy as np
+import pytest
+
+from repro.kmers.engine import KmerTuples, enumerate_canonical_kmers
+from repro.seqio.records import ReadBatch
+from repro.sort.partition import partition_boundaries_equal, range_partition
+
+
+@pytest.fixture()
+def tuples(rng):
+    from tests.conftest import random_reads
+
+    batch = ReadBatch.from_sequences(random_reads(rng, 20, 40))
+    return enumerate_canonical_kmers(batch, 9)
+
+
+class TestBoundaries:
+    def test_equal_boundaries_span(self):
+        edges = partition_boundaries_equal(256, 4)
+        assert edges[0] == 0
+        assert edges[-1] == 256
+        assert len(edges) == 5
+        assert np.all(np.diff(edges) >= 0)
+
+    def test_single_part(self):
+        assert partition_boundaries_equal(64, 1).tolist() == [0, 64]
+
+    def test_invalid_parts_rejected(self):
+        with pytest.raises(ValueError):
+            partition_boundaries_equal(64, 0)
+
+
+class TestRangePartition:
+    def test_partitions_disjoint_and_complete(self, tuples):
+        m = 4
+        edges = partition_boundaries_equal(4**m, 3)
+        parts, counts = range_partition(tuples, m, edges)
+        assert len(parts) == 3
+        assert sum(len(p) for p in parts) == len(tuples)
+        assert counts.tolist() == [len(p) for p in parts]
+
+    def test_membership_respects_edges(self, tuples):
+        m = 4
+        edges = partition_boundaries_equal(4**m, 4)
+        parts, _ = range_partition(tuples, m, edges)
+        for i, part in enumerate(parts):
+            if len(part) == 0:
+                continue
+            bins = part.kmers.mmer_prefix(m).astype(np.int64)
+            assert bins.min() >= edges[i]
+            assert bins.max() < edges[i + 1]
+
+    def test_order_within_partition_stable(self, tuples):
+        m = 4
+        edges = np.array([0, 4**m], dtype=np.int64)
+        parts, _ = range_partition(tuples, m, edges)
+        # single partition: must be exactly the input order
+        assert np.array_equal(parts[0].kmers.lo, tuples.kmers.lo)
+        assert np.array_equal(parts[0].read_ids, tuples.read_ids)
+
+    def test_subrange_span(self, tuples):
+        m = 4
+        bins = tuples.kmers.mmer_prefix(m).astype(np.int64)
+        lo, hi = 10, 200
+        mask = (bins >= lo) & (bins < hi)
+        sub = tuples.take(np.flatnonzero(mask))
+        edges = np.array([lo, 100, hi], dtype=np.int64)
+        parts, counts = range_partition(sub, m, edges, span=(lo, hi))
+        assert sum(counts) == len(sub)
+
+    def test_empty_tuples(self):
+        t = KmerTuples.empty(9)
+        parts, counts = range_partition(
+            t, 4, np.array([0, 128, 256], dtype=np.int64)
+        )
+        assert len(parts) == 2
+        assert counts.tolist() == [0, 0]
+
+    def test_bad_span_rejected(self, tuples):
+        with pytest.raises(ValueError, match="span"):
+            range_partition(tuples, 4, np.array([1, 4**4], dtype=np.int64))
+
+    def test_decreasing_edges_rejected(self, tuples):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            range_partition(
+                tuples, 4, np.array([0, 200, 100, 4**4], dtype=np.int64)
+            )
+
+    def test_empty_partitions_allowed(self, tuples):
+        m = 4
+        n = 4**m
+        edges = np.array([0, 0, n, n], dtype=np.int64)
+        parts, counts = range_partition(tuples, m, edges)
+        assert counts[0] == 0
+        assert counts[2] == 0
+        assert counts[1] == len(tuples)

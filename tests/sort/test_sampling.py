@@ -1,0 +1,80 @@
+import numpy as np
+import pytest
+
+from repro.index.passplan import balanced_boundaries
+from repro.kmers.codec import KmerArray
+from repro.kmers.engine import KmerTuples
+from repro.sort.sampling import measure_partition_balance, sampled_boundaries
+
+
+def tuples_with_bins(rng, n, m, skew=False):
+    n_bins = 1 << (2 * m)
+    if skew:
+        # zipf-ish: most mass in a few bins
+        bins = (rng.zipf(1.5, size=n) - 1) % n_bins
+    else:
+        bins = rng.integers(0, n_bins, size=n)
+    k = 13
+    lo = (bins.astype(np.uint64) << np.uint64(2 * (k - m))) | rng.integers(
+        0, 1 << (2 * (k - m)), size=n, dtype=np.uint64
+    )
+    ids = rng.integers(0, n, size=n, dtype=np.uint32)
+    return KmerTuples(KmerArray(k, lo), ids)
+
+
+class TestSampledBoundaries:
+    def test_edges_span(self, rng):
+        t = tuples_with_bins(rng, 5000, m=4)
+        edges = sampled_boundaries(t, 4, 8)
+        assert edges[0] == 0
+        assert edges[-1] == 4**4
+        assert np.all(np.diff(edges) >= 0)
+
+    def test_uniform_keys_decent_balance(self, rng):
+        t = tuples_with_bins(rng, 20_000, m=4)
+        edges = sampled_boundaries(t, 4, 8, sample_size=2048)
+        stats = measure_partition_balance(t, 4, edges)
+        assert stats.imbalance < 1.6
+
+    def test_bigger_sample_no_worse(self, rng):
+        t = tuples_with_bins(rng, 20_000, m=4, skew=True)
+        small = measure_partition_balance(
+            t, 4, sampled_boundaries(t, 4, 8, sample_size=64)
+        )
+        big = measure_partition_balance(
+            t, 4, sampled_boundaries(t, 4, 8, sample_size=8192)
+        )
+        assert big.imbalance <= small.imbalance * 1.3
+
+    def test_histogram_beats_sampling(self, rng):
+        """The ablation's claim: exact (merHist) boundaries are at least
+        as balanced as sampled splitters."""
+        t = tuples_with_bins(rng, 30_000, m=4, skew=True)
+        counts = np.bincount(
+            t.kmers.mmer_prefix(4).astype(np.int64), minlength=4**4
+        )
+        exact = measure_partition_balance(
+            t, 4, balanced_boundaries(counts, 8)
+        )
+        sampled = measure_partition_balance(
+            t, 4, sampled_boundaries(t, 4, 8, sample_size=256)
+        )
+        assert exact.imbalance <= sampled.imbalance * 1.05
+
+    def test_deterministic_given_seed(self, rng):
+        t = tuples_with_bins(rng, 5000, m=4)
+        a = sampled_boundaries(t, 4, 4, seed=9)
+        b = sampled_boundaries(t, 4, 4, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_empty_tuples(self):
+        t = KmerTuples.empty(13)
+        edges = sampled_boundaries(t, 4, 4)
+        assert edges[0] == 0 and edges[-1] == 4**4
+
+    def test_partition_counts_sum(self, rng):
+        t = tuples_with_bins(rng, 7000, m=4)
+        edges = sampled_boundaries(t, 4, 5)
+        stats = measure_partition_balance(t, 4, edges)
+        assert stats.counts.sum() == len(t)
+        assert stats.n_parts == 5

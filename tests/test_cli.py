@@ -1,0 +1,141 @@
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for cmd in ["dataset", "index", "run", "assemble"]:
+            args = {
+                "dataset": ["dataset", "--list"],
+                "index": ["index", "--r1", "x.fastq"],
+                "run": ["run", "--r1", "x.fastq"],
+                "assemble": ["assemble", "--fastq", "x.fastq"],
+            }[cmd]
+            ns = parser.parse_args(args)
+            assert ns.command == cmd
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestDatasetCommand:
+    def test_list(self, capsys):
+        assert main(["dataset", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("HG", "LL", "MM", "IS"):
+            assert name in out
+
+    def test_build(self, tmp_path, capsys):
+        rc = main(
+            ["dataset", "--name", "HG", "--workdir", str(tmp_path), "--scale", "0.02"]
+        )
+        assert rc == 0
+        assert "built HG" in capsys.readouterr().out
+
+
+class TestIndexAndRun:
+    @pytest.fixture()
+    def files(self, tiny_hg):
+        return tiny_hg.r1_path, tiny_hg.r2_path
+
+    def test_index(self, files, tmp_path, capsys):
+        r1, r2 = files
+        rc = main(
+            [
+                "index",
+                "--r1", r1, "--r2", r2,
+                "--k", "27", "--m", "5", "--chunks", "4",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "IndexCreate" in out
+        assert "tables:" in out
+
+    def test_run_without_output(self, files, capsys):
+        r1, r2 = files
+        rc = main(
+            [
+                "run",
+                "--r1", r1, "--r2", r2,
+                "--k", "27", "--m", "5",
+                "--tasks", "2", "--threads", "2", "--passes", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "largest component" in out
+        assert "projected step times" in out
+
+    def test_run_with_filter_and_output(self, files, tmp_path, capsys):
+        r1, r2 = files
+        rc = main(
+            [
+                "run",
+                "--r1", r1, "--r2", r2,
+                "--k", "27", "--m", "5",
+                "--filter", "<15",
+                "--out", str(tmp_path / "parts"),
+            ]
+        )
+        assert rc == 0
+        assert "partitions written" in capsys.readouterr().out
+
+    def test_spectrum(self, files, capsys):
+        r1, r2 = files
+        rc = main(["spectrum", "--fastq", r1, r2, "--k", "17"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "coverage peak" in out
+        assert "suggested --filter" in out
+
+    def test_normalize(self, files, tmp_path, capsys):
+        r1, _ = files
+        out_path = tmp_path / "norm.fastq"
+        rc = main(
+            [
+                "normalize",
+                "--fastq", r1,
+                "--k", "17", "--coverage", "5",
+                "--out", str(out_path),
+            ]
+        )
+        assert rc == 0
+        assert "kept" in capsys.readouterr().out
+        assert out_path.exists()
+
+    def test_trim(self, files, tmp_path, capsys):
+        r1, _ = files
+        out_path = tmp_path / "trimmed.fastq"
+        rc = main(
+            ["trim", "--fastq", r1, "--min-quality", "5", "--out", str(out_path)]
+        )
+        assert rc == 0
+        assert "kept" in capsys.readouterr().out
+        assert out_path.exists()
+
+    def test_calibrate(self, capsys):
+        rc = main(["calibrate"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kmer_rate" in out
+        assert "model" in out
+
+    def test_assemble(self, files, tmp_path, capsys):
+        r1, r2 = files
+        rc = main(
+            [
+                "assemble",
+                "--fastq", r1, r2,
+                "--k", "20",
+                "--out", str(tmp_path / "contigs.fasta"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "contigs" in out
+        assert (tmp_path / "contigs.fasta").exists()

@@ -1,0 +1,26 @@
+"""Run the doctests embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.assembly.stats
+import repro.cc.mergecc
+import repro.seqio.alphabet
+import repro.util.sizes
+import repro.util.timers
+
+MODULES = [
+    repro.seqio.alphabet,
+    repro.util.sizes,
+    repro.util.timers,
+    repro.assembly.stats,
+    repro.cc.mergecc,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures in {module.__name__}"
+    assert result.attempted > 0, f"no doctests found in {module.__name__}"

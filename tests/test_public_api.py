@@ -1,0 +1,73 @@
+"""Public-API integrity: every ``__all__`` name resolves, every public
+callable has a docstring, lazy top-level exports work."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro.util",
+    "repro.seqio",
+    "repro.kmers",
+    "repro.sort",
+    "repro.cc",
+    "repro.index",
+    "repro.runtime",
+    "repro.core",
+    "repro.datasets",
+    "repro.assembly",
+    "repro.baselines",
+    "repro.perf",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_names_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), name
+    for export in module.__all__:
+        assert hasattr(module, export), f"{name}.{export} missing"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_public_callables_documented(name):
+    module = importlib.import_module(name)
+    for export in module.__all__:
+        obj = getattr(module, export)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            assert obj.__doc__, f"{name}.{export} lacks a docstring"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_docstring(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and len(module.__doc__.strip()) > 20, name
+
+
+class TestTopLevelLazyExports:
+    def test_lazy_names(self):
+        import repro
+
+        assert repro.MetaPrep is not None
+        assert repro.PipelineConfig is not None
+        assert callable(repro.build_dataset)
+        assert "HG" in repro.DATASETS
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.not_a_real_symbol
+
+    def test_dir_lists_lazy_names(self):
+        import repro
+
+        listing = dir(repro)
+        assert "MetaPrep" in listing
+        assert "build_dataset" in listing
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

@@ -1,0 +1,39 @@
+import io
+import logging
+
+from repro.util.logging import get_logger, set_verbosity
+
+
+class TestGetLogger:
+    def test_namespacing(self):
+        assert get_logger("kmers").name == "repro.kmers"
+        assert get_logger("repro.kmers").name == "repro.kmers"
+        assert get_logger().name == "repro"
+
+
+class TestSetVerbosity:
+    def test_emits_to_stream(self):
+        stream = io.StringIO()
+        set_verbosity(logging.INFO, stream=stream)
+        get_logger("test").info("hello world")
+        assert "hello world" in stream.getvalue()
+        # cleanup
+        logger = get_logger()
+        for h in list(logger.handlers):
+            logger.removeHandler(h)
+
+    def test_repeated_calls_single_handler(self):
+        stream = io.StringIO()
+        set_verbosity("INFO", stream=stream)
+        set_verbosity("INFO", stream=stream)
+        get_logger("test").info("once")
+        assert stream.getvalue().count("once") == 1
+        logger = get_logger()
+        for h in list(logger.handlers):
+            logger.removeHandler(h)
+
+    def test_unknown_level_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            set_verbosity("NOTALEVEL")

@@ -1,0 +1,37 @@
+import numpy as np
+
+from repro.util.rng import derive_seed, rng_for
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_labels_matter(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_base_seed_matters(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_no_concatenation_collision(self):
+        # ("ab",) vs ("a", "b") must differ thanks to the separator byte
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+    def test_seed_in_64bit_range(self):
+        s = derive_seed(123, "x")
+        assert 0 <= s < 2**64
+
+
+class TestRngFor:
+    def test_streams_reproducible(self):
+        a = rng_for(5, "reads", 10).random(4)
+        b = rng_for(5, "reads", 10).random(4)
+        assert np.array_equal(a, b)
+
+    def test_streams_independent(self):
+        a = rng_for(5, "reads", 10).random(4)
+        b = rng_for(5, "reads", 11).random(4)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,65 @@
+import pytest
+
+from repro.util.sizes import human_bytes, human_count, parse_bytes
+
+
+class TestHumanBytes:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (1024, "1.00 KB"),
+            (49 * 2**30, "49.00 GB"),
+            (int(1.5 * 2**20), "1.50 MB"),
+        ],
+    )
+    def test_formatting(self, value, expected):
+        assert human_bytes(value) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            human_bytes(-1)
+
+
+class TestHumanCount:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, "0"),
+            (999, "999"),
+            (1_130_000_000, "1.13B"),
+            (12_700_000, "12.70M"),
+            (21_300, "21.30K"),
+        ],
+    )
+    def test_formatting(self, value, expected):
+        assert human_count(value) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            human_count(-5)
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1024", 1024),
+            ("64GB", 64 * 2**30),
+            ("64 gb", 64 * 2**30),
+            ("512 mb", 512 * 2**20),
+            ("1.5k", int(1.5 * 1024)),
+            ("10b", 10),
+        ],
+    )
+    def test_parsing(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    def test_roundtrip_with_human(self):
+        assert parse_bytes("49 GB") == 49 * 2**30
+
+    @pytest.mark.parametrize("bad", ["", "GB", "12xyz", "1..2k"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_bytes(bad)

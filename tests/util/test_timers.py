@@ -1,0 +1,96 @@
+import time
+
+import pytest
+
+from repro.util.timers import StepTimer, Stopwatch, TimeBreakdown
+
+
+class TestStopwatch:
+    def test_accumulates_across_intervals(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.01)
+        first = sw.elapsed
+        with sw:
+            time.sleep(0.01)
+        assert sw.elapsed > first
+
+    def test_elapsed_while_running(self):
+        sw = Stopwatch().start()
+        time.sleep(0.005)
+        assert sw.elapsed > 0
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+    def test_double_start_raises(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.002)
+        sw.reset()
+        assert sw.elapsed == 0.0
+
+
+class TestTimeBreakdown:
+    def test_add_and_total(self):
+        bd = TimeBreakdown()
+        bd.add("a", 1.0)
+        bd.add("b", 2.0)
+        bd.add("a", 0.5)
+        assert bd.get("a") == pytest.approx(1.5)
+        assert bd.total == pytest.approx(3.5)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TimeBreakdown().add("a", -1.0)
+
+    def test_merge(self):
+        a = TimeBreakdown({"x": 1.0})
+        b = TimeBreakdown({"x": 2.0, "y": 3.0})
+        a.merge(b)
+        assert a.get("x") == pytest.approx(3.0)
+        assert a.get("y") == pytest.approx(3.0)
+
+    def test_scaled(self):
+        bd = TimeBreakdown({"x": 2.0}).scaled(0.5)
+        assert bd.get("x") == pytest.approx(1.0)
+
+    def test_insertion_order_preserved(self):
+        bd = TimeBreakdown()
+        for name in ["c", "a", "b"]:
+            bd.add(name, 1.0)
+        assert [k for k, _ in bd.items()] == ["c", "a", "b"]
+
+    def test_get_missing_is_zero(self):
+        assert TimeBreakdown().get("nope") == 0.0
+
+
+class TestStepTimer:
+    def test_step_context_records(self):
+        timer = StepTimer()
+        with timer.step("work"):
+            time.sleep(0.002)
+        assert timer.breakdown.get("work") >= 0.002
+
+    def test_record_direct(self):
+        timer = StepTimer()
+        timer.record("x", 1.25)
+        timer.record("x", 0.75)
+        assert timer.breakdown.get("x") == pytest.approx(2.0)
+
+    def test_exception_still_records(self):
+        timer = StepTimer()
+        with pytest.raises(RuntimeError):
+            with timer.step("failing"):
+                raise RuntimeError("boom")
+        assert timer.breakdown.get("failing") >= 0.0
+        assert "failing" in timer.breakdown.seconds

@@ -1,0 +1,60 @@
+import pytest
+
+from repro.util.validation import (
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+    check_type,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0.001)
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", bad)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        check_in_range("k", 1, 1, 63)
+        check_in_range("k", 63, 1, 63)
+
+    @pytest.mark.parametrize("bad", [0, 64])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ValueError):
+            check_in_range("k", bad, 1, 63)
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("ok", [1, 2, 4, 1024])
+    def test_accepts(self, ok):
+        check_power_of_two("n", ok)
+
+    @pytest.mark.parametrize("bad", [0, 3, 6, -4])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_power_of_two("n", bad)
+
+
+class TestCheckType:
+    def test_accepts(self):
+        check_type("s", "abc", str)
+
+    def test_rejects(self):
+        with pytest.raises(TypeError, match="s must be str"):
+            check_type("s", 5, str)
