@@ -36,6 +36,22 @@ class DisjointSetForest:
         return len(self.parent)
 
     @classmethod
+    def wrap(cls, parent: np.ndarray) -> "DisjointSetForest":
+        """Adopt ``parent`` *without copying or validating*.
+
+        Mutations through the forest write straight into ``parent``.  This
+        is the executor-worker constructor: the pipeline ships a task's
+        parent array to a worker (pickled for the process engine, by
+        reference for the serial engine) and wraps it on arrival, so both
+        engines run LocalCC against byte-identical forest state.  Use
+        :meth:`from_parent_array` for untrusted input.
+        """
+        parent = np.ascontiguousarray(parent, dtype=np.int64)
+        forest = cls.__new__(cls)
+        forest.parent = parent
+        return forest
+
+    @classmethod
     def from_parent_array(cls, parent: np.ndarray) -> "DisjointSetForest":
         """Adopt an existing component array (e.g. one received in MergeCC).
 

@@ -78,6 +78,8 @@ def cmd_run(args) -> int:
         kmer_filter=FrequencyFilter.parse(args.filter),
         machine=args.machine,
         write_outputs=args.out is not None,
+        executor=args.executor,
+        max_workers=args.workers,
     )
     result = MetaPrep(config).run(_units_from_args(args), output_dir=args.out)
     print(format_partition_summary(result.partition.summary))
@@ -249,6 +251,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="k-mer frequency filter: 'none', '<30', or '10:30'",
     )
     p.add_argument("--machine", default="edison", choices=("edison", "ganga"))
+    p.add_argument(
+        "--executor",
+        default="serial",
+        choices=("serial", "process"),
+        help="execution backend: inline (serial) or a multiprocessing "
+        "pool (process); results are bit-identical",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --executor process "
+        "(default: all CPU cores)",
+    )
     _add_common(p)
     p.set_defaults(func=cmd_run)
 

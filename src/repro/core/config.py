@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.kmers.codec import MAX_K_TWO_LIMB, KmerCodec
 from repro.kmers.filter import FrequencyFilter
+from repro.runtime.executor import EXECUTOR_NAMES
 from repro.util.validation import check_in_range, check_positive
 
 
@@ -53,6 +54,14 @@ class PipelineConfig:
     #: sanity-check the static offset math against actual counts (cheap;
     #: keep on).
     verify_static_counts: bool = True
+    #: execution backend for per-chunk KmerGen and per-owner-task
+    #: LocalSort+LocalCC: ``"serial"`` (inline, the reference engine) or
+    #: ``"process"`` (a real multiprocessing pool).  Both engines are
+    #: bit-identical; see :mod:`repro.runtime.executor`.
+    executor: str = "serial"
+    #: worker-process count for the ``"process"`` engine (``None`` ->
+    #: ``os.cpu_count()``).  Ignored by the serial engine.
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         check_in_range("k", self.k, 2, MAX_K_TWO_LIMB)
@@ -66,6 +75,13 @@ class PipelineConfig:
                 "set n_passes or memory_budget_per_task (n_passes=None "
                 "means 'derive from the budget')"
             )
+        if self.executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_NAMES}, "
+                f"got {self.executor!r}"
+            )
+        if self.max_workers is not None:
+            check_positive("max_workers", self.max_workers)
         if self.n_chunks is not None:
             if self.n_chunks < self.n_tasks * self.n_threads:
                 raise ValueError(

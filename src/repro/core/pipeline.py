@@ -3,17 +3,25 @@ LocalCC) -> MergeCC -> partitioned output.
 
 The run is organized *exactly* as the paper's distributed execution — P
 tasks x T threads, chunk assignment and k-mer ranges from the index tables,
-the P-stage all-to-all, per-task forests merged over a binary tree — but
-executes in one process.  Results are therefore bit-identical to a real
-parallel run with the same decomposition (no scheduling nondeterminism
-exists: union-by-index makes the forest order-sensitive, so we fix the
-paper's deterministic orders: threads in rank order, sources in rank
-order).
+the P-stage all-to-all, per-task forests merged over a binary tree.  The
+units of work (per-chunk KmerGen, per-owner-task LocalSort+LocalCC) are
+dispatched through a pluggable :mod:`repro.runtime.executor` backend:
+
+* ``executor="serial"`` runs them inline (the reference engine);
+* ``executor="process"`` runs them on a real multiprocessing pool.
+
+Results are bit-identical across engines — and to a real parallel run with
+the same decomposition — because no scheduling nondeterminism exists:
+union-by-index makes the forest order-sensitive, so we fix the paper's
+deterministic orders (threads in rank order, sources in rank order) in the
+job lists and result-merging loops, never in worker scheduling.
 
 Two kinds of timing come out of a run:
 
-* ``result.measured`` — real Python wall time per step (what the local
-  benchmarks report), and
+* ``result.measured`` — real Python time per step.  Under the serial
+  engine this is wall time (what the local benchmarks report); under the
+  process engine it aggregates *work* seconds across workers and can
+  exceed wall-clock.
 * ``result.projected`` — the calibrated machine-model projection from the
   measured work volumes (what reproduces the paper's figures; see
   :mod:`repro.runtime.timing`).
@@ -24,7 +32,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -42,11 +50,17 @@ from repro.core.partition import (
     write_partitions,
 )
 from repro.index.create import IndexCreateResult, index_create
-from repro.index.fastqpart import load_chunk_reads
+from repro.index.fastqpart import FastqPartTable, load_chunk_reads
 from repro.index.offsets import chunk_assignment, send_counts_matrix
 from repro.index.passplan import PassPlan, passes_for_memory_budget, plan_passes
 from repro.kmers.engine import KmerTuples, enumerate_canonical_kmers
+from repro.kmers.filter import FrequencyFilter
 from repro.runtime.comm import AllToAllStats, custom_all_to_all
+from repro.runtime.executor import (
+    ExecutionBackend,
+    create_executor,
+    worker_shared,
+)
 from repro.runtime.machines import get_machine
 from repro.runtime.timing import ProjectedTimes, TimingModel
 from repro.runtime.work import RunWork, StepNames
@@ -61,6 +75,186 @@ _LOG = get_logger("core.pipeline")
 class StaticCountMismatch(AssertionError):
     """The FASTQPart-precomputed counts disagreed with actual KmerGen
     output — indicates index/table corruption or a k/m mismatch."""
+
+
+def _peak_chunk_bytes(table: FastqPartTable) -> int:
+    """Largest combined (R1 + R2) chunk payload; 0 for a chunkless table."""
+    if table.n_chunks == 0:
+        return 0
+    return int(np.max(table.size1 + table.size2))
+
+
+def _estimate_ccio_bytes(
+    table: FastqPartTable,
+    assignment: np.ndarray,
+    n_tasks: int,
+    n_threads: int,
+) -> np.ndarray:
+    """Estimated CC-I/O volume when outputs are not written (output FASTQ
+    ~ input FASTQ bytes).  All-zero for a zero-chunk table."""
+    est = np.zeros((n_tasks, n_threads), dtype=np.int64)
+    for c in range(table.n_chunks):
+        p, t = divmod(int(assignment[c]), n_threads)
+        est[p, t] += table.chunk_bytes(c)
+    return est
+
+
+def _concat_tuples(parts: Sequence[KmerTuples], k: int) -> KmerTuples:
+    nonempty = [x for x in parts if len(x)]
+    return (
+        KmerTuples.concatenate(nonempty) if nonempty else KmerTuples.empty(k)
+    )
+
+
+# ----------------------------------------------------------------------
+# executor job payloads and worker functions
+#
+# Everything below the pool boundary is a module-level function over
+# picklable payloads so the process engine can ship it to workers; the
+# serial engine calls the very same functions inline, which is what makes
+# the two engines bit-identical by construction.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _WorkerContext:
+    """Per-run state installed on every worker once (not per job)."""
+
+    table: FastqPartTable
+    k: int
+    m: int
+    n_tasks: int
+    n_threads: int
+    kmer_filter: FrequencyFilter
+    radix_skip_constant: bool
+
+
+@dataclass
+class _ChunkJob:
+    """One KmerGen unit: enumerate one FASTQ chunk for one pass."""
+
+    chunk: int
+    bin_lo: int
+    bin_hi: int
+    task_edges: np.ndarray
+
+
+@dataclass
+class _ChunkResult:
+    chunk: int
+    #: tuples of this chunk falling in the pass's k-mer range, in scan order
+    kept: KmerTuples
+    #: destination (owner) task of each kept tuple
+    dest: np.ndarray
+    #: k-mer positions scanned (pre-range-filter), for work accounting
+    n_positions: int
+    times: TimeBreakdown
+
+
+def _kmergen_chunk_task(job: _ChunkJob) -> _ChunkResult:
+    """Load one chunk and enumerate its in-pass canonical k-mers.
+
+    Pure with respect to driver state: reads the shared context, touches
+    no forests (the LocalCC-Opt id->component mapping happens on the
+    driver, in chunk order, exactly as a sequential scan would).
+    """
+    ctx: _WorkerContext = worker_shared()
+    times = TimeBreakdown()
+    t0 = time.perf_counter()
+    batch = load_chunk_reads(ctx.table, job.chunk, keep_metadata=False)
+    times.add(StepNames.KMERGEN_IO, time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    tuples = enumerate_canonical_kmers(batch, ctx.k)
+    bins = tuples.kmers.mmer_prefix(ctx.m).astype(np.int64)
+    in_pass = (bins >= job.bin_lo) & (bins < job.bin_hi)
+    kept = tuples.take(np.flatnonzero(in_pass))
+    kept_bins = bins[in_pass]
+    dest = np.searchsorted(job.task_edges, kept_bins, side="right") - 1
+    dest = np.clip(dest, 0, ctx.n_tasks - 1)
+    times.add(StepNames.KMERGEN, time.perf_counter() - t0)
+    return _ChunkResult(
+        chunk=job.chunk,
+        kept=kept,
+        dest=dest,
+        n_positions=len(tuples),
+        times=times,
+    )
+
+
+@dataclass
+class _OwnerJob:
+    """One owner-task unit: LocalSort + LocalCC for task ``task``'s range."""
+
+    task: int
+    #: received tuple blocks in source-rank order (the deterministic
+    #: receive-side layout of the custom all-to-all)
+    parts: List[KmerTuples]
+    #: the task's forest state; mutated in place by the serial engine,
+    #: on a pickled copy (returned in the result) by the process engine
+    parent: np.ndarray
+    thread_edges: np.ndarray
+    span: Tuple[int, int]
+
+
+@dataclass
+class _OwnerResult:
+    task: int
+    parent: np.ndarray
+    n_received: int
+    #: per-thread partition sizes, threads in rank order
+    part_lengths: np.ndarray
+    #: per-thread LocalCC edge counts, threads in rank order
+    edges_by_thread: np.ndarray
+    sort_stats: RadixSortStats
+    cc_stats: LocalCCStats
+    times: TimeBreakdown
+
+
+def _owner_sort_cc_task(job: _OwnerJob) -> _OwnerResult:
+    """Range-partition, sort, and fold one owner task's received tuples.
+
+    Threads run in rank order (sources were already concatenated in rank
+    order), so the union sequence — and with it the resulting parent
+    array — is identical on every engine.
+    """
+    ctx: _WorkerContext = worker_shared()
+    times = TimeBreakdown()
+    received = _concat_tuples(job.parts, ctx.k)
+    forest = DisjointSetForest.wrap(job.parent)
+
+    t0 = time.perf_counter()
+    partitions, counts = range_partition(
+        received, ctx.m, job.thread_edges, span=job.span
+    )
+    sort_stats = RadixSortStats()
+    sorted_parts = []
+    for part in partitions:
+        sorted_part, rstats = radix_sort_tuples(
+            part, skip_constant=ctx.radix_skip_constant
+        )
+        sort_stats.merge(rstats)
+        sorted_parts.append(sorted_part)
+    times.add(StepNames.LOCALSORT, time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    cc_stats = LocalCCStats()
+    edges_by_thread = np.zeros(ctx.n_threads, dtype=np.int64)
+    for t, part in enumerate(sorted_parts):
+        stats_cc = local_connected_components(part, forest, ctx.kmer_filter)
+        cc_stats.merge(stats_cc)
+        edges_by_thread[t] = stats_cc.n_edges
+    times.add(StepNames.LOCALCC, time.perf_counter() - t0)
+    return _OwnerResult(
+        task=job.task,
+        parent=forest.parent,
+        n_received=len(received),
+        part_lengths=np.asarray(counts, dtype=np.int64),
+        edges_by_thread=edges_by_thread,
+        sort_stats=sort_stats,
+        cc_stats=cc_stats,
+        times=times,
+    )
 
 
 @dataclass
@@ -92,11 +286,13 @@ class PipelineResult:
         return self.projected.total_seconds
 
     def memory_per_task_bytes(self) -> int:
-        """Section 3.7 memory estimate on this run's measured volumes."""
+        """Section 3.7 memory estimate on this run's measured volumes.
+
+        Well-defined for degenerate runs too: a zero-chunk table
+        contributes no chunk payload (the index tables still count).
+        """
         table = self.index.fastqpart
-        chunk_bytes = (
-            int(max(table.size1 + table.size2)) if table.n_chunks else 0
-        )
+        chunk_bytes = _peak_chunk_bytes(table)
         table_bytes = table.nbytes + self.index.merhist.nbytes
         model = TimingModel(get_machine(self.config.machine))
         return model.memory_per_task(self.work, chunk_bytes, table_bytes)
@@ -126,7 +322,9 @@ class MetaPrep:
         multipass run resumes after its last completed pass (see
         :mod:`repro.core.checkpoint`).  A resumed run's measured times and
         work volumes cover only the passes it actually executed.  The
-        checkpoint is cleared on successful completion.
+        checkpoint is cleared on successful completion.  Checkpoints are
+        executor-agnostic: a run interrupted under one engine may resume
+        under the other.
         """
         cfg = self.config
         if index is None:
@@ -161,8 +359,7 @@ class MetaPrep:
             k=cfg.k,
             tuple_bytes=cfg.tuple_bytes,
         )
-        if table.n_chunks:
-            work.fastq_chunk_bytes = int(max(table.size1 + table.size2))
+        work.fastq_chunk_bytes = _peak_chunk_bytes(table)
         work.table_bytes = table.nbytes + merhist.nbytes
         timer = StepTimer()
         forests = [DisjointSetForest(n_reads) for _ in range(p_tasks)]
@@ -203,31 +400,47 @@ class MetaPrep:
                     n_passes,
                 )
 
-        for spec in plan.passes:
-            if spec.index < start_pass:
-                continue
-            self._run_pass(
-                spec,
-                table,
-                assignment,
-                forests,
-                work,
-                timer,
-                sort_stats,
-                cc_stats,
-                comm_stats,
+        executor = create_executor(cfg.executor, cfg.max_workers)
+        executor.set_shared(
+            _WorkerContext(
+                table=table,
+                k=cfg.k,
+                m=cfg.m,
+                n_tasks=p_tasks,
+                n_threads=t_threads,
+                kmer_filter=cfg.kmer_filter,
+                radix_skip_constant=cfg.radix_skip_constant,
             )
-            if store is not None:
-                from repro.core.checkpoint import Checkpoint
-
-                store.save(
-                    Checkpoint(
-                        fingerprint=fingerprint,
-                        n_passes_total=n_passes,
-                        passes_done=spec.index + 1,
-                        parents=[f.parent for f in forests],
-                    )
+        )
+        try:
+            for spec in plan.passes:
+                if spec.index < start_pass:
+                    continue
+                self._run_pass(
+                    spec,
+                    table,
+                    assignment,
+                    forests,
+                    work,
+                    timer,
+                    sort_stats,
+                    cc_stats,
+                    comm_stats,
+                    executor,
                 )
+                if store is not None:
+                    from repro.core.checkpoint import Checkpoint
+
+                    store.save(
+                        Checkpoint(
+                            fingerprint=fingerprint,
+                            n_passes_total=n_passes,
+                            passes_done=spec.index + 1,
+                            parents=[f.parent for f in forests],
+                        )
+                    )
+        finally:
+            executor.close()
 
         # ---- MergeCC --------------------------------------------------
         with timer.step(StepNames.MERGECC):
@@ -251,12 +464,9 @@ class MetaPrep:
                 )
             work.ccio_bytes = partition.bytes_written.copy()
         else:
-            # estimate output volume (output FASTQ ~ input FASTQ bytes)
-            est = np.zeros((p_tasks, t_threads), dtype=np.int64)
-            for c in range(table.n_chunks):
-                pp, tt = divmod(int(assignment[c]), t_threads)
-                est[pp, tt] += table.chunk_bytes(c)
-            work.ccio_bytes = est
+            work.ccio_bytes = _estimate_ccio_bytes(
+                table, assignment, p_tasks, t_threads
+            )
 
         if store is not None:
             store.clear()
@@ -298,6 +508,7 @@ class MetaPrep:
         sort_stats: RadixSortStats,
         cc_stats: LocalCCStats,
         comm_stats: List[AllToAllStats],
+        executor: ExecutionBackend,
     ) -> None:
         cfg = self.config
         p_tasks, t_threads = cfg.n_tasks, cfg.n_threads
@@ -317,41 +528,48 @@ class MetaPrep:
             )
 
         # ---- KmerGen (+ I/O) -------------------------------------------
+        # One job per chunk, dispatched through the executor; results come
+        # back in chunk order regardless of which worker ran them.
+        chunk_results = executor.map(
+            _kmergen_chunk_task,
+            [
+                _ChunkJob(
+                    chunk=c,
+                    bin_lo=spec.bin_lo,
+                    bin_hi=spec.bin_hi,
+                    task_edges=spec.task_edges,
+                )
+                for c in range(table.n_chunks)
+            ],
+        )
+
         # send_blocks[p][d] accumulates per-thread tuple slices in thread
         # order: the deterministic buffer layout of section 3.2.2.
         send_parts: List[List[List[KmerTuples]]] = [
             [[] for _ in range(p_tasks)] for _ in range(p_tasks)
         ]
         actual_counts = np.zeros((p_tasks, t_threads, p_tasks), dtype=np.int64)
-        for c in range(table.n_chunks):
-            slot = int(assignment[c])
-            p, t = divmod(slot, t_threads)
-            t_io0 = time.perf_counter()
-            batch = load_chunk_reads(table, c, keep_metadata=False)
-            timer.record(StepNames.KMERGEN_IO, time.perf_counter() - t_io0)
+        for res in chunk_results:
+            c = res.chunk
+            p, t = divmod(int(assignment[c]), t_threads)
+            timer.merge(res.times)
             work.kmergen_io_bytes[p, t] += table.chunk_bytes(c)
             work.fastq_parse_bytes[p, t] += table.chunk_bytes(c)
+            work.kmergen_positions_scanned[p, t] += res.n_positions
 
             t_gen0 = time.perf_counter()
-            tuples = enumerate_canonical_kmers(batch, cfg.k)
-            work.kmergen_positions_scanned[p, t] += len(tuples)
-            bins = tuples.kmers.mmer_prefix(cfg.m).astype(np.int64)
-            in_pass = (bins >= spec.bin_lo) & (bins < spec.bin_hi)
-            kept = tuples.take(np.flatnonzero(in_pass))
+            kept = res.kept
             if use_opt and len(kept):
                 # LocalCC-Opt: enumerate (k-mer, component id) tuples.
+                # Mapped on the driver, chunk by chunk in scan order, so
+                # forest state never crosses the executor boundary here.
                 kept = KmerTuples(
                     kept.kmers,
                     map_ids_to_components(kept.read_ids, forests[p]),
                 )
             work.kmergen_tuples[p, t] += len(kept)
-            kept_bins = bins[in_pass]
-            dest = (
-                np.searchsorted(spec.task_edges, kept_bins, side="right") - 1
-            )
-            dest = np.clip(dest, 0, p_tasks - 1)
             for d in range(p_tasks):
-                sel = np.flatnonzero(dest == d)
+                sel = np.flatnonzero(res.dest == d)
                 part = kept.take(sel) if len(sel) else KmerTuples.empty(cfg.k)
                 send_parts[p][d].append(part)
                 actual_counts[p, t, d] += len(part)
@@ -366,18 +584,10 @@ class MetaPrep:
                 f"{expected[p, t, d]}"
             )
 
-        def _concat(parts: List[KmerTuples]) -> KmerTuples:
-            nonempty = [x for x in parts if len(x)]
-            return (
-                KmerTuples.concatenate(nonempty)
-                if nonempty
-                else KmerTuples.empty(cfg.k)
-            )
-
         # ---- KmerGen-Comm ----------------------------------------------
         with timer.step(StepNames.KMERGEN_COMM):
             send_blocks = [
-                [_concat(send_parts[p][d]) for d in range(p_tasks)]
+                [_concat_tuples(send_parts[p][d], cfg.k) for d in range(p_tasks)]
                 for p in range(p_tasks)
             ]
             recv_blocks, stats = custom_all_to_all(
@@ -388,38 +598,36 @@ class MetaPrep:
         work.comm_stage_max_bytes.append(list(stats.max_message_bytes_per_stage))
 
         # ---- LocalSort + LocalCC per owner task -------------------------
+        # One job per destination task d; the serial engine mutates
+        # forests[d] in place, the process engine round-trips a pickled
+        # copy — either way res.parent is the post-pass forest state.
+        owner_results = executor.map(
+            _owner_sort_cc_task,
+            [
+                _OwnerJob(
+                    task=d,
+                    parts=list(recv_blocks[d]),
+                    parent=forests[d].parent,
+                    thread_edges=spec.thread_edges[d],
+                    span=(int(spec.task_edges[d]), int(spec.task_edges[d + 1])),
+                )
+                for d in range(p_tasks)
+            ],
+        )
         nominal_passes = radix_passes_for(cfg.k)
-        for d in range(p_tasks):
-            received = _concat(list(recv_blocks[d]))
-            t_sort0 = time.perf_counter()
-            partitions, counts = range_partition(
-                received,
-                cfg.m,
-                spec.thread_edges[d],
-                span=(int(spec.task_edges[d]), int(spec.task_edges[d + 1])),
-            )
+        for res in owner_results:
+            d = res.task
+            forests[d] = DisjointSetForest.wrap(res.parent)
+            timer.merge(res.times)
             # partition scatter work: each thread handles ~1/T of the stream
-            share = int(np.ceil(len(received) / t_threads))
-            work.partition_tuples[d, :] += share
-            sorted_parts = []
-            for t, part in enumerate(partitions):
-                sorted_part, rstats = radix_sort_tuples(
-                    part, skip_constant=cfg.radix_skip_constant
-                )
-                sort_stats.merge(rstats)
-                # timing model uses the paper's fixed pass count
-                work.sort_tuple_passes[d, t] += len(part) * nominal_passes
-                sorted_parts.append(sorted_part)
-            timer.record(StepNames.LOCALSORT, time.perf_counter() - t_sort0)
-
-            t_cc0 = time.perf_counter()
-            for t, part in enumerate(sorted_parts):
-                stats_cc = local_connected_components(
-                    part, forests[d], cfg.kmer_filter
-                )
-                cc_stats.merge(stats_cc)
-                if is_first_pass:
-                    work.cc_edges_first_pass[d, t] += stats_cc.n_edges
-                else:
-                    work.cc_edges_later_passes[d, t] += stats_cc.n_edges
-            timer.record(StepNames.LOCALCC, time.perf_counter() - t_cc0)
+            work.partition_tuples[d, :] += int(
+                np.ceil(res.n_received / t_threads)
+            )
+            # timing model uses the paper's fixed pass count
+            work.sort_tuple_passes[d, :] += res.part_lengths * nominal_passes
+            if is_first_pass:
+                work.cc_edges_first_pass[d, :] += res.edges_by_thread
+            else:
+                work.cc_edges_later_passes[d, :] += res.edges_by_thread
+            sort_stats.merge(res.sort_stats)
+            cc_stats.merge(res.cc_stats)

@@ -14,9 +14,20 @@ physical machines with a deterministic simulation:
   volumes onto a named :class:`~repro.runtime.machines.MachineSpec`
   (Edison, Ganga), reproducing the *shape* of the paper's scaling figures
   — load imbalance, communication overhead, multipass trade-offs and
-  crossovers all derive from measured volumes, not fitted curves.
+  crossovers all derive from measured volumes, not fitted curves;
+* a pluggable :mod:`~repro.runtime.executor` backend optionally runs the
+  decomposed work units on a real multiprocessing pool
+  (``executor="process"``), bit-identical to the serial reference engine.
 """
 
+from repro.runtime.executor import (
+    EXECUTOR_NAMES,
+    ExecutionBackend,
+    ExecutorError,
+    ProcessExecutor,
+    SerialExecutor,
+    create_executor,
+)
 from repro.runtime.machines import MachineSpec, EDISON, GANGA, get_machine
 from repro.runtime.comm import (
     AllToAllStats,
@@ -28,6 +39,12 @@ from repro.runtime.timing import TimingModel, ProjectedTimes
 from repro.runtime.trace import projection_to_trace_events, write_chrome_trace
 
 __all__ = [
+    "EXECUTOR_NAMES",
+    "ExecutionBackend",
+    "ExecutorError",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "create_executor",
     "MachineSpec",
     "EDISON",
     "GANGA",

@@ -1,0 +1,202 @@
+"""Pluggable execution backends for the pipeline's parallel stages.
+
+The paper's METAPREP runs P MPI tasks x T OpenMP threads.  The driver in
+:mod:`repro.core.pipeline` decomposes the work exactly that way (chunk
+assignment, k-mer ranges, message schedule) but historically executed
+every unit of work in one Python process — the parallelism existed only
+in the timing model.  This module supplies the missing real concurrency:
+
+* :class:`SerialExecutor` — runs every job inline, in submission order.
+  This is the reference engine; its behavior is byte-for-byte the
+  pre-executor pipeline.
+* :class:`ProcessExecutor` — runs jobs on a ``concurrent.futures``
+  process pool, exchanging pickled numpy tuple buffers with the workers.
+
+**Determinism contract.**  ``map(fn, jobs)`` always returns results in
+job-submission order, regardless of the order in which workers finish.
+Backends never reorder, drop, or retry jobs.  Because the pipeline's
+deterministic orders (threads in rank order, sources in rank order) are
+encoded in the job list and the result-merging loop — not in scheduling —
+every engine produces bit-identical partitions, work counters, and
+static-count checks.  ``tests/integration/test_executor_equivalence.py``
+enforces this.
+
+**Failure contract.**  A job that raises propagates its exception to the
+caller.  A worker process that dies abruptly (segfault, ``os._exit``,
+OOM-kill) raises :class:`ExecutorError` — never a hang — courtesy of
+``concurrent.futures``'s broken-pool detection.
+
+Workers receive per-run shared state (index tables, config constants)
+via :func:`worker_shared`, installed once per pool by an initializer
+rather than pickled into every job.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Callable, List, Sequence, TypeVar
+
+from repro.util.logging import get_logger
+
+_LOG = get_logger("runtime.executor")
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: recognized backend names, in documentation order
+EXECUTOR_NAMES = ("serial", "process")
+
+
+class ExecutorError(RuntimeError):
+    """A backend could not complete submitted work.
+
+    Raised when a worker process dies without reporting a result (the
+    pool is then unusable and is torn down).  Ordinary exceptions raised
+    *by* a job are re-raised as themselves, not wrapped.
+    """
+
+
+# ----------------------------------------------------------------------
+# per-worker shared state
+# ----------------------------------------------------------------------
+_WORKER_SHARED = None
+
+
+def _install_shared(shared) -> None:
+    """Pool initializer: stash the run's shared state in this process."""
+    global _WORKER_SHARED
+    _WORKER_SHARED = shared
+
+
+def worker_shared():
+    """The shared object installed by :meth:`ExecutionBackend.set_shared`.
+
+    Valid inside job functions (both engines install it before any job
+    runs).  Returns ``None`` when no run is active.
+    """
+    return _WORKER_SHARED
+
+
+class ExecutionBackend:
+    """Interface shared by all engines."""
+
+    name: str = "abstract"
+
+    def set_shared(self, shared) -> None:
+        """Install per-run shared state, visible to jobs via
+        :func:`worker_shared`.  Must be called before :meth:`map` when the
+        job functions rely on shared state; replacing the state of a live
+        process pool recycles its workers."""
+        raise NotImplementedError
+
+    def map(self, fn: Callable[[T], R], jobs: Sequence[T]) -> List[R]:
+        """Run ``fn`` over ``jobs``; results in submission order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pool resources.  Idempotent."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialExecutor(ExecutionBackend):
+    """Inline execution in the calling process (the reference engine)."""
+
+    name = "serial"
+    max_workers = 1
+
+    def set_shared(self, shared) -> None:
+        _install_shared(shared)
+
+    def map(self, fn: Callable[[T], R], jobs: Sequence[T]) -> List[R]:
+        return [fn(job) for job in jobs]
+
+    def close(self) -> None:
+        _install_shared(None)
+
+
+class ProcessExecutor(ExecutionBackend):
+    """Real multiprocess execution on a ``ProcessPoolExecutor``.
+
+    The pool is created lazily on first :meth:`map` (so shared state set
+    beforehand is visible to the workers from birth) and reused across
+    calls — one pool serves every pass of a pipeline run.  The ``fork``
+    start method is preferred when the platform offers it: workers then
+    inherit the parent's module state directly and per-job pickling is
+    limited to the job payloads and results.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self._shared = None
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _context():
+        methods = mp.get_all_start_methods()
+        return mp.get_context("fork" if "fork" in methods else None)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                mp_context=self._context(),
+                initializer=_install_shared,
+                initargs=(self._shared,),
+            )
+        return self._pool
+
+    # ------------------------------------------------------------------
+    def set_shared(self, shared) -> None:
+        self._shared = shared
+        if self._pool is not None:
+            # workers were initialized with the old state: recycle them
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def map(self, fn: Callable[[T], R], jobs: Sequence[T]) -> List[R]:
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        pool = self._ensure_pool()
+        try:
+            # chunksize=1 keeps scheduling granular (jobs are coarse
+            # units — whole FASTQ chunks or whole owner tasks); map
+            # yields results in submission order by construction.
+            return list(pool.map(fn, jobs, chunksize=1))
+        except BrokenExecutor as exc:
+            self.close()
+            raise ExecutorError(
+                f"a '{self.name}' executor worker died while running "
+                f"{getattr(fn, '__name__', fn)!r} (abrupt exit, signal, or "
+                "out-of-memory kill); partial results were discarded"
+            ) from exc
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def create_executor(
+    name: str = "serial", max_workers: int | None = None
+) -> ExecutionBackend:
+    """Instantiate an engine by name (``"serial"`` or ``"process"``)."""
+    if name == "serial":
+        return SerialExecutor()
+    if name == "process":
+        return ProcessExecutor(max_workers=max_workers)
+    raise ValueError(
+        f"unknown executor {name!r}; expected one of {EXECUTOR_NAMES}"
+    )

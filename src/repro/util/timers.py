@@ -122,3 +122,14 @@ class StepTimer:
 
     def record(self, name: str, dt: float) -> None:
         self.breakdown.add(name, dt)
+
+    def merge(self, other: TimeBreakdown) -> None:
+        """Fold a worker-produced breakdown into this timer.
+
+        Executor workers time their own steps and ship the breakdown back
+        with the result; the driver aggregates them here.  Under the
+        process engine the aggregate is *work* seconds summed across
+        workers (it can exceed wall-clock); under the serial engine it
+        equals wall-clock, as before.
+        """
+        self.breakdown.merge(other)

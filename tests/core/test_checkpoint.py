@@ -156,3 +156,74 @@ class TestPipelineResume:
             MetaPrep(PipelineConfig(**changed)).run(
                 tiny_hg.units, checkpoint_dir=tmp_path
             )
+
+
+class TestExecutorResume:
+    """Checkpoints are executor-agnostic: interrupting a 4-pass run after
+    any pass, under either engine, and resuming — under the same engine or
+    the other one — reproduces the uninterrupted run's partition exactly.
+    """
+
+    CFG = dict(
+        k=27, m=5, n_tasks=2, n_threads=2, n_passes=4, write_outputs=False
+    )
+
+    def _interrupted_runner(self, executor, crash_pass):
+        runner = MetaPrep(PipelineConfig(executor=executor, **self.CFG))
+        original = runner._run_pass
+
+        def exploding(spec, *args, **kwargs):
+            if spec.index == crash_pass:
+                raise RuntimeError("injected interruption")
+            return original(spec, *args, **kwargs)
+
+        runner._run_pass = exploding
+        return runner
+
+    @pytest.fixture(scope="class")
+    def reference(self, tiny_hg):
+        return MetaPrep(PipelineConfig(executor="serial", **self.CFG)).run(
+            tiny_hg.units
+        )
+
+    @pytest.mark.parametrize("crash_pass", [1, 2, 3])
+    @pytest.mark.parametrize(
+        "first_engine,resume_engine",
+        [
+            ("serial", "serial"),
+            ("process", "process"),
+            ("serial", "process"),
+            ("process", "serial"),
+        ],
+    )
+    def test_resume_matches_uninterrupted(
+        self,
+        tiny_hg,
+        tmp_path,
+        reference,
+        crash_pass,
+        first_engine,
+        resume_engine,
+    ):
+        runner = self._interrupted_runner(first_engine, crash_pass)
+        with pytest.raises(RuntimeError, match="injected interruption"):
+            runner.run(tiny_hg.units, checkpoint_dir=tmp_path)
+        assert CheckpointStore(tmp_path).exists()
+        assert CheckpointStore(tmp_path).load(
+            config_fingerprint(
+                PipelineConfig(**self.CFG),
+                reference.n_reads,
+                reference.index.merhist.total_tuples,
+            )
+        ).passes_done == crash_pass
+
+        result = MetaPrep(
+            PipelineConfig(executor=resume_engine, **self.CFG)
+        ).run(tiny_hg.units, checkpoint_dir=tmp_path)
+        assert np.array_equal(
+            result.partition.labels, reference.partition.labels
+        )
+        assert np.array_equal(
+            result.partition.parent, reference.partition.parent
+        )
+        assert not CheckpointStore(tmp_path).exists()

@@ -178,3 +178,70 @@ class TestK63:
             res.partition.summary.largest_component_size
             <= baseline.partition.summary.largest_component_size
         )
+
+
+class TestDegenerateInputs:
+    """Zero-chunk and empty-unit inputs must not divide by zero in the
+    memory/CCIO estimates, under either execution backend."""
+
+    def _zero_chunk_index(self, k=21, m=4):
+        from repro.index.create import IndexCreateResult
+        from repro.index.fastqpart import FastqPartTable
+        from repro.index.merhist import MerHist
+
+        n_bins = 1 << (2 * m)
+        empty = np.zeros(0, dtype=np.int64)
+        table = FastqPartTable(
+            k=k,
+            m=m,
+            units=[],
+            unit=empty,
+            read_lo=empty,
+            read_hi=empty,
+            offset1=empty,
+            size1=empty,
+            offset2=empty,
+            size2=empty,
+            hist=np.zeros((0, n_bins), dtype=np.uint32),
+            total_reads=0,
+        )
+        merhist = MerHist(k=k, m=m, counts=np.zeros(n_bins, dtype=np.uint32))
+        return IndexCreateResult(
+            merhist=merhist,
+            fastqpart=table,
+            fastqpart_seconds=0.0,
+            merhist_seconds=0.0,
+        )
+
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_zero_chunk_table_runs(self, executor):
+        index = self._zero_chunk_index()
+        cfg = PipelineConfig(
+            k=21, m=4, n_tasks=2, n_threads=2, write_outputs=False,
+            executor=executor, max_workers=2,
+        )
+        res = MetaPrep(cfg).run([], index=index)
+        assert res.n_reads == 0
+        assert len(res.partition.labels) == 0
+        assert int(res.work.ccio_bytes.sum()) == 0
+        # memory estimate must stay finite with no chunks to take max() of
+        assert res.memory_per_task_bytes() >= 0
+
+    def test_empty_unit_alongside_real_unit(self, tiny_hg, tmp_path, baseline):
+        from repro.index.create import index_create
+
+        empty = tmp_path / "empty.fastq"
+        empty.write_text("")
+        units = list(tiny_hg.units) + [str(empty)]
+        idx = index_create(units, k=27, m=5, n_chunks=8)
+        cfg = PipelineConfig(k=27, m=5, n_tasks=1, n_threads=2, write_outputs=False)
+        res = MetaPrep(cfg).run(units, index=idx)
+        assert np.array_equal(res.partition.labels, baseline.partition.labels)
+
+    def test_all_empty_units_rejected(self, tmp_path):
+        empty = tmp_path / "empty.fastq"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="no reads"):
+            MetaPrep(
+                PipelineConfig(k=21, m=4, write_outputs=False)
+            ).run([str(empty)])

@@ -1,0 +1,128 @@
+"""Differential test suite: the ``process`` engine must be bit-identical
+to the ``serial`` reference engine.
+
+For every grid point (P, T, n_passes, k in {21, 33}, LocalCC-Opt on/off)
+the two engines run the same dataset through the same prebuilt index, and
+the partition labels, the component summary, and *every* integer counter
+in :class:`~repro.runtime.work.RunWork` are compared for exact equality.
+Any scheduling leak — a reordered union, a dropped tuple, a miscounted
+byte — shows up here as a hard mismatch, not a statistical drift.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import MetaPrep
+from repro.index.create import index_create
+from repro.runtime.work import RunWork
+
+M = 5
+N_CHUNKS = 12
+
+
+@pytest.fixture(scope="module")
+def indexes(tiny_hg):
+    """One prebuilt index per k (k=33 exercises two-limb k-mers)."""
+    return {
+        k: index_create(tiny_hg.units, k=k, m=M, n_chunks=N_CHUNKS)
+        for k in (21, 33)
+    }
+
+
+GRID = [
+    dict(k=21, n_tasks=1, n_threads=1, n_passes=1, localcc_opt=True),
+    dict(k=21, n_tasks=2, n_threads=2, n_passes=1, localcc_opt=True),
+    dict(k=21, n_tasks=2, n_threads=2, n_passes=2, localcc_opt=False),
+    dict(k=21, n_tasks=3, n_threads=2, n_passes=2, localcc_opt=True),
+    dict(k=21, n_tasks=4, n_threads=1, n_passes=3, localcc_opt=True),
+    dict(k=33, n_tasks=2, n_threads=2, n_passes=1, localcc_opt=True),
+    dict(k=33, n_tasks=2, n_threads=3, n_passes=2, localcc_opt=True),
+    dict(k=33, n_tasks=3, n_threads=1, n_passes=2, localcc_opt=False),
+]
+
+
+def _run(tiny_hg, indexes, grid_point, executor):
+    cfg = PipelineConfig(
+        m=M,
+        write_outputs=False,
+        executor=executor,
+        max_workers=2,
+        **grid_point,
+    )
+    return MetaPrep(cfg).run(tiny_hg.units, index=indexes[grid_point["k"]])
+
+
+def assert_runwork_identical(a: RunWork, b: RunWork) -> None:
+    """Every field of RunWork must match exactly, by whatever equality its
+    type defines (arrays elementwise, lists/ints structurally)."""
+    for f in dataclasses.fields(RunWork):
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(va, np.ndarray):
+            assert np.array_equal(va, vb), f"RunWork.{f.name} differs"
+        else:
+            assert va == vb, f"RunWork.{f.name} differs: {va!r} != {vb!r}"
+
+
+@pytest.mark.parametrize(
+    "grid_point",
+    GRID,
+    ids=lambda g: (
+        f"k{g['k']}-P{g['n_tasks']}-T{g['n_threads']}-S{g['n_passes']}-"
+        f"opt{int(g['localcc_opt'])}"
+    ),
+)
+class TestBitIdentity:
+    def test_process_matches_serial(self, tiny_hg, indexes, grid_point):
+        serial = _run(tiny_hg, indexes, grid_point, "serial")
+        process = _run(tiny_hg, indexes, grid_point, "process")
+
+        # partition: labels, parent array, and the summary
+        assert np.array_equal(
+            serial.partition.labels, process.partition.labels
+        )
+        assert np.array_equal(
+            serial.partition.parent, process.partition.parent
+        )
+        assert serial.partition.summary == process.partition.summary
+        assert serial.partition.largest_label == process.partition.largest_label
+
+        # every RunWork integer counter
+        assert_runwork_identical(serial.work, process.work)
+
+        # step-level stats ride along bit-identically too
+        assert serial.sort_stats == process.sort_stats
+        assert serial.cc_stats == process.cc_stats
+        assert len(serial.comm_stats) == len(process.comm_stats)
+        for sa, sb in zip(serial.comm_stats, process.comm_stats):
+            assert np.array_equal(sa.bytes_matrix, sb.bytes_matrix)
+            assert (
+                sa.max_message_bytes_per_stage
+                == sb.max_message_bytes_per_stage
+            )
+
+        # and the projection, which is a pure function of the volumes
+        assert (
+            serial.projected.total_seconds == process.projected.total_seconds
+        )
+
+
+class TestStaticChecksActiveInWorkers:
+    def test_corrupt_index_still_detected_under_process_engine(self, tiny_hg):
+        """The StaticCountMismatch defense must survive the executor
+        boundary: counts are produced by workers, verified by the driver."""
+        from repro.core.pipeline import StaticCountMismatch
+
+        index = index_create(tiny_hg.units, k=21, m=M, n_chunks=8)
+        index.fastqpart.hist[0, :] = index.fastqpart.hist[0, ::-1].copy()
+        index.merhist.counts = index.fastqpart.global_histogram().astype(
+            np.uint32
+        )
+        cfg = PipelineConfig(
+            k=21, m=M, n_tasks=2, n_threads=2, write_outputs=False,
+            verify_static_counts=True, executor="process", max_workers=2,
+        )
+        with pytest.raises(StaticCountMismatch):
+            MetaPrep(cfg).run(tiny_hg.units, index=index)

@@ -1,0 +1,137 @@
+"""Unit tests for the pluggable execution backends.
+
+The backends' two contracts — result order == submission order, and loud
+failure instead of hangs — are what the pipeline's bit-identity guarantee
+rests on; both are exercised here directly, below the pipeline.
+"""
+
+import multiprocessing as mp
+import os
+
+import pytest
+
+from repro.runtime.executor import (
+    EXECUTOR_NAMES,
+    ExecutorError,
+    ProcessExecutor,
+    SerialExecutor,
+    create_executor,
+    worker_shared,
+)
+
+HAS_FORK = "fork" in mp.get_all_start_methods()
+
+
+# ---- module-level job functions (picklable for the process engine) ----
+def _square(x):
+    return x * x
+
+
+def _raise_on_three(x):
+    if x == 3:
+        raise ValueError(f"injected job failure on {x}")
+    return x
+
+
+def _exit_on_two(x):
+    if x == 2:
+        os._exit(17)  # simulate a segfault/OOM-kill: no exception, no result
+    return x
+
+
+def _shared_plus(x):
+    return worker_shared() + x
+
+
+class TestFactory:
+    def test_names(self):
+        assert create_executor("serial").name == "serial"
+        assert create_executor("process").name == "process"
+        assert set(EXECUTOR_NAMES) == {"serial", "process"}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            create_executor("mpi")
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            ProcessExecutor(max_workers=0)
+
+    def test_default_worker_count(self):
+        ex = ProcessExecutor()
+        assert ex.max_workers >= 1
+
+
+class TestSerialExecutor:
+    def test_map_order_and_values(self):
+        with SerialExecutor() as ex:
+            assert ex.map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty_jobs(self):
+        with SerialExecutor() as ex:
+            assert ex.map(_square, []) == []
+
+    def test_shared_state(self):
+        ex = SerialExecutor()
+        ex.set_shared(100)
+        assert ex.map(_shared_plus, [1, 2]) == [101, 102]
+        ex.close()
+        assert worker_shared() is None
+
+    def test_job_exception_propagates(self):
+        with SerialExecutor() as ex:
+            with pytest.raises(ValueError, match="injected job failure"):
+                ex.map(_raise_on_three, [1, 2, 3, 4])
+
+
+class TestProcessExecutor:
+    def test_map_order_and_values(self):
+        with ProcessExecutor(max_workers=2) as ex:
+            assert ex.map(_square, list(range(10))) == [
+                x * x for x in range(10)
+            ]
+
+    def test_empty_jobs_do_not_spawn(self):
+        ex = ProcessExecutor(max_workers=2)
+        assert ex.map(_square, []) == []
+        assert ex._pool is None  # no pool was ever created
+        ex.close()
+
+    def test_pool_reused_across_maps(self):
+        with ProcessExecutor(max_workers=2) as ex:
+            ex.map(_square, [1])
+            pool = ex._pool
+            ex.map(_square, [2])
+            assert ex._pool is pool
+
+    def test_shared_state_reaches_workers(self):
+        with ProcessExecutor(max_workers=2) as ex:
+            ex.set_shared(100)
+            assert ex.map(_shared_plus, [1, 2, 3]) == [101, 102, 103]
+
+    def test_set_shared_recycles_pool(self):
+        with ProcessExecutor(max_workers=2) as ex:
+            ex.set_shared(10)
+            assert ex.map(_shared_plus, [0]) == [10]
+            ex.set_shared(20)
+            assert ex.map(_shared_plus, [0]) == [20]
+
+    def test_job_exception_propagates_as_itself(self):
+        with ProcessExecutor(max_workers=2) as ex:
+            with pytest.raises(ValueError, match="injected job failure"):
+                ex.map(_raise_on_three, [1, 2, 3, 4])
+
+    @pytest.mark.skipif(not HAS_FORK, reason="requires fork start method")
+    def test_dead_worker_raises_not_hangs(self):
+        with ProcessExecutor(max_workers=2) as ex:
+            with pytest.raises(ExecutorError, match="worker died"):
+                ex.map(_exit_on_two, [1, 2, 3])
+        # the executor is reusable after the failure: a fresh pool spawns
+        with ProcessExecutor(max_workers=2) as ex2:
+            assert ex2.map(_square, [2]) == [4]
+
+    def test_close_idempotent(self):
+        ex = ProcessExecutor(max_workers=1)
+        ex.map(_square, [1])
+        ex.close()
+        ex.close()

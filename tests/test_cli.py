@@ -71,6 +71,37 @@ class TestIndexAndRun:
         assert "largest component" in out
         assert "projected step times" in out
 
+    def test_run_executor_flags_parsed(self):
+        ns = build_parser().parse_args(
+            ["run", "--r1", "x.fastq", "--executor", "process", "--workers", "3"]
+        )
+        assert ns.executor == "process"
+        assert ns.workers == 3
+        # defaults
+        ns = build_parser().parse_args(["run", "--r1", "x.fastq"])
+        assert ns.executor == "serial"
+        assert ns.workers is None
+
+    def test_run_unknown_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--r1", "x.fastq", "--executor", "mpi"]
+            )
+
+    def test_run_with_process_executor(self, files, capsys):
+        r1, r2 = files
+        rc = main(
+            [
+                "run",
+                "--r1", r1, "--r2", r2,
+                "--k", "27", "--m", "5",
+                "--tasks", "2", "--threads", "2",
+                "--executor", "process", "--workers", "2",
+            ]
+        )
+        assert rc == 0
+        assert "largest component" in capsys.readouterr().out
+
     def test_run_with_filter_and_output(self, files, tmp_path, capsys):
         r1, r2 = files
         rc = main(
