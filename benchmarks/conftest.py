@@ -14,7 +14,7 @@ import pytest
 
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import MetaPrep, PipelineResult
-from repro.datasets.registry import DATASETS, build_dataset
+from repro.datasets.registry import build_dataset
 from repro.index.create import index_create
 from repro.runtime.machines import get_machine
 from repro.runtime.timing import TimingModel

@@ -1,0 +1,121 @@
+"""Service artifact cache: cold vs warm submit latency.
+
+The job service's content-addressed store turns a repeated submission of
+the same (dataset, configuration) into a cache lookup: no IndexCreate,
+no passes.  This benchmark measures the end-to-end daemon latency of a
+cold submit, a warm identical resubmit, and a lukewarm submit (same
+dataset/k/m, different pass count — shares the IndexCreate artifact but
+recomputes the partition), and asserts the structural claims that make
+the numbers meaningful: the warm path runs zero IndexCreate calls and
+zero passes.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+import repro.index.create as create_mod
+from benchmarks.conftest import BENCH_M
+from benchmarks.reporting import table_lines, write_report
+from repro.service.client import ServiceClient
+from repro.service.daemon import ServeDaemon
+
+CFG = {"k": 27, "m": BENCH_M, "n_tasks": 2, "n_threads": 2, "n_passes": 2}
+
+
+@pytest.fixture(scope="module")
+def service_runs(ctx, tmp_path_factory):
+    ds = ctx.dataset("HG")
+    spool = tmp_path_factory.mktemp("service_spool")
+    client = ServiceClient(spool)
+    daemon = ServeDaemon(spool, max_concurrent=1)
+
+    index_calls = []
+    original_index_create = create_mod.index_create
+
+    def counting(*args, **kwargs):
+        index_calls.append(args)
+        return original_index_create(*args, **kwargs)
+
+    create_mod.index_create = counting
+    try:
+        runs = {}
+        plans = [
+            ("cold", CFG),
+            ("warm (identical)", CFG),
+            ("lukewarm (index reused)", dict(CFG, n_passes=3)),
+        ]
+        for label, config in plans:
+            before = len(index_calls)
+            job_id = client.submit(ds.units, config=config)
+            t0 = time.perf_counter()
+            daemon.run_until_idle(timeout=600.0)
+            latency = time.perf_counter() - t0
+            runs[label] = {
+                "job_id": job_id,
+                "status": client.status(job_id),
+                "latency": latency,
+                "index_calls": len(index_calls) - before,
+            }
+    finally:
+        create_mod.index_create = original_index_create
+    return runs, client
+
+
+def test_warm_submit_skips_index_create_and_passes(service_runs):
+    runs, _ = service_runs
+    for run in runs.values():
+        assert run["status"]["state"] == "succeeded"
+    assert runs["cold"]["index_calls"] == 1
+    assert runs["cold"]["status"]["result"]["cache_hit"] is False
+    # the identical resubmit is pure cache: no IndexCreate, no pipeline
+    assert runs["warm (identical)"]["index_calls"] == 0
+    assert runs["warm (identical)"]["status"]["result"]["cache_hit"] is True
+    assert runs["warm (identical)"]["status"]["metrics"]["partition_cache"] == "hit"
+    assert "run_seconds" not in runs["warm (identical)"]["status"]["metrics"]
+    # a different pass count recomputes the partition but reuses the index
+    assert runs["lukewarm (index reused)"]["index_calls"] == 0
+    assert runs["lukewarm (index reused)"]["status"]["result"]["cache_hit"] is False
+    assert (
+        runs["lukewarm (index reused)"]["status"]["metrics"]["index_cache"]
+        == "hit"
+    )
+
+
+def test_warm_result_is_bit_identical(service_runs):
+    runs, client = service_runs
+    cold, _ = client.result(runs["cold"]["job_id"])
+    warm, _ = client.result(runs["warm (identical)"]["job_id"])
+    assert np.array_equal(cold, warm)
+
+
+def test_report_cold_vs_warm_latency(service_runs):
+    runs, _ = service_runs
+    rows = []
+    for label, run in runs.items():
+        metrics = run["status"]["metrics"]
+        rows.append(
+            [
+                label,
+                f"{run['latency']:.3f}",
+                run["index_calls"],
+                metrics.get("partition_cache", "?"),
+                f"{metrics.get('run_seconds', 0.0):.3f}",
+            ]
+        )
+    speedup = runs["cold"]["latency"] / max(
+        runs["warm (identical)"]["latency"], 1e-9
+    )
+    write_report(
+        "service_cache",
+        "Service cache: cold vs warm submit latency (HG analogue)",
+        table_lines(
+            ["submit", "latency_s", "index_calls", "partition_cache",
+             "pipeline_s"],
+            rows,
+        )
+        + [f"warm/cold speedup: {speedup:.1f}x"],
+    )
+    # a warm submit must beat recomputation comfortably
+    assert runs["warm (identical)"]["latency"] < runs["cold"]["latency"]

@@ -7,9 +7,8 @@ preserved at the reproduction scale.
 
 import pytest
 
-from benchmarks.conftest import BENCH_SCALE, PAPER_GBP
+from benchmarks.conftest import PAPER_GBP
 from benchmarks.reporting import table_lines, write_report
-from repro.datasets.registry import DATASETS
 
 
 @pytest.mark.benchmark(group="table2")

@@ -74,7 +74,9 @@ def test_table3_multipass_time_and_memory(ctx, runs, benchmark):
         ),
     )
 
-    kmergen = lambda s: step(s, StepNames.KMERGEN_IO) + step(s, StepNames.KMERGEN)
+    def kmergen(s):
+        return step(s, StepNames.KMERGEN_IO) + step(s, StepNames.KMERGEN)
+
     assert kmergen(8) > kmergen(1)  # redundant reads
     assert step(8, StepNames.KMERGEN_COMM) < step(1, StepNames.KMERGEN_COMM)
     # paper Table 3 itself drifts 12.48 -> 15.16s here; same tuples, mild

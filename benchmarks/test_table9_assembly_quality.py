@@ -14,7 +14,6 @@ Paper findings asserted:
 import pytest
 
 from benchmarks.reporting import table_lines, write_report
-from repro.assembly.stats import contig_stats
 
 DATASETS = ["HG", "LL", "MM"]
 
@@ -28,11 +27,13 @@ def quality(assemblies):
     return assemblies
 
 
-# reuse the fixtures defined in the Table 8 module
+# reuse the fixtures defined in the Table 8 module; pytest resolves the
+# transitive fixture names from this module's namespace, so they must be
+# imported even though nothing references them directly
 from benchmarks.test_table8_assembly_time import (  # noqa: E402
-    ASM,
-    assemblies,
-    partitions,
+    ASM,  # noqa: F401
+    assemblies,  # noqa: F401
+    partitions,  # noqa: F401
 )
 
 
@@ -170,7 +171,7 @@ def test_table9_contigs_are_real_sequence(quality, benchmark):
         return [g.sequence for g in ctx_genomes]
 
     # genomes come from the dataset registry via the community object
-    from repro.datasets.registry import DATASETS as SPECS, build_dataset
+    from repro.datasets.registry import build_dataset
 
     # the ctx fixture cached the dataset; rebuild deterministically
     # (cheap: files already exist)

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.kmers.codec import KmerArray
 from repro.kmers.counter import KmerSpectrum, spectrum_from_tuples
-from repro.kmers.engine import KmerTuples, enumerate_canonical_kmers
+from repro.kmers.engine import enumerate_canonical_kmers
 from repro.kmers.minimizers import split_super_kmers
 from repro.seqio.records import ReadBatch
 from repro.util.validation import check_in_range, check_positive

@@ -7,6 +7,14 @@ Subcommands::
     metaprep run     --r1 a_R1.fastq --r2 a_R2.fastq --out parts/ \
                      --k 27 --tasks 4 --threads 8 --passes 2
     metaprep assemble --fastq parts/lc_p0_t0.fastq     # MiniAssembler
+
+Service verbs (the partition job service; see :mod:`repro.service`)::
+
+    metaprep serve   --spool /var/metaprep            # run the daemon
+    metaprep submit  --spool /var/metaprep --r1 a_R1.fastq --r2 a_R2.fastq
+    metaprep status  --spool /var/metaprep [--job j-...]
+    metaprep result  --spool /var/metaprep --job j-... [--out labels.txt]
+    metaprep cancel  --spool /var/metaprep --job j-...
 """
 
 from __future__ import annotations
@@ -209,6 +217,107 @@ def cmd_normalize(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.service.daemon import ServeDaemon
+    from repro.service.store import ArtifactStore
+
+    store = None
+    if args.store_budget_mb is not None:
+        from repro.service.daemon import STORE_DIR
+        from pathlib import Path
+
+        store = ArtifactStore(
+            Path(args.spool) / STORE_DIR,
+            size_budget_bytes=int(args.store_budget_mb * 1024 * 1024),
+        )
+    daemon = ServeDaemon(
+        args.spool,
+        store=store,
+        max_concurrent=args.max_jobs,
+        executor=args.executor,
+        max_workers=args.workers,
+    )
+    if args.once:
+        daemon.run_until_idle(timeout=args.drain_timeout)
+        print(f"spool drained: {len(daemon.queue.records)} job(s) processed")
+        return 0
+    print(f"metaprep serve: watching {args.spool} (ctrl-C to stop)")
+    try:
+        daemon.serve_forever(poll_seconds=args.poll)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        print("stopped; queue state is persisted and will recover on restart")
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from repro.service.client import ServiceClient
+
+    config = {
+        "k": args.k,
+        "m": args.m,
+        "n_tasks": args.tasks,
+        "n_threads": args.threads,
+        "n_passes": args.passes,
+        "kmer_filter": args.filter,
+    }
+    if args.chunks is not None:
+        config["n_chunks"] = args.chunks
+    client = ServiceClient(args.spool)
+    job_id = client.submit(
+        _units_from_args(args),
+        config=config,
+        max_retries=args.retries,
+        timeout_seconds=args.timeout,
+    )
+    print(job_id)
+    if args.wait:
+        status = client.wait(job_id, timeout=args.wait)
+        print(f"{job_id}: {status['state']}")
+        return 0 if status["state"] == "succeeded" else 1
+    return 0
+
+
+def cmd_status(args) -> int:
+    from repro.core.report import format_job_metrics, format_job_table
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.spool)
+    if args.job:
+        print(format_job_metrics(client.status(args.job)))
+    else:
+        statuses = client.list_jobs()
+        if not statuses:
+            print("no jobs in spool")
+            return 0
+        print(format_job_table(statuses))
+    return 0
+
+
+def cmd_result(args) -> int:
+    from repro.service.client import ServiceClient
+
+    labels, info = ServiceClient(args.spool).result(args.job)
+    print(
+        f"{args.job}: {info.get('n_reads', len(labels))} reads, "
+        f"{info.get('n_components', '?')} components "
+        f"(cache {'hit' if info.get('cache_hit') else 'miss'})"
+    )
+    print(f"artifact: {info.get('artifact_path')}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.writelines(f"{int(label)}\n" for label in labels)
+        print(f"labels written to {args.out}")
+    return 0
+
+
+def cmd_cancel(args) -> int:
+    from repro.service.client import ServiceClient
+
+    ServiceClient(args.spool).cancel(args.job)
+    print(f"cancellation requested for {args.job}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="metaprep",
@@ -262,11 +371,76 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="worker processes for --executor process "
-        "(default: all CPU cores)",
+        help="worker processes for --executor process (default: the CPUs "
+        "available to this process per its affinity mask)",
     )
     _add_common(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("serve", help="run the partition job service daemon")
+    p.add_argument("--spool", required=True, help="service spool directory")
+    p.add_argument("--max-jobs", type=int, default=2,
+                   help="concurrent job limit")
+    p.add_argument(
+        "--executor",
+        default=None,
+        choices=("serial", "process"),
+        help="override every job's execution backend",
+    )
+    p.add_argument("--workers", type=int, default=None,
+                   help="override worker count for process-backend jobs")
+    p.add_argument("--poll", type=float, default=0.2,
+                   help="spool poll interval in seconds")
+    p.add_argument("--once", action="store_true",
+                   help="drain the current queue, then exit")
+    p.add_argument("--drain-timeout", type=float, default=None,
+                   help="with --once: give up after this many seconds")
+    p.add_argument("--store-budget-mb", type=float, default=None,
+                   help="artifact store LRU size budget in MiB")
+    _add_common(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit a partition job to the service")
+    p.add_argument("--spool", required=True)
+    p.add_argument("--r1", required=True)
+    p.add_argument("--r2")
+    p.add_argument("--k", type=int, default=27)
+    p.add_argument("--m", type=int, default=8)
+    p.add_argument("--tasks", type=int, default=1)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--passes", type=int, default=1)
+    p.add_argument("--chunks", type=int, default=None)
+    p.add_argument("--filter", default="none",
+                   help="k-mer frequency filter: 'none', '<30', or '10:30'")
+    p.add_argument("--retries", type=int, default=2,
+                   help="max retries after a failed attempt")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-job time limit in seconds")
+    p.add_argument("--wait", type=float, default=None,
+                   help="block up to N seconds for a terminal state")
+    _add_common(p)
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("status", help="show service job states")
+    p.add_argument("--spool", required=True)
+    p.add_argument("--job", default=None,
+                   help="show one job's detailed metrics")
+    _add_common(p)
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser("result", help="fetch a finished partition")
+    p.add_argument("--spool", required=True)
+    p.add_argument("--job", required=True)
+    p.add_argument("--out", default=None,
+                   help="write labels (one integer per line) here")
+    _add_common(p)
+    p.set_defaults(func=cmd_result)
+
+    p = sub.add_parser("cancel", help="cancel a queued or running job")
+    p.add_argument("--spool", required=True)
+    p.add_argument("--job", required=True)
+    _add_common(p)
+    p.set_defaults(func=cmd_cancel)
 
     p = sub.add_parser("assemble", help="assemble FASTQ files (MEGAHIT stand-in)")
     p.add_argument("--fastq", nargs="+", required=True)

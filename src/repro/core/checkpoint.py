@@ -31,22 +31,43 @@ _LOG = get_logger("core.checkpoint")
 _SCHEMA = "metaprep/checkpoint"
 
 
-def config_fingerprint(
-    config: PipelineConfig, n_reads: int, total_tuples: int
-) -> str:
-    """Hash of everything a resumed run must match exactly."""
-    payload = {
+def payload_fingerprint(payload: dict) -> str:
+    """Stable 32-hex-digit digest of a JSON-serializable payload.
+
+    The common fingerprint primitive: checkpoints key resumability on it
+    and the artifact store (:mod:`repro.service.store`) keys cached
+    IndexCreate/partition products on it.  Stability rests on
+    ``json.dumps(sort_keys=True)`` canonicalization.
+    """
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+
+def config_payload(config: PipelineConfig) -> dict:
+    """The configuration fields that determine a run's output partition.
+
+    Excludes knobs that only change *how* the answer is computed
+    (executor, worker count, output writing) — results are bit-identical
+    across those by the executor determinism contract.
+    """
+    return {
         "k": config.k,
         "m": config.m,
         "n_tasks": config.n_tasks,
         "n_threads": config.n_threads,
         "kmer_filter": (config.kmer_filter.min_freq, config.kmer_filter.max_freq),
         "localcc_opt": config.localcc_opt,
-        "n_reads": n_reads,
-        "total_tuples": total_tuples,
     }
-    blob = json.dumps(payload, sort_keys=True).encode()
-    return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+
+def config_fingerprint(
+    config: PipelineConfig, n_reads: int, total_tuples: int
+) -> str:
+    """Hash of everything a resumed run must match exactly."""
+    payload = dict(
+        config_payload(config), n_reads=n_reads, total_tuples=total_tuples
+    )
+    return payload_fingerprint(payload)
 
 
 class CheckpointMismatch(RuntimeError):
@@ -70,9 +91,11 @@ class Checkpoint:
 class CheckpointStore:
     """Single-file checkpoint persistence under a directory."""
 
+    FILENAME = "metaprep_checkpoint.bin"
+
     def __init__(self, directory: str | os.PathLike) -> None:
         self.directory = Path(directory)
-        self.path = self.directory / "metaprep_checkpoint.bin"
+        self.path = self.directory / self.FILENAME
 
     def exists(self) -> bool:
         return self.path.exists()
@@ -119,3 +142,47 @@ class CheckpointStore:
     def clear(self) -> None:
         if self.path.exists():
             self.path.unlink()
+
+
+def prune_checkpoints(root: str | os.PathLike, keep_latest: int = 0) -> List[Path]:
+    """Delete stale checkpoints under ``root``, keeping the newest N.
+
+    ``root`` is a directory whose immediate children are per-run
+    checkpoint directories (the layout the job service uses:
+    ``<spool>/checkpoints/<job_id>/metaprep_checkpoint.bin``).  A
+    checkpoint file directly under ``root`` counts too.  Checkpoints are
+    ranked by mtime; all but the ``keep_latest`` newest are removed, and
+    a per-run directory emptied by the removal is deleted as well.
+
+    Returns the removed checkpoint paths (newest-last).  Call sites that
+    finish a job successfully should invoke this so completed runs do not
+    accumulate checkpoint files forever.
+    """
+    if keep_latest < 0:
+        raise ValueError(f"keep_latest must be >= 0, got {keep_latest}")
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    found = [
+        p
+        for p in (
+            list(root.glob(CheckpointStore.FILENAME))
+            + list(root.glob(f"*/{CheckpointStore.FILENAME}"))
+        )
+        if p.is_file()
+    ]
+    found.sort(key=lambda p: (p.stat().st_mtime, str(p)))
+    doomed = found[: max(0, len(found) - keep_latest)]
+    for path in doomed:
+        path.unlink()
+        parent = path.parent
+        if parent != root and not any(parent.iterdir()):
+            parent.rmdir()
+    if doomed:
+        _LOG.info(
+            "pruned %d stale checkpoint(s) under %s (kept %d)",
+            len(doomed),
+            root,
+            keep_latest,
+        )
+    return doomed

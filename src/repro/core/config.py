@@ -60,7 +60,9 @@ class PipelineConfig:
     #: bit-identical; see :mod:`repro.runtime.executor`.
     executor: str = "serial"
     #: worker-process count for the ``"process"`` engine (``None`` ->
-    #: ``os.cpu_count()``).  Ignored by the serial engine.
+    #: the CPUs available to this process per the scheduling affinity
+    #: mask; see :func:`repro.runtime.executor.available_cpu_count`).
+    #: Ignored by the serial engine.
     max_workers: int | None = None
 
     def __post_init__(self) -> None:

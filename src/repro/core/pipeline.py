@@ -311,6 +311,8 @@ class MetaPrep:
         output_dir: str | os.PathLike | None = None,
         index: IndexCreateResult | None = None,
         checkpoint_dir: str | os.PathLike | None = None,
+        artifact_store=None,
+        events=None,
     ) -> PipelineResult:
         """Partition the reads of ``units`` (paths or (R1, R2) pairs).
 
@@ -325,11 +327,39 @@ class MetaPrep:
         checkpoint is cleared on successful completion.  Checkpoints are
         executor-agnostic: a run interrupted under one engine may resume
         under the other.
+
+        ``artifact_store`` injects a
+        :class:`repro.service.store.ArtifactStore`: when ``index`` is not
+        supplied, the IndexCreate product is fetched from (or computed
+        into) the store's content-addressed cache instead of being rebuilt
+        unconditionally.
+
+        ``events`` injects a job-event sink: a callable receiving one
+        dict per lifecycle event (``index_ready``, ``pass_start``,
+        ``pass_complete``, ``run_complete``).  The sink may raise to
+        abort the run between passes — the job service uses exactly this
+        for cooperative cancellation and timeouts; any checkpoint already
+        written stays on disk for the next attempt.
         """
         cfg = self.config
+
+        def _emit(type_: str, **payload) -> None:
+            if events is not None:
+                events(dict(payload, type=type_))
+
+        index_cache_hit = None
         if index is None:
-            index = index_create(units, cfg.k, cfg.m, cfg.resolved_chunks())
+            if artifact_store is not None:
+                index, index_cache_hit = artifact_store.index_for(units, cfg)
+            else:
+                index = index_create(units, cfg.k, cfg.m, cfg.resolved_chunks())
         merhist, table = index.merhist, index.fastqpart
+        _emit(
+            "index_ready",
+            cache_hit=index_cache_hit,
+            n_chunks=table.n_chunks,
+            n_reads=table.total_reads,
+        )
         if merhist.k != cfg.k or merhist.m != cfg.m:
             raise ValueError(
                 f"index built for k={merhist.k}, m={merhist.m}; "
@@ -416,6 +446,9 @@ class MetaPrep:
             for spec in plan.passes:
                 if spec.index < start_pass:
                     continue
+                _emit(
+                    "pass_start", pass_index=spec.index, n_passes=n_passes
+                )
                 self._run_pass(
                     spec,
                     table,
@@ -439,6 +472,9 @@ class MetaPrep:
                             parents=[f.parent for f in forests],
                         )
                     )
+                _emit(
+                    "pass_complete", pass_index=spec.index, n_passes=n_passes
+                )
         finally:
             executor.close()
 
@@ -470,6 +506,11 @@ class MetaPrep:
 
         if store is not None:
             store.clear()
+        _emit(
+            "run_complete",
+            n_components=partition.summary.n_components,
+            n_reads=n_reads,
+        )
         projected = TimingModel(get_machine(cfg.machine)).project(work)
         _LOG.info(
             "run complete: %d reads, %d tuples, %d components (LC %.1f%%), "

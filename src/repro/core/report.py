@@ -62,3 +62,61 @@ def format_memory(label_to_bytes: Dict[str, int]) -> str:
     rows = [[k, human_bytes(v)] for k, v in label_to_bytes.items()]
     rows.append(["total", human_bytes(sum(label_to_bytes.values()))])
     return format_table(["array", "memory"], rows)
+
+
+def _short(value: object, width: int = 40) -> str:
+    text = str(value)
+    return text if len(text) <= width else text[: width - 1] + "…"
+
+
+def format_job_table(statuses: Sequence[Dict]) -> str:
+    """Render ``metaprep status`` rows: one line per service job.
+
+    ``statuses`` are job status documents as produced by
+    :meth:`repro.service.jobs.JobRecord.status_dict`.
+    """
+    rows: List[List[object]] = []
+    for s in statuses:
+        started, finished = s.get("started_at"), s.get("finished_at")
+        wait = ""
+        if started and s.get("submitted_at"):
+            wait = f"{max(0.0, started - s['submitted_at']):.2f}"
+        run = ""
+        if started and finished:
+            run = f"{max(0.0, finished - started):.2f}"
+        cache = (s.get("metrics") or {}).get("partition_cache", "")
+        rows.append(
+            [
+                s.get("job_id", "?"),
+                s.get("state", "?"),
+                s.get("attempt", 0),
+                wait,
+                run,
+                cache,
+                _short(s.get("error") or ""),
+            ]
+        )
+    return format_table(
+        ["job", "state", "attempt", "wait_s", "run_s", "cache", "error"], rows
+    )
+
+
+def format_job_metrics(status: Dict) -> str:
+    """Render one job's structured metrics (queue wait, cache hit/miss,
+    per-step measured times) as nested key/value rows."""
+    metrics = dict(status.get("metrics") or {})
+    breakdown = metrics.pop("measured_seconds", None)
+    rows: List[List[object]] = [["state", status.get("state", "?")]]
+    if status.get("started_at") and status.get("submitted_at"):
+        rows.append(
+            ["queue wait (s)",
+             f"{max(0.0, status['started_at'] - status['submitted_at']):.3f}"]
+        )
+    for key in sorted(metrics):
+        rows.append([key, _short(metrics[key], 60)])
+    out = format_table(["metric", "value"], rows)
+    if breakdown:
+        out += "\n\n" + format_breakdown(
+            TimeBreakdown(dict(breakdown)), "measured step times"
+        )
+    return out

@@ -7,7 +7,7 @@ from typing import List
 
 import numpy as np
 
-from repro.seqio.alphabet import BASES, decode_sequence
+from repro.seqio.alphabet import decode_sequence
 from repro.util.rng import rng_for
 from repro.util.validation import check_positive
 

@@ -14,12 +14,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.index.create import IndexCreateResult
-from repro.index.fastqpart import FastqPartTable, build_fastqpart, load_chunk_reads
+from repro.index.fastqpart import build_fastqpart, load_chunk_reads
 from repro.index.merhist import MerHist, histogram_batch
 from repro.index.offsets import chunk_assignment
 from repro.util.validation import check_positive

@@ -26,6 +26,7 @@ from repro.runtime.executor import (
     ExecutorError,
     ProcessExecutor,
     SerialExecutor,
+    available_cpu_count,
     create_executor,
 )
 from repro.runtime.machines import MachineSpec, EDISON, GANGA, get_machine
@@ -44,6 +45,7 @@ __all__ = [
     "ExecutorError",
     "ProcessExecutor",
     "SerialExecutor",
+    "available_cpu_count",
     "create_executor",
     "MachineSpec",
     "EDISON",

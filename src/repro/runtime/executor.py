@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import threading
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Callable, List, Sequence, TypeVar
 
@@ -49,6 +50,23 @@ R = TypeVar("R")
 EXECUTOR_NAMES = ("serial", "process")
 
 
+def available_cpu_count() -> int:
+    """CPUs actually available to this process, not merely present.
+
+    ``os.cpu_count()`` reports the machine's cores, which oversubscribes
+    the pool inside cgroup/affinity-limited environments (containers,
+    ``taskset``, batch schedulers).  Prefer the scheduling affinity mask
+    where the platform exposes it.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    return os.cpu_count() or 1
+
+
 class ExecutorError(RuntimeError):
     """A backend could not complete submitted work.
 
@@ -60,23 +78,30 @@ class ExecutorError(RuntimeError):
 
 # ----------------------------------------------------------------------
 # per-worker shared state
+#
+# Thread-local rather than a plain module global: the serial engine runs
+# jobs inline on the *calling* thread, and the job service runs several
+# pipelines concurrently on different threads of one process — a plain
+# global would let those runs clobber each other's context.  Pool workers
+# are unaffected (the initializer and every job run on the worker
+# process's main thread), so the fork/pickle path sees the same
+# semantics it always did.
 # ----------------------------------------------------------------------
-_WORKER_SHARED = None
+_WORKER_SHARED = threading.local()
 
 
 def _install_shared(shared) -> None:
-    """Pool initializer: stash the run's shared state in this process."""
-    global _WORKER_SHARED
-    _WORKER_SHARED = shared
+    """Pool initializer: stash the run's shared state for this thread."""
+    _WORKER_SHARED.value = shared
 
 
 def worker_shared():
     """The shared object installed by :meth:`ExecutionBackend.set_shared`.
 
     Valid inside job functions (both engines install it before any job
-    runs).  Returns ``None`` when no run is active.
+    runs).  Returns ``None`` when no run is active on this thread.
     """
-    return _WORKER_SHARED
+    return getattr(_WORKER_SHARED, "value", None)
 
 
 class ExecutionBackend:
@@ -137,7 +162,7 @@ class ProcessExecutor(ExecutionBackend):
     def __init__(self, max_workers: int | None = None) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-        self.max_workers = max_workers or os.cpu_count() or 1
+        self.max_workers = max_workers or available_cpu_count()
         self._shared = None
         self._pool: ProcessPoolExecutor | None = None
 

@@ -9,7 +9,7 @@ of a Python loop per read).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Sequence
 
 import numpy as np

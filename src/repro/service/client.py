@@ -1,0 +1,162 @@
+"""Client side of the filesystem-spool service protocol.
+
+A client never touches queue state directly: submissions are dropped
+into ``<spool>/submit/`` with an atomic rename (the daemon consumes
+them), cancellation is a flag file in ``<spool>/cancel/``, and status is
+read back from the daemon's result documents — falling back to a
+read-only replay of the event log for jobs still in flight.  Client and
+daemon therefore need nothing in common but a shared directory, which
+is what lets ``metaprep submit`` work against a daemon in another
+process, container, or node sharing a filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.seqio.tables import read_table
+from repro.service.daemon import CANCEL_DIR, RESULTS_DIR, SUBMIT_DIR
+from repro.service.jobs import JobState, JobStateError, PartitionJob
+from repro.service.queue import EventLog, replay_records
+from repro.util.logging import get_logger
+
+_LOG = get_logger("service.client")
+
+
+class ServiceClient:
+    """Submit/status/result/cancel against one spool directory."""
+
+    def __init__(self, spool_dir: str | os.PathLike) -> None:
+        self.spool_dir = Path(spool_dir)
+        for sub in (SUBMIT_DIR, CANCEL_DIR, RESULTS_DIR):
+            (self.spool_dir / sub).mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        units: Sequence,
+        config: Dict | None = None,
+        max_retries: int = 2,
+        timeout_seconds: float | None = None,
+    ) -> str:
+        """Queue a partition job; returns its job id immediately.
+
+        The drop file is named ``<submitted_at>-<job_id>.json`` so the
+        daemon's sorted ingest preserves submission order.
+        """
+        job = PartitionJob(
+            units=list(units),
+            config=dict(config or {}),
+            max_retries=max_retries,
+            timeout_seconds=timeout_seconds,
+        )
+        submit_dir = self.spool_dir / SUBMIT_DIR
+        final = submit_dir / f"{job.submitted_at:017.6f}-{job.job_id}.json"
+        tmp = submit_dir / f".{uuid.uuid4().hex}.part"
+        tmp.write_text(json.dumps(job.to_dict(), sort_keys=True))
+        os.replace(tmp, final)  # atomic: the daemon never sees a torn file
+        _LOG.info("submitted job %s", job.job_id)
+        return job.job_id
+
+    # ------------------------------------------------------------------
+    def status(self, job_id: str) -> Dict:
+        """Current status document of one job."""
+        result_path = self.spool_dir / RESULTS_DIR / f"{job_id}.json"
+        if result_path.exists():
+            return json.loads(result_path.read_text())
+        records = replay_records(EventLog(self.spool_dir / "events.jsonl"))
+        if job_id in records:
+            return records[job_id].status_dict()
+        # submitted but not yet ingested by the daemon?
+        for path in (self.spool_dir / SUBMIT_DIR).glob(f"*-{job_id}.json"):
+            spec = json.loads(path.read_text())
+            return {
+                "job_id": job_id,
+                "state": JobState.QUEUED,
+                "attempt": 0,
+                "error": None,
+                "result": {},
+                "metrics": {},
+                "submitted_at": spec.get("submitted_at"),
+                "started_at": None,
+                "finished_at": None,
+            }
+        raise JobStateError(f"unknown job {job_id}")
+
+    def list_jobs(self) -> List[Dict]:
+        """Status documents of every job the spool knows, oldest first.
+
+        Includes submissions still sitting in ``submit/`` that no daemon
+        has ingested yet (reported as ``queued``, attempt 0).
+        """
+        records = replay_records(EventLog(self.spool_dir / "events.jsonl"))
+        statuses = [r.status_dict() for r in records.values()]
+        for path in sorted((self.spool_dir / SUBMIT_DIR).glob("*.json")):
+            spec = json.loads(path.read_text())
+            if spec.get("job_id") in records:
+                continue
+            statuses.append(
+                {
+                    "job_id": spec.get("job_id", "?"),
+                    "state": JobState.QUEUED,
+                    "attempt": 0,
+                    "error": None,
+                    "result": {},
+                    "metrics": {},
+                    "submitted_at": spec.get("submitted_at"),
+                    "started_at": None,
+                    "finished_at": None,
+                }
+            )
+        return statuses
+
+    # ------------------------------------------------------------------
+    def result(self, job_id: str) -> Tuple[np.ndarray, Dict]:
+        """The finished partition: (global label array, result info).
+
+        Raises :class:`JobStateError` unless the job has succeeded.
+        """
+        status = self.status(job_id)
+        if status["state"] != JobState.SUCCEEDED:
+            raise JobStateError(
+                f"job {job_id} is {status['state']}"
+                + (f": {status['error']}" if status.get("error") else "")
+            )
+        info = status["result"]
+        path = info.get("artifact_path")
+        if not path or not os.path.exists(path):
+            raise JobStateError(
+                f"job {job_id} succeeded but its partition artifact is gone "
+                f"({path}); it may have been evicted from the store"
+            )
+        _, arrays = read_table(path, expect_schema="metaprep/partition-artifact")
+        return arrays["labels"], info
+
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str) -> None:
+        """Request cancellation (effective at the job's next pass
+        boundary if it is already running)."""
+        (self.spool_dir / CANCEL_DIR / job_id).touch()
+
+    # ------------------------------------------------------------------
+    def wait(
+        self, job_id: str, timeout: float = 60.0, poll_seconds: float = 0.05
+    ) -> Dict:
+        """Block until the job reaches a terminal state; returns it."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in JobState.TERMINAL:
+                return status
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout}s"
+                )
+            time.sleep(poll_seconds)

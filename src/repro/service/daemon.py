@@ -1,0 +1,259 @@
+"""``metaprep serve``: the partition service daemon.
+
+The daemon owns one spool directory and drives the whole service loop:
+
+1. **Ingest** — pick up job files dropped into ``<spool>/submit/`` by
+   :class:`repro.service.client.ServiceClient` (atomic renames, so a
+   half-written submission is never visible) and enqueue them.
+2. **Schedule** — run up to ``max_concurrent`` jobs on worker threads,
+   each executing the real pipeline on the PR-1 executor layer with
+   per-job checkpointing, bounded retry with exponential backoff, and
+   cooperative timeout/cancellation at pass boundaries.
+3. **Deduplicate** — before running, consult the content-addressed
+   :class:`~repro.service.store.ArtifactStore`: an identical
+   (dataset bytes, config) submission returns the cached partition with
+   no IndexCreate and no passes executed; on a miss, the IndexCreate
+   product itself is still cached and shared across configurations.
+4. **Publish** — write ``<spool>/results/<job_id>.json`` with the
+   terminal state, per-job metrics (queue wait, cache hit/miss, per-step
+   ``TimeBreakdown``), and the partition artifact location.
+
+Kill-safety: all queue state lives in the JSONL event log; a daemon
+restarted over the same spool replays the log, demotes orphaned
+``running`` jobs back to ``queued``, and the re-run resumes from the
+job's per-pass checkpoint instead of starting over.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict
+
+from repro.core.checkpoint import prune_checkpoints
+from repro.core.pipeline import MetaPrep
+from repro.service import store as store_mod
+from repro.service.jobs import JobRecord, JobState
+from repro.service.queue import JobControl, JobQueue, RetryPolicy, Scheduler
+from repro.service.store import ArtifactStore
+from repro.util.logging import get_logger
+
+_LOG = get_logger("service.daemon")
+
+SUBMIT_DIR = "submit"
+CANCEL_DIR = "cancel"
+RESULTS_DIR = "results"
+CHECKPOINTS_DIR = "checkpoints"
+STORE_DIR = "store"
+
+
+class ServeDaemon:
+    """Filesystem-spool partition service (no network dependency)."""
+
+    def __init__(
+        self,
+        spool_dir: str | os.PathLike,
+        store: ArtifactStore | None = None,
+        max_concurrent: int = 2,
+        retry: RetryPolicy | None = None,
+        executor: str | None = None,
+        max_workers: int | None = None,
+        keep_checkpoints: int = 4,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        self.spool_dir = Path(spool_dir)
+        for sub in (SUBMIT_DIR, CANCEL_DIR, RESULTS_DIR, CHECKPOINTS_DIR):
+            (self.spool_dir / sub).mkdir(parents=True, exist_ok=True)
+        self.store = store or ArtifactStore(self.spool_dir / STORE_DIR)
+        self.executor = executor
+        self.max_workers = max_workers
+        self.keep_checkpoints = keep_checkpoints
+        self.queue = JobQueue(self.spool_dir)
+        self._partition_keys: Dict[str, str] = {}  # job_id -> work key
+        self.scheduler = Scheduler(
+            self.queue,
+            runner=self._execute,
+            max_concurrent=max_concurrent,
+            retry=retry,
+            clock=clock,
+            sleep=sleep,
+            on_terminal=self._publish_result,
+            coalesce=self._partition_key_of,
+        )
+        recovered = self.queue.recover()
+        if recovered:
+            _LOG.info("daemon restart: %d job(s) re-queued", recovered)
+
+    # ------------------------------------------------------------------
+    # spool protocol
+    # ------------------------------------------------------------------
+    def _ingest(self) -> int:
+        """Consume ``submit/`` drop files (named so sort order == FIFO)."""
+        from repro.service.jobs import PartitionJob
+
+        submit_dir = self.spool_dir / SUBMIT_DIR
+        n = 0
+        for path in sorted(submit_dir.glob("*.json")):
+            try:
+                job = PartitionJob.from_dict(json.loads(path.read_text()))
+            except (ValueError, KeyError, TypeError) as exc:
+                _LOG.warning("rejecting malformed submission %s: %s", path, exc)
+                path.rename(path.with_suffix(".rejected"))
+                continue
+            if job.job_id not in self.queue.records:
+                self.queue.submit(job)
+                n += 1
+            path.unlink()
+        return n
+
+    def _scan_cancels(self) -> None:
+        for flag in (self.spool_dir / CANCEL_DIR).iterdir():
+            job_id = flag.name
+            if job_id in self.queue.records:
+                record = self.queue.get(job_id)
+                if not record.terminal:
+                    self.queue.cancel(job_id)
+                flag.unlink()
+
+    def _publish_result(self, record: JobRecord) -> None:
+        """Atomically write the terminal status document for a job."""
+        path = self.spool_dir / RESULTS_DIR / f"{record.job_id}.json"
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(record.status_dict(), sort_keys=True, indent=1))
+        os.replace(tmp, path)
+        if record.state == JobState.SUCCEEDED:
+            prune_checkpoints(
+                self.spool_dir / CHECKPOINTS_DIR, keep_latest=self.keep_checkpoints
+            )
+
+    # ------------------------------------------------------------------
+    # job execution
+    # ------------------------------------------------------------------
+    def _job_config(self, record: JobRecord):
+        overrides = {}
+        if self.executor is not None:
+            overrides["executor"] = self.executor
+        if self.max_workers is not None:
+            overrides["max_workers"] = self.max_workers
+        return record.job.pipeline_config(**overrides)
+
+    def _partition_key_of(self, record: JobRecord) -> str:
+        """Work identity of a job (cached: hashing the dataset is not free).
+        The scheduler coalesces on it so identical in-flight submissions
+        run once and the rest hit the cache."""
+        key = self._partition_keys.get(record.job_id)
+        if key is None:
+            key = store_mod.partition_key(
+                record.job.pipeline_units(), self._job_config(record)
+            )
+            self._partition_keys[record.job_id] = key
+        return key
+
+    def _execute(self, record: JobRecord, control: JobControl) -> Dict:
+        """The scheduler's runner: one attempt of one job, on this thread."""
+        job = record.job
+        cfg = self._job_config(record)
+        units = job.pipeline_units()
+        key = self._partition_key_of(record)
+
+        entry = self.store.get(key)
+        if entry is not None:
+            record.metrics.update(partition_cache="hit", artifact_key=key)
+            self.queue.progress(record, "cache_hit", artifact_key=key)
+            return dict(
+                entry.meta,
+                artifact_key=key,
+                artifact_path=str(entry.file("partition.bin")),
+                cache_hit=True,
+            )
+        record.metrics.update(partition_cache="miss", artifact_key=key)
+
+        def sink(event: Dict) -> None:
+            control.check()  # cooperative cancel/timeout at pass boundaries
+            etype = event.pop("type")
+            if etype in ("index_ready", "pass_complete", "run_complete"):
+                self.queue.progress(record, etype, **event)
+            if etype == "index_ready":
+                record.metrics["index_cache"] = {
+                    True: "hit", False: "miss", None: "prebuilt"
+                }[event.get("cache_hit")]
+
+        t0 = time.perf_counter()
+        result = MetaPrep(cfg).run(
+            units,
+            checkpoint_dir=self.spool_dir / CHECKPOINTS_DIR / job.job_id,
+            artifact_store=self.store,
+            events=sink,
+        )
+        run_seconds = time.perf_counter() - t0
+
+        summary = result.partition.summary
+        meta = {
+            "n_reads": int(summary.n_reads),
+            "n_components": int(summary.n_components),
+            "largest_component_size": int(summary.largest_component_size),
+            "largest_component_fraction": float(
+                summary.largest_component_fraction
+            ),
+            "n_passes": int(result.n_passes),
+        }
+        entry = self.store.put_partition(key, result.partition.labels, meta)
+        record.metrics.update(
+            run_seconds=run_seconds,
+            measured_seconds=result.measured.as_dict(),
+            total_tuples=int(result.total_tuples),
+        )
+        return dict(
+            meta,
+            artifact_key=key,
+            artifact_path=str(entry.file("partition.bin")),
+            cache_hit=False,
+        )
+
+    # ------------------------------------------------------------------
+    # drive loops
+    # ------------------------------------------------------------------
+    def tick(self) -> bool:
+        """One service round: ingest, apply cancels, schedule.  Returns
+        True if anything changed."""
+        changed = self._ingest() > 0
+        self._scan_cancels()
+        return self.scheduler.tick() or changed
+
+    def idle(self) -> bool:
+        return (
+            not self.scheduler.running
+            and not self.queue.pending()
+            and not any((self.spool_dir / SUBMIT_DIR).glob("*.json"))
+        )
+
+    def run_until_idle(
+        self, poll_seconds: float = 0.02, timeout: float | None = 120.0
+    ) -> None:
+        """Drain everything currently submitted (used by tests and
+        ``metaprep serve --once``)."""
+        start = time.monotonic()
+        while True:
+            self.tick()
+            if self.idle():
+                return
+            if timeout is not None and time.monotonic() - start > timeout:
+                raise TimeoutError(
+                    f"daemon not idle after {timeout}s; "
+                    f"running={self.scheduler.running}"
+                )
+            time.sleep(poll_seconds)
+
+    def serve_forever(
+        self,
+        poll_seconds: float = 0.2,
+        stop_event: threading.Event | None = None,
+    ) -> None:  # pragma: no cover - interactive loop; tested via run_until_idle
+        _LOG.info("metaprep serve: watching %s", self.spool_dir)
+        while stop_event is None or not stop_event.is_set():
+            if not self.tick():
+                time.sleep(poll_seconds)

@@ -1,0 +1,251 @@
+"""Job specs, the job state machine, and its persisted event records.
+
+A :class:`PartitionJob` is the unit of service work: "partition this
+dataset under this configuration".  Its lifecycle is a small, strictly
+validated state machine::
+
+    queued --> running --> succeeded
+      |  ^        |   \\--> failed
+      |  \\--------/        (running -> queued is the retry/recovery arc)
+      \\--> cancelled <-----/
+
+Every transition — plus non-transition progress marks like
+``pass_complete`` or ``cache_hit`` — is one :class:`JobEvent`, appended
+to a JSONL log by :class:`repro.service.queue.EventLog`.  The log is the
+single source of truth: replaying it reconstructs the whole queue after
+a daemon crash or restart, which is what makes the daemon kill-safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.config import PipelineConfig
+from repro.kmers.filter import FrequencyFilter
+
+
+class JobStateError(RuntimeError):
+    """An illegal state transition was attempted (or replayed)."""
+
+
+class JobCancelled(RuntimeError):
+    """Raised inside a running job when its cancel flag is observed."""
+
+
+class JobTimeout(RuntimeError):
+    """Raised inside a running job when its deadline has passed."""
+
+
+class JobState:
+    """String states of the job machine (JSON/JSONL-friendly)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    ALL = (QUEUED, RUNNING, SUCCEEDED, FAILED, CANCELLED)
+    TERMINAL = (SUCCEEDED, FAILED, CANCELLED)
+
+    #: legal transitions; running -> queued is the retry/recovery arc
+    TRANSITIONS = {
+        QUEUED: (RUNNING, CANCELLED),
+        RUNNING: (SUCCEEDED, FAILED, CANCELLED, QUEUED),
+        SUCCEEDED: (),
+        FAILED: (),
+        CANCELLED: (),
+    }
+
+    @classmethod
+    def check(cls, old: str, new: str) -> None:
+        if new not in cls.TRANSITIONS.get(old, ()):
+            raise JobStateError(f"illegal job transition {old} -> {new}")
+
+
+def new_job_id() -> str:
+    """Opaque, collision-resistant job identifier (``j-<12 hex>``)."""
+    return f"j-{uuid.uuid4().hex[:12]}"
+
+
+def _normalize_units(units: Sequence) -> List[List[str]]:
+    """Canonical JSON shape: a list of 1-element (single-end) or
+    2-element (paired) absolute-path lists.  Accepts everything the
+    pipeline accepts: paths, (R1, R2) pairs, or ``FastqUnit`` objects."""
+    from repro.index.fastqpart import FastqUnit
+
+    out: List[List[str]] = []
+    for spec in units:
+        if isinstance(spec, (tuple, list)) and len(spec) == 1:
+            spec = spec[0]  # a JSON round-tripped single-end unit
+        unit = FastqUnit.wrap(spec)
+        out.append([os.path.abspath(f) for f in unit.files])
+    if not out:
+        raise ValueError("a job needs at least one input unit")
+    return out
+
+
+@dataclass
+class PartitionJob:
+    """One partition request: dataset units + pipeline configuration.
+
+    ``config`` holds :class:`~repro.core.config.PipelineConfig` keyword
+    overrides in JSON form; ``kmer_filter`` is spelled as the CLI's
+    filter string (``"none"``, ``"<30"``, ``"10:30"``).
+    """
+
+    units: List[List[str]]
+    config: Dict = field(default_factory=dict)
+    job_id: str = field(default_factory=new_job_id)
+    submitted_at: float = field(default_factory=time.time)
+    max_retries: int = 2
+    timeout_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        self.units = _normalize_units(self.units)
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.timeout_seconds is not None and self.timeout_seconds < 0:
+            raise ValueError(
+                f"timeout_seconds must be >= 0, got {self.timeout_seconds}"
+            )
+        self.pipeline_config()  # validate eagerly, at submission time
+
+    # ------------------------------------------------------------------
+    def pipeline_units(self) -> List:
+        """Units in the shape :meth:`MetaPrep.run` accepts."""
+        return [u[0] if len(u) == 1 else tuple(u) for u in self.units]
+
+    def pipeline_config(self, **overrides) -> PipelineConfig:
+        """Materialize the job's :class:`PipelineConfig`."""
+        kw = dict(self.config, **overrides)
+        filt = kw.pop("kmer_filter", None)
+        if isinstance(filt, str):
+            filt = FrequencyFilter.parse(filt)
+        if filt is not None:
+            kw["kmer_filter"] = filt
+        return PipelineConfig(**kw)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "job_id": self.job_id,
+            "units": self.units,
+            "config": self.config,
+            "submitted_at": self.submitted_at,
+            "max_retries": self.max_retries,
+            "timeout_seconds": self.timeout_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "PartitionJob":
+        return cls(
+            units=payload["units"],
+            config=dict(payload.get("config", {})),
+            job_id=payload["job_id"],
+            submitted_at=float(payload.get("submitted_at", 0.0)),
+            max_retries=int(payload.get("max_retries", 2)),
+            timeout_seconds=payload.get("timeout_seconds"),
+        )
+
+
+@dataclass
+class JobEvent:
+    """One line of the JSONL event log.
+
+    ``state`` is set on transition events and ``None`` on progress marks
+    (``pass_complete``, ``cache_hit``, ...).  ``payload`` carries
+    event-specific details — the full job spec on ``submitted``, the
+    error string on failures, metrics on completion.
+    """
+
+    job_id: str
+    type: str
+    state: str | None = None
+    time: float = field(default_factory=time.time)
+    attempt: int = 0
+    payload: Dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "job_id": self.job_id,
+                "type": self.type,
+                "state": self.state,
+                "time": self.time,
+                "attempt": self.attempt,
+                "payload": self.payload,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "JobEvent":
+        raw = json.loads(line)
+        return cls(
+            job_id=raw["job_id"],
+            type=raw["type"],
+            state=raw.get("state"),
+            time=float(raw.get("time", 0.0)),
+            attempt=int(raw.get("attempt", 0)),
+            payload=dict(raw.get("payload", {})),
+        )
+
+
+@dataclass
+class JobRecord:
+    """Mutable queue-side view of one job, rebuilt from events on replay."""
+
+    job: PartitionJob
+    state: str = JobState.QUEUED
+    attempt: int = 0
+    error: str | None = None
+    result: Dict = field(default_factory=dict)
+    metrics: Dict = field(default_factory=dict)
+    not_before: float = 0.0  # earliest start time (retry backoff), monotonic
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    @property
+    def job_id(self) -> str:
+        return self.job.job_id
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    def transition(self, new_state: str) -> None:
+        JobState.check(self.state, new_state)
+        self.state = new_state
+
+    def apply_event(self, event: JobEvent) -> None:
+        """Fold one logged event into this record (replay path)."""
+        if event.state is not None and event.state != self.state:
+            self.transition(event.state)
+        self.attempt = max(self.attempt, event.attempt)
+        if event.state == JobState.RUNNING:
+            self.started_at = event.time
+        if event.state in JobState.TERMINAL:
+            self.finished_at = event.time
+            self.error = event.payload.get("error", self.error)
+            self.result = dict(event.payload.get("result", self.result))
+            self.metrics = dict(event.payload.get("metrics", self.metrics))
+
+    def status_dict(self) -> Dict:
+        """JSON-shaped summary for result files and ``metaprep status``."""
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "attempt": self.attempt,
+            "error": self.error,
+            "result": self.result,
+            "metrics": self.metrics,
+            "submitted_at": self.job.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }

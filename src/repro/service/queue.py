@@ -1,0 +1,478 @@
+"""Durable job queue and concurrent scheduler.
+
+Durability model: the queue is *event-sourced*.  Every mutation appends
+one :class:`~repro.service.jobs.JobEvent` line to ``events.jsonl`` in
+the spool directory; in-memory state is always reconstructible by
+:meth:`JobQueue.recover`, which replays the log and demotes jobs that
+were ``running`` when the previous daemon died back to ``queued`` (their
+per-pass pipeline checkpoints make the re-run resume, not restart).
+Nothing is ever rewritten in place, so a daemon kill at any byte
+boundary loses at most a torn final line (ignored on replay).
+
+Scheduling model: :class:`Scheduler` runs up to ``max_concurrent`` jobs
+at once, each on its own thread driving the PR-1 executor layer
+underneath.  Failures are retried up to the job's ``max_retries`` with
+exponential backoff; timeouts and cancellations are cooperative — the
+running pipeline observes them at pass boundaries through its event
+sink (see :class:`JobControl`) — and are terminal, not retried.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.service.jobs import (
+    JobCancelled,
+    JobEvent,
+    JobRecord,
+    JobState,
+    JobStateError,
+    JobTimeout,
+    PartitionJob,
+)
+from repro.util.logging import get_logger
+
+_LOG = get_logger("service.queue")
+
+
+class EventLog:
+    """Append-only JSONL event persistence (thread-safe)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+
+    def append(self, event: JobEvent) -> None:
+        line = event.to_json()
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+
+    def replay(self) -> List[JobEvent]:
+        """All intact events, oldest first.  A torn trailing line (daemon
+        killed mid-write) is skipped, not fatal."""
+        if not self.path.exists():
+            return []
+        events: List[JobEvent] = []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(JobEvent.from_json(line))
+                except (ValueError, KeyError):
+                    _LOG.warning("skipping corrupt event line: %.80s", line)
+        return events
+
+
+def replay_records(events: EventLog) -> "Dict[str, JobRecord]":
+    """Fold an event log into per-job records (insertion-ordered dict).
+
+    Pure read: shared by :meth:`JobQueue.recover` (which then demotes
+    orphaned running jobs) and by the client's read-only status queries.
+    """
+    records: Dict[str, JobRecord] = {}
+    for event in events.replay():
+        if event.type == "submitted":
+            job = PartitionJob.from_dict(event.payload["job"])
+            records[job.job_id] = JobRecord(job=job)
+            continue
+        record = records.get(event.job_id)
+        if record is None:
+            _LOG.warning(
+                "event for unknown job %s ignored on replay", event.job_id
+            )
+            continue
+        record.apply_event(event)
+    return records
+
+
+class JobQueue:
+    """The durable queue: records + FIFO order, persisted as events."""
+
+    def __init__(self, spool_dir: str | Path) -> None:
+        self.spool_dir = Path(spool_dir)
+        self.events = EventLog(self.spool_dir / "events.jsonl")
+        self.records: Dict[str, JobRecord] = {}
+        self._order: List[str] = []  # submission order
+
+    # ------------------------------------------------------------------
+    def submit(self, job: PartitionJob) -> JobRecord:
+        if job.job_id in self.records:
+            raise JobStateError(f"job {job.job_id} already submitted")
+        record = JobRecord(job=job)
+        self.records[job.job_id] = record
+        self._order.append(job.job_id)
+        self.events.append(
+            JobEvent(
+                job_id=job.job_id,
+                type="submitted",
+                state=JobState.QUEUED,
+                payload={"job": job.to_dict()},
+            )
+        )
+        _LOG.info("job %s queued (%d unit(s))", job.job_id, len(job.units))
+        return record
+
+    def get(self, job_id: str) -> JobRecord:
+        try:
+            return self.records[job_id]
+        except KeyError:
+            raise JobStateError(f"unknown job {job_id}") from None
+
+    def pending(self) -> List[JobRecord]:
+        """Queued records in submission order."""
+        return [
+            self.records[j]
+            for j in self._order
+            if self.records[j].state == JobState.QUEUED
+        ]
+
+    def active(self) -> List[JobRecord]:
+        return [
+            self.records[j]
+            for j in self._order
+            if self.records[j].state == JobState.RUNNING
+        ]
+
+    def unfinished(self) -> List[JobRecord]:
+        return [r for r in map(self.records.get, self._order) if not r.terminal]
+
+    # ------------------------------------------------------------------
+    def transition(
+        self, record: JobRecord, new_state: str, type: str | None = None, **payload
+    ) -> None:
+        """Validated state change, persisted before it is visible."""
+        record.transition(new_state)
+        self.events.append(
+            JobEvent(
+                job_id=record.job_id,
+                type=type or new_state,
+                state=new_state,
+                attempt=record.attempt,
+                payload=payload,
+            )
+        )
+
+    def progress(self, record: JobRecord, type: str, **payload) -> None:
+        """Non-transition progress mark (pass_complete, cache_hit, ...)."""
+        self.events.append(
+            JobEvent(
+                job_id=record.job_id,
+                type=type,
+                attempt=record.attempt,
+                payload=payload,
+            )
+        )
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job now; flag a running one for cooperative
+        cancellation (the scheduler finalizes it).  Returns False if the
+        job is already terminal."""
+        record = self.get(job_id)
+        if record.terminal:
+            return False
+        if record.state == JobState.QUEUED:
+            self.transition(record, JobState.CANCELLED, type="cancelled")
+        else:
+            record.metrics["cancel_requested"] = True
+        return True
+
+    # ------------------------------------------------------------------
+    def recover(self) -> int:
+        """Rebuild queue state from the event log.
+
+        Jobs that were ``running`` when the log ends are demoted back to
+        ``queued`` (with a ``recovered`` event): their worker threads
+        died with the previous daemon, and their pipeline checkpoints
+        let the re-run resume mid-multipass.  Returns the number of
+        demoted jobs.
+        """
+        self.records = replay_records(self.events)
+        self._order = list(self.records)
+        recovered = 0
+        for record in self.records.values():
+            if record.state == JobState.RUNNING:
+                self.transition(
+                    record,
+                    JobState.QUEUED,
+                    type="recovered",
+                    reason="daemon restarted while job was running",
+                )
+                recovered += 1
+        if self.records:
+            _LOG.info(
+                "recovered queue: %d job(s), %d demoted from running",
+                len(self.records),
+                recovered,
+            )
+        return recovered
+
+
+# ----------------------------------------------------------------------
+# scheduler
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retry with exponential backoff.
+
+    Attempt ``n`` (1-based) failing schedules attempt ``n+1`` no earlier
+    than ``base_delay * 2**(n-1)`` seconds later, capped at ``max_delay``.
+    """
+
+    base_delay: float = 0.5
+    max_delay: float = 30.0
+
+    def delay(self, failed_attempt: int) -> float:
+        if failed_attempt < 1:
+            raise ValueError(f"attempts are 1-based, got {failed_attempt}")
+        return min(self.base_delay * 2 ** (failed_attempt - 1), self.max_delay)
+
+
+@dataclass
+class JobControl:
+    """Cooperative cancellation/timeout handle given to a running job.
+
+    The pipeline's event sink calls :meth:`check` at every pass boundary;
+    a set cancel flag or an expired deadline aborts the run there (the
+    pass checkpoint just written stays on disk for the next attempt).
+    """
+
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    deadline: float | None = None
+    clock: Callable[[], float] = time.monotonic
+
+    def check(self) -> None:
+        if self.cancel_event.is_set():
+            raise JobCancelled("job cancelled")
+        if self.deadline is not None and self.clock() > self.deadline:
+            raise JobTimeout("job exceeded its time limit")
+
+
+@dataclass
+class _Slot:
+    record: JobRecord
+    control: JobControl
+    thread: threading.Thread
+    coalesce_key: str | None = None
+    outcome: Dict = field(default_factory=dict)  # filled by the job thread
+
+
+#: runner signature: (job record, control) -> result payload dict
+JobRunner = Callable[[JobRecord, JobControl], Dict]
+
+
+class Scheduler:
+    """Runs queued jobs, up to ``max_concurrent`` at a time.
+
+    The scheduler thread (whoever calls :meth:`tick`) owns all queue
+    mutations; job threads only execute the runner and park its outcome
+    in their slot.  ``sleep``/``clock`` are injectable so retry/backoff
+    logic is unit-testable without real waiting.
+
+    ``coalesce`` (job record -> work key or None) enables in-flight
+    deduplication: a pending job whose key matches a *running* job's is
+    held back until that job finishes, so two identical submissions
+    arriving together produce one computation and one cache hit instead
+    of racing to compute the same artifact twice.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        runner: JobRunner,
+        max_concurrent: int = 2,
+        retry: RetryPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        on_terminal: Optional[Callable[[JobRecord], None]] = None,
+        coalesce: Optional[Callable[[JobRecord], Optional[str]]] = None,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        self.queue = queue
+        self.runner = runner
+        self.max_concurrent = max_concurrent
+        self.retry = retry or RetryPolicy()
+        self.clock = clock
+        self.sleep = sleep
+        self.on_terminal = on_terminal
+        self.coalesce = coalesce
+        self._slots: Dict[str, _Slot] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> List[str]:
+        return sorted(self._slots)
+
+    def idle(self) -> bool:
+        return not self._slots and not self._startable(ignore_backoff=True)
+
+    def _startable(self, ignore_backoff: bool = False) -> List[JobRecord]:
+        now = self.clock()
+        return [
+            r
+            for r in self.queue.pending()
+            if ignore_backoff or r.not_before <= now
+        ]
+
+    # ------------------------------------------------------------------
+    def tick(self) -> bool:
+        """One scheduling round: reap finished slots, start new jobs.
+        Returns True if any state changed."""
+        changed = self._reap()
+        for record in self._startable():
+            if len(self._slots) >= self.max_concurrent:
+                break
+            if self._coalesced(record):
+                continue  # identical work already in flight; wait for it
+            self._start(record)
+            changed = True
+        return changed
+
+    def _coalesced(self, record: JobRecord) -> bool:
+        if self.coalesce is None:
+            return False
+        key = self.coalesce(record)
+        return key is not None and any(
+            slot.coalesce_key == key for slot in self._slots.values()
+        )
+
+    def _start(self, record: JobRecord) -> None:
+        if record.metrics.get("cancel_requested"):
+            self.queue.transition(record, JobState.CANCELLED, type="cancelled")
+            self._finalize(record)
+            return
+        record.attempt += 1
+        record.started_at = time.time()
+        deadline = None
+        if record.job.timeout_seconds is not None:
+            deadline = self.clock() + record.job.timeout_seconds
+        control = JobControl(deadline=deadline, clock=self.clock)
+        self.queue.transition(
+            record,
+            JobState.RUNNING,
+            type="started",
+            queue_wait_seconds=max(0.0, record.started_at - record.job.submitted_at),
+        )
+        slot = _Slot(
+            record=record,
+            control=control,
+            thread=None,  # type: ignore[arg-type]
+            coalesce_key=self.coalesce(record) if self.coalesce else None,
+        )
+
+        def _run() -> None:
+            try:
+                slot.outcome["result"] = self.runner(record, control)
+            except BaseException as exc:  # noqa: BLE001 - forwarded to reap
+                slot.outcome["error"] = exc
+
+        slot.thread = threading.Thread(
+            target=_run, name=f"metaprep-job-{record.job_id}", daemon=True
+        )
+        slot.thread.start()
+        self._slots[record.job_id] = slot
+
+    def _reap(self) -> bool:
+        changed = False
+        for job_id in list(self._slots):
+            slot = self._slots[job_id]
+            if slot.control.cancel_event.is_set() is False and slot.record.metrics.get(
+                "cancel_requested"
+            ):
+                slot.control.cancel_event.set()
+            if slot.thread.is_alive():
+                continue
+            slot.thread.join()
+            del self._slots[job_id]
+            self._settle(slot)
+            changed = True
+        return changed
+
+    def _settle(self, slot: _Slot) -> None:
+        record, outcome = slot.record, slot.outcome
+        error = outcome.get("error")
+        if error is None:
+            record.finished_at = time.time()
+            self.queue.transition(
+                record,
+                JobState.SUCCEEDED,
+                type="succeeded",
+                result=outcome.get("result", {}),
+                metrics=record.metrics,
+            )
+            record.result = dict(outcome.get("result", {}))
+            self._finalize(record)
+        elif isinstance(error, JobCancelled):
+            record.finished_at = time.time()
+            record.error = str(error)
+            self.queue.transition(
+                record, JobState.CANCELLED, type="cancelled", error=str(error)
+            )
+            self._finalize(record)
+        elif isinstance(error, JobTimeout):
+            record.finished_at = time.time()
+            record.error = str(error)
+            self.queue.transition(
+                record, JobState.FAILED, type="timeout", error=str(error)
+            )
+            self._finalize(record)
+        elif record.attempt <= record.job.max_retries:
+            delay = self.retry.delay(record.attempt)
+            record.not_before = self.clock() + delay
+            record.error = f"{type(error).__name__}: {error}"
+            self.queue.transition(
+                record,
+                JobState.QUEUED,
+                type="retry_scheduled",
+                error=record.error,
+                retry_in_seconds=delay,
+            )
+            _LOG.warning(
+                "job %s attempt %d failed (%s); retry in %.2fs",
+                record.job_id,
+                record.attempt,
+                record.error,
+                delay,
+            )
+        else:
+            record.finished_at = time.time()
+            record.error = f"{type(error).__name__}: {error}"
+            self.queue.transition(
+                record,
+                JobState.FAILED,
+                type="failed",
+                error=record.error,
+                metrics=record.metrics,
+            )
+            self._finalize(record)
+
+    def _finalize(self, record: JobRecord) -> None:
+        if self.on_terminal is not None:
+            self.on_terminal(record)
+
+    # ------------------------------------------------------------------
+    def run_until_idle(self, poll_seconds: float = 0.02, timeout: float | None = None) -> None:
+        """Drive ticks until no job is queued, backing off, or running."""
+        start = self.clock()
+        while True:
+            self.tick()
+            if not self._slots and not self.queue.pending():
+                return
+            if timeout is not None and self.clock() - start > timeout:
+                raise TimeoutError(
+                    f"scheduler not idle after {timeout}s: "
+                    f"running={self.running}, "
+                    f"pending={[r.job_id for r in self.queue.pending()]}"
+                )
+            self.sleep(poll_seconds)

@@ -1,4 +1,3 @@
-import numpy as np
 import pytest
 
 from repro.assembly.evaluation import AssemblyEvaluator, evaluate_against_community

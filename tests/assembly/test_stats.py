@@ -1,6 +1,6 @@
 import pytest
 
-from repro.assembly.stats import AssemblyStats, combine_stats, contig_stats, n_statistic
+from repro.assembly.stats import combine_stats, contig_stats, n_statistic
 
 
 class TestNStatistic:

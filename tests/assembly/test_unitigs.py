@@ -1,5 +1,3 @@
-import numpy as np
-import pytest
 
 from repro.assembly.graph import build_debruijn_graph
 from repro.assembly.unitigs import extract_unitigs

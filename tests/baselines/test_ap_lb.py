@@ -1,5 +1,4 @@
 import numpy as np
-import pytest
 
 from repro.baselines.ap_lb import APLBPartitioner, shiloach_vishkin
 

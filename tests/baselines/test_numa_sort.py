@@ -1,5 +1,4 @@
 import numpy as np
-import pytest
 
 from repro.baselines.numa_sort import comparator_sort_tuples, sort_throughput
 from repro.kmers.codec import KmerArray

@@ -1,4 +1,3 @@
-import numpy as np
 import pytest
 
 from repro.cc.splitting import hub_kmer_split, split_to_target, sweep_filters

@@ -1,3 +1,5 @@
+import os
+
 import numpy as np
 import pytest
 
@@ -6,6 +8,7 @@ from repro.core.checkpoint import (
     CheckpointMismatch,
     CheckpointStore,
     config_fingerprint,
+    prune_checkpoints,
 )
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import MetaPrep
@@ -227,3 +230,55 @@ class TestExecutorResume:
             result.partition.parent, reference.partition.parent
         )
         assert not CheckpointStore(tmp_path).exists()
+
+
+class TestPruneCheckpoints:
+    def _plant(self, root, name, mtime):
+        path = root / name / CheckpointStore.FILENAME
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"ckpt")
+        os.utime(path, (mtime, mtime))
+        return path
+
+    def test_keep_latest_n(self, tmp_path):
+        paths = [
+            self._plant(tmp_path, f"job{i}", 1000.0 + i) for i in range(4)
+        ]
+        removed = prune_checkpoints(tmp_path, keep_latest=2)
+        assert sorted(removed) == sorted(paths[:2])
+        assert not paths[0].exists() and not paths[1].exists()
+        assert paths[2].exists() and paths[3].exists()
+        # emptied per-job directories are removed with their checkpoints
+        assert not paths[0].parent.exists()
+        assert paths[2].parent.exists()
+
+    def test_keep_zero_removes_all(self, tmp_path):
+        for i in range(3):
+            self._plant(tmp_path, f"job{i}", 1000.0 + i)
+        prune_checkpoints(tmp_path, keep_latest=0)
+        assert list(tmp_path.rglob(CheckpointStore.FILENAME)) == []
+
+    def test_root_level_checkpoint_counts_too(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(
+            Checkpoint(
+                fingerprint="abc",
+                n_passes_total=2,
+                passes_done=1,
+                parents=[np.arange(4, dtype=np.int64)],
+            )
+        )
+        os.utime(store.path, (2000.0, 2000.0))
+        nested = self._plant(tmp_path, "old-job", 1000.0)
+        removed = prune_checkpoints(tmp_path, keep_latest=1)
+        assert removed == [nested]
+        assert store.exists()
+
+    def test_missing_root_is_noop(self, tmp_path):
+        assert prune_checkpoints(tmp_path / "nowhere", keep_latest=1) == []
+
+    def test_ignores_unrelated_files(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("keep me")
+        self._plant(tmp_path, "job0", 1000.0)
+        prune_checkpoints(tmp_path, keep_latest=0)
+        assert (tmp_path / "notes.txt").exists()

@@ -8,7 +8,6 @@ from repro.datasets.genomes import (
     random_sequence,
     synthesize_genome,
 )
-from repro.util.rng import rng_for
 
 
 class TestRandomSequence:

@@ -1,7 +1,7 @@
 import numpy as np
 import pytest
 
-from repro.datasets.community import Community, CommunitySpec, build_community
+from repro.datasets.community import CommunitySpec, build_community
 from repro.datasets.reads import ReadSimulator
 from repro.seqio.alphabet import reverse_complement
 

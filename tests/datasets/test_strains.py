@@ -1,7 +1,7 @@
 import numpy as np
 import pytest
 
-from repro.datasets.genomes import Genome, synthesize_genome
+from repro.datasets.genomes import synthesize_genome
 from repro.datasets.strains import (
     StrainSpec,
     derive_strain,
@@ -90,7 +90,6 @@ class TestStrainsCoPartition:
         cannot separate 1%-divergent strains — they share ~76% of 27-mers
         and every shared k-mer is an edge."""
         from repro.cc.components import reference_components_networkx
-        from repro.seqio.alphabet import decode_sequence
         from repro.seqio.records import ReadBatch
 
         strain = derive_strain(

@@ -1,5 +1,4 @@
 import numpy as np
-import pytest
 
 from repro.index.create import index_create
 from repro.index.fastqpart import FastqPartTable

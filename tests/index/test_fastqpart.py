@@ -9,7 +9,7 @@ from repro.index.fastqpart import (
 )
 from repro.index.merhist import build_merhist
 from repro.seqio.fastq import write_fastq
-from repro.seqio.records import FastqRecord, ReadBatch
+from repro.seqio.records import FastqRecord
 
 
 @pytest.fixture()

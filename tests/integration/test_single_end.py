@@ -1,6 +1,5 @@
 """Single-end (unpaired) input through the whole pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.cc.components import (
@@ -10,7 +9,7 @@ from repro.cc.components import (
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import MetaPrep
 from repro.seqio.fastq import read_fastq, write_fastq
-from repro.seqio.records import FastqRecord, ReadBatch
+from repro.seqio.records import ReadBatch
 
 
 @pytest.fixture(scope="module")

@@ -1,4 +1,3 @@
-import pytest
 
 from repro.perf.calibrate import (
     SubstrateRates,

@@ -1,7 +1,6 @@
 """Hypothesis properties for the extension modules (contraction,
 normalization, splitting, cleaning)."""
 
-import networkx as nx
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st

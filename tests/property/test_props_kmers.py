@@ -1,6 +1,5 @@
 """Hypothesis properties of the k-mer machinery."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

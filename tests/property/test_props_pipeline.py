@@ -6,8 +6,7 @@ METAPREP's implicit-graph implementation of it).
 """
 
 import numpy as np
-import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cc.components import (

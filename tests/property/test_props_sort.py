@@ -3,7 +3,6 @@
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
-from hypothesis.extra import numpy as hnp
 
 from repro.kmers.codec import KmerArray
 from repro.kmers.engine import KmerTuples

@@ -135,3 +135,81 @@ class TestProcessExecutor:
         ex.map(_square, [1])
         ex.close()
         ex.close()
+
+
+class TestAvailableCpuCount:
+    def test_at_least_one(self):
+        from repro.runtime.executor import available_cpu_count
+
+        assert available_cpu_count() >= 1
+
+    def test_prefers_affinity_mask(self, monkeypatch):
+        import repro.runtime.executor as executor_mod
+        from repro.runtime.executor import available_cpu_count
+
+        monkeypatch.setattr(
+            executor_mod.os, "sched_getaffinity", lambda pid: {0, 1, 5},
+            raising=False,
+        )
+        assert available_cpu_count() == 3
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        import repro.runtime.executor as executor_mod
+        from repro.runtime.executor import available_cpu_count
+
+        monkeypatch.delattr(
+            executor_mod.os, "sched_getaffinity", raising=False
+        )
+        monkeypatch.setattr(executor_mod.os, "cpu_count", lambda: 7)
+        assert available_cpu_count() == 7
+
+    def test_default_pool_size_uses_it(self, monkeypatch):
+        import repro.runtime.executor as executor_mod
+
+        monkeypatch.setattr(
+            executor_mod, "available_cpu_count", lambda: 5
+        )
+        assert ProcessExecutor().max_workers == 5
+
+
+class TestSharedStateThreadConfinement:
+    """Concurrent in-process runs (the job service) must not clobber each
+    other's shared context: worker_shared() is per-thread."""
+
+    def test_threads_see_their_own_shared(self):
+        import threading
+
+        seen = {}
+        barrier = threading.Barrier(2)
+
+        def run(tag, value):
+            ex = SerialExecutor()
+            ex.set_shared(value)
+            barrier.wait()  # both threads have installed their state
+            seen[tag] = ex.map(_shared_plus, [0, 1])
+            ex.close()
+
+        threads = [
+            threading.Thread(target=run, args=("a", 100)),
+            threading.Thread(target=run, args=("b", 200)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen == {"a": [100, 101], "b": [200, 201]}
+
+    def test_close_on_one_thread_leaves_others_alone(self):
+        import threading
+
+        ex = SerialExecutor()
+        ex.set_shared(42)
+
+        def other_thread_close():
+            SerialExecutor().close()  # installs None on *that* thread only
+
+        t = threading.Thread(target=other_thread_close)
+        t.start()
+        t.join()
+        assert worker_shared() == 42
+        ex.close()

@@ -1,0 +1,266 @@
+"""End-to-end service tests: the spool protocol, content-addressed cache
+hits, crash-retry-resume, and daemon restart recovery.
+
+These are the acceptance tests of the job service subsystem: everything
+runs the real pipeline on the tiny HG analogue through a real
+:class:`ServeDaemon` over a real spool directory.
+"""
+
+import json
+import multiprocessing as mp
+import os
+
+import numpy as np
+import pytest
+
+import repro.core.pipeline as pipeline_mod
+import repro.index.create as create_mod
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import MetaPrep
+from repro.service.client import ServiceClient
+from repro.service.daemon import CHECKPOINTS_DIR, ServeDaemon
+from repro.service.jobs import JobState, PartitionJob
+from repro.service.queue import JobQueue, RetryPolicy
+
+HAS_FORK = "fork" in mp.get_all_start_methods()
+
+CFG = {"k": 21, "m": 5, "n_tasks": 2, "n_threads": 2, "n_passes": 2}
+
+
+def events_of(spool, job_id, type_=None):
+    events = JobQueue(spool).events.replay()
+    return [
+        e for e in events
+        if e.job_id == job_id and (type_ is None or e.type == type_)
+    ]
+
+
+class TestEndToEndCache:
+    def test_second_identical_submit_is_a_cache_hit(
+        self, tiny_hg, tmp_path, monkeypatch
+    ):
+        index_calls = []
+        original_index_create = create_mod.index_create
+
+        def counting(*args, **kwargs):
+            index_calls.append(args)
+            return original_index_create(*args, **kwargs)
+
+        monkeypatch.setattr(create_mod, "index_create", counting)
+
+        spool = tmp_path / "spool"
+        client = ServiceClient(spool)
+        j1 = client.submit(tiny_hg.units, config=CFG)
+        j2 = client.submit(tiny_hg.units, config=CFG)  # identical
+        j3 = client.submit(tiny_hg.units, config=dict(CFG, k=23))  # distinct
+
+        daemon = ServeDaemon(spool, max_concurrent=2)
+        daemon.run_until_idle()
+
+        s1, s2, s3 = (client.status(j) for j in (j1, j2, j3))
+        assert [s["state"] for s in (s1, s2, s3)] == [JobState.SUCCEEDED] * 3
+        assert [s["attempt"] for s in (s1, s2, s3)] == [1, 1, 1]
+
+        # the identical resubmission hit the partition cache: no
+        # IndexCreate, no passes — only j1 and j3 computed anything
+        assert s1["result"]["cache_hit"] is False
+        assert s2["result"]["cache_hit"] is True
+        assert s3["result"]["cache_hit"] is False
+        assert s2["metrics"]["partition_cache"] == "hit"
+        assert len(index_calls) == 2
+        assert daemon.store.stats.hits >= 1
+        assert events_of(spool, j2, "pass_complete") == []
+        assert len(events_of(spool, j1, "pass_complete")) == CFG["n_passes"]
+
+        # cached result is bit-identical to the computed one and to a
+        # direct in-process MetaPrep run
+        labels1, info1 = client.result(j1)
+        labels2, info2 = client.result(j2)
+        assert np.array_equal(labels1, labels2)
+        assert info1["artifact_key"] == info2["artifact_key"]
+        direct = MetaPrep(
+            PipelineConfig(write_outputs=False, **CFG)
+        ).run(tiny_hg.units)
+        assert np.array_equal(labels1, direct.partition.labels)
+        assert info1["n_components"] == direct.partition.summary.n_components
+
+    def test_queue_wait_and_run_metrics_published(self, tiny_hg, tmp_path):
+        spool = tmp_path / "spool"
+        client = ServiceClient(spool)
+        job_id = client.submit(tiny_hg.units, config=CFG)
+        ServeDaemon(spool).run_until_idle()
+        status = client.status(job_id)
+        assert status["metrics"]["partition_cache"] == "miss"
+        assert status["metrics"]["index_cache"] == "miss"
+        assert status["metrics"]["run_seconds"] > 0
+        assert status["metrics"]["total_tuples"] > 0
+        assert set(status["metrics"]["measured_seconds"])  # per-step times
+        assert status["started_at"] >= status["submitted_at"]
+        assert status["finished_at"] >= status["started_at"]
+
+
+# ---- crash injection --------------------------------------------------
+# Module-level stand-in for the pipeline's chunk worker (the PR-1 crash
+# seam): under the fork start method the pool's children inherit the
+# parent's monkeypatched module state, so the kill happens *inside a
+# worker process*, mid-multipass.
+
+_ORIGINAL_CHUNK_TASK = pipeline_mod._kmergen_chunk_task
+_FAULT = {"marker": None}
+
+
+def _die_once_in_second_pass(job):
+    if job.bin_lo > 0 and _FAULT["marker"]:
+        try:
+            with open(_FAULT["marker"], "x"):
+                pass
+        except FileExistsError:
+            pass  # already crashed once: run clean this time
+        else:
+            os._exit(23)  # simulates segfault/OOM-kill, no exception
+    return _ORIGINAL_CHUNK_TASK(job)
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="requires fork start method")
+class TestCrashRetryResume:
+    def test_killed_worker_retries_and_resumes_from_checkpoint(
+        self, tiny_hg, tmp_path, monkeypatch
+    ):
+        cfg = dict(CFG, n_passes=3)
+        reference = MetaPrep(
+            PipelineConfig(write_outputs=False, **cfg)
+        ).run(tiny_hg.units)
+
+        _FAULT["marker"] = str(tmp_path / "crashed-once")
+        monkeypatch.setattr(
+            pipeline_mod, "_kmergen_chunk_task", _die_once_in_second_pass
+        )
+        try:
+            spool = tmp_path / "spool"
+            client = ServiceClient(spool)
+            job_id = client.submit(tiny_hg.units, config=cfg)
+            daemon = ServeDaemon(
+                spool,
+                executor="process",
+                max_workers=2,
+                retry=RetryPolicy(base_delay=0.01),
+            )
+            daemon.run_until_idle()
+        finally:
+            _FAULT["marker"] = None
+
+        status = client.status(job_id)
+        assert status["state"] == JobState.SUCCEEDED
+        assert status["attempt"] == 2  # one kill, one clean retry
+
+        retries = events_of(spool, job_id, "retry_scheduled")
+        assert len(retries) == 1
+        assert "worker died" in retries[0].payload["error"]
+
+        # attempt 1 checkpointed pass 0 before dying in pass 1; the retry
+        # resumed mid-multipass instead of starting over
+        completed = {
+            e.attempt: [] for e in events_of(spool, job_id, "pass_complete")
+        }
+        for e in events_of(spool, job_id, "pass_complete"):
+            completed[e.attempt].append(e.payload["pass_index"])
+        assert completed[1] == [0]
+        assert completed[2] == [1, 2]
+
+        # and the final partition equals the uninterrupted run exactly
+        labels, _ = client.result(job_id)
+        assert np.array_equal(labels, reference.partition.labels)
+
+
+class TestDaemonRestart:
+    def test_queue_drains_after_restart_without_dup_or_loss(
+        self, tiny_hg, tmp_path
+    ):
+        spool = tmp_path / "spool"
+        for sub in ("submit", "cancel", "results", "checkpoints"):
+            (spool / sub).mkdir(parents=True)
+        cfg = dict(CFG, n_passes=1)
+
+        # simulate a daemon that ingested three jobs and was killed while
+        # the second was running
+        queue = JobQueue(spool)
+        jobs = [
+            PartitionJob(units=list(tiny_hg.units), config=cfg)
+            for _ in range(3)
+        ]
+        records = [queue.submit(job) for job in jobs]
+        records[1].attempt = 1
+        queue.transition(records[1], JobState.RUNNING, type="started")
+
+        daemon = ServeDaemon(spool)  # restart: replays the event log
+        demoted = [
+            e for e in queue.events.replay() if e.type == "recovered"
+        ]
+        assert [e.job_id for e in demoted] == [jobs[1].job_id]
+        daemon.run_until_idle()
+
+        client = ServiceClient(spool)
+        assert len(daemon.queue.records) == 3  # nothing lost, nothing duped
+        for job in jobs:
+            assert client.status(job.job_id)["state"] == JobState.SUCCEEDED
+            assert len(events_of(spool, job.job_id, "submitted")) == 1
+            terminal = [
+                e for e in events_of(spool, job.job_id)
+                if e.state in JobState.TERMINAL
+            ]
+            assert len(terminal) == 1
+            assert (spool / "results" / f"{job.job_id}.json").exists()
+
+    def test_restarted_daemon_serves_status_of_old_jobs(
+        self, tiny_hg, tmp_path
+    ):
+        spool = tmp_path / "spool"
+        client = ServiceClient(spool)
+        job_id = client.submit(tiny_hg.units, config=dict(CFG, n_passes=1))
+        ServeDaemon(spool).run_until_idle()
+
+        fresh = ServeDaemon(spool)  # no submissions this lifetime
+        assert fresh.queue.get(job_id).state == JobState.SUCCEEDED
+        assert fresh.idle()
+
+
+class TestCancellationAndSpool:
+    def test_cancel_before_daemon_runs(self, tiny_hg, tmp_path):
+        spool = tmp_path / "spool"
+        client = ServiceClient(spool)
+        job_id = client.submit(tiny_hg.units, config=CFG)
+        client.cancel(job_id)
+        daemon = ServeDaemon(spool)
+        daemon.run_until_idle()
+        assert client.status(job_id)["state"] == JobState.CANCELLED
+        assert len(events_of(spool, job_id, "pass_complete")) == 0
+
+    def test_malformed_submission_rejected_not_fatal(self, tiny_hg, tmp_path):
+        spool = tmp_path / "spool"
+        client = ServiceClient(spool)
+        (spool / "submit" / "00-garbage.json").write_text("{not json")
+        (spool / "submit" / "01-bad-spec.json").write_text(
+            json.dumps({"job_id": "j-bad", "units": []})
+        )
+        good = client.submit(tiny_hg.units, config=dict(CFG, n_passes=1))
+        daemon = ServeDaemon(spool)
+        daemon.run_until_idle()
+        assert client.status(good)["state"] == JobState.SUCCEEDED
+        rejected = sorted(p.name for p in (spool / "submit").iterdir())
+        assert rejected == ["00-garbage.rejected", "01-bad-spec.rejected"]
+
+    def test_checkpoints_pruned_after_success(self, tiny_hg, tmp_path):
+        spool = tmp_path / "spool"
+        client = ServiceClient(spool)
+        # a stale checkpoint left behind by some long-dead job
+        stale = spool / CHECKPOINTS_DIR / "j-dead" / "metaprep_checkpoint.bin"
+        stale.parent.mkdir(parents=True)
+        stale.write_bytes(b"stale")
+        job_id = client.submit(tiny_hg.units, config=dict(CFG, n_passes=2))
+        ServeDaemon(spool, keep_checkpoints=0).run_until_idle()
+        assert client.status(job_id)["state"] == JobState.SUCCEEDED
+        leftovers = list(
+            (spool / CHECKPOINTS_DIR).rglob("metaprep_checkpoint.bin")
+        )
+        assert leftovers == []
+        assert not stale.parent.exists()  # emptied job dir removed too

@@ -1,0 +1,160 @@
+"""Job specs, the state machine, and event/record serialization."""
+
+import pytest
+
+from repro.kmers.filter import FrequencyFilter
+from repro.service.jobs import (
+    JobEvent,
+    JobRecord,
+    JobState,
+    JobStateError,
+    PartitionJob,
+    new_job_id,
+)
+
+
+@pytest.fixture()
+def fastq(tmp_path):
+    path = tmp_path / "reads.fastq"
+    path.write_text("@r0\nACGTACGT\n+\nIIIIIIII\n")
+    return str(path)
+
+
+class TestJobState:
+    def test_legal_transitions(self):
+        JobState.check(JobState.QUEUED, JobState.RUNNING)
+        JobState.check(JobState.RUNNING, JobState.SUCCEEDED)
+        JobState.check(JobState.RUNNING, JobState.QUEUED)  # retry/recovery
+        JobState.check(JobState.QUEUED, JobState.CANCELLED)
+
+    @pytest.mark.parametrize(
+        "old,new",
+        [
+            (JobState.QUEUED, JobState.SUCCEEDED),
+            (JobState.SUCCEEDED, JobState.RUNNING),
+            (JobState.FAILED, JobState.QUEUED),
+            (JobState.CANCELLED, JobState.RUNNING),
+        ],
+    )
+    def test_illegal_transitions_raise(self, old, new):
+        with pytest.raises(JobStateError, match="illegal"):
+            JobState.check(old, new)
+
+    def test_terminal_states(self):
+        assert set(JobState.TERMINAL) == {
+            JobState.SUCCEEDED, JobState.FAILED, JobState.CANCELLED,
+        }
+
+
+class TestPartitionJob:
+    def test_ids_are_unique(self):
+        assert new_job_id() != new_job_id()
+
+    def test_unit_normalization(self, fastq, tmp_path):
+        r2 = tmp_path / "r2.fastq"
+        r2.write_text("@r0\nTTTTAAAA\n+\nIIIIIIII\n")
+        job = PartitionJob(units=[fastq, (fastq, str(r2)), [fastq]])
+        assert job.units[0] == [fastq]
+        assert job.units[1] == [fastq, str(r2)]
+        assert job.units[2] == [fastq]  # 1-element list = single-end
+        assert job.pipeline_units() == [fastq, (fastq, str(r2)), fastq]
+
+    def test_empty_units_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PartitionJob(units=[])
+
+    def test_bad_config_rejected_at_submission(self, fastq):
+        with pytest.raises(TypeError):
+            PartitionJob(units=[fastq], config={"not_a_field": 1})
+
+    def test_bad_retry_and_timeout_rejected(self, fastq):
+        with pytest.raises(ValueError, match="max_retries"):
+            PartitionJob(units=[fastq], max_retries=-1)
+        with pytest.raises(ValueError, match="timeout_seconds"):
+            PartitionJob(units=[fastq], timeout_seconds=-2.0)
+
+    def test_filter_string_materializes(self, fastq):
+        job = PartitionJob(units=[fastq], config={"k": 21, "kmer_filter": "10:30"})
+        cfg = job.pipeline_config()
+        assert cfg.kmer_filter == FrequencyFilter(min_freq=10, max_freq=30)
+        assert cfg.k == 21
+
+    def test_dict_roundtrip(self, fastq):
+        job = PartitionJob(
+            units=[fastq],
+            config={"k": 23},
+            max_retries=5,
+            timeout_seconds=9.0,
+        )
+        back = PartitionJob.from_dict(job.to_dict())
+        assert back.job_id == job.job_id
+        assert back.units == job.units
+        assert back.config == {"k": 23}
+        assert back.max_retries == 5
+        assert back.timeout_seconds == 9.0
+
+
+class TestJobEvent:
+    def test_json_roundtrip(self):
+        event = JobEvent(
+            job_id="j-1",
+            type="started",
+            state=JobState.RUNNING,
+            attempt=2,
+            payload={"queue_wait_seconds": 1.5},
+        )
+        back = JobEvent.from_json(event.to_json())
+        assert back == event
+
+    def test_progress_event_has_no_state(self):
+        event = JobEvent(job_id="j-1", type="pass_complete", payload={"pass_index": 0})
+        assert JobEvent.from_json(event.to_json()).state is None
+
+
+class TestJobRecord:
+    def _record(self, fastq):
+        return JobRecord(job=PartitionJob(units=[fastq]))
+
+    def test_replay_to_success(self, fastq):
+        record = self._record(fastq)
+        record.apply_event(
+            JobEvent(job_id=record.job_id, type="started",
+                     state=JobState.RUNNING, attempt=1, time=5.0)
+        )
+        assert record.state == JobState.RUNNING
+        assert record.started_at == 5.0
+        record.apply_event(
+            JobEvent(
+                job_id=record.job_id,
+                type="succeeded",
+                state=JobState.SUCCEEDED,
+                attempt=1,
+                time=9.0,
+                payload={"result": {"n_components": 4}, "metrics": {"x": 1}},
+            )
+        )
+        assert record.terminal
+        assert record.finished_at == 9.0
+        assert record.result == {"n_components": 4}
+        assert record.metrics == {"x": 1}
+
+    def test_replay_failure_keeps_error(self, fastq):
+        record = self._record(fastq)
+        record.apply_event(
+            JobEvent(job_id=record.job_id, type="started",
+                     state=JobState.RUNNING, attempt=1)
+        )
+        record.apply_event(
+            JobEvent(job_id=record.job_id, type="failed",
+                     state=JobState.FAILED, attempt=1,
+                     payload={"error": "boom"})
+        )
+        assert record.state == JobState.FAILED
+        assert record.error == "boom"
+
+    def test_status_dict_shape(self, fastq):
+        status = self._record(fastq).status_dict()
+        assert status["state"] == JobState.QUEUED
+        for key in ("job_id", "attempt", "error", "result", "metrics",
+                    "submitted_at", "started_at", "finished_at"):
+            assert key in status

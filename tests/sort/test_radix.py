@@ -3,7 +3,6 @@ import pytest
 
 from repro.kmers.codec import KmerArray
 from repro.kmers.engine import KmerTuples, enumerate_canonical_kmers
-from repro.seqio.records import ReadBatch
 from repro.sort.radix import (
     RADIX_BUCKETS,
     counting_sort_by_digit,

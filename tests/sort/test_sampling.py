@@ -1,5 +1,4 @@
 import numpy as np
-import pytest
 
 from repro.index.passplan import balanced_boundaries
 from repro.kmers.codec import KmerArray

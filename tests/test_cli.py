@@ -170,3 +170,105 @@ class TestIndexAndRun:
         out = capsys.readouterr().out
         assert "contigs" in out
         assert (tmp_path / "contigs.fasta").exists()
+
+
+class TestServiceVerbs:
+    def test_parsers(self):
+        parser = build_parser()
+        ns = parser.parse_args(["serve", "--spool", "/tmp/s", "--once"])
+        assert ns.command == "serve" and ns.once
+        ns = parser.parse_args(
+            ["submit", "--spool", "/tmp/s", "--r1", "x.fastq", "--wait", "30"]
+        )
+        assert ns.command == "submit" and ns.wait == 30.0
+        ns = parser.parse_args(["status", "--spool", "/tmp/s"])
+        assert ns.command == "status" and ns.job is None
+        ns = parser.parse_args(["result", "--spool", "/tmp/s", "--job", "j-1"])
+        assert ns.command == "result" and ns.job == "j-1"
+        ns = parser.parse_args(["cancel", "--spool", "/tmp/s", "--job", "j-1"])
+        assert ns.command == "cancel"
+
+    def test_spool_required(self):
+        for verb in ("serve", "status", "cancel"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([verb])
+
+    def test_submit_serve_status_result_loop(self, tiny_hg, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        common = ["--k", "21", "--m", "5", "--tasks", "2", "--threads", "2"]
+        rc = main(
+            ["submit", "--spool", spool,
+             "--r1", tiny_hg.r1_path, "--r2", tiny_hg.r2_path, *common]
+        )
+        assert rc == 0
+        job_id = capsys.readouterr().out.strip().splitlines()[-1]
+        assert job_id.startswith("j-")
+
+        assert main(["status", "--spool", spool]) == 0
+        assert job_id in capsys.readouterr().out
+
+        assert main(["serve", "--spool", spool, "--once"]) == 0
+        assert "spool drained" in capsys.readouterr().out
+
+        assert main(["status", "--spool", spool, "--job", job_id]) == 0
+        out = capsys.readouterr().out
+        assert "succeeded" in out
+        assert "measured step times" in out
+
+        labels_path = tmp_path / "labels.txt"
+        rc = main(
+            ["result", "--spool", spool, "--job", job_id,
+             "--out", str(labels_path)]
+        )
+        assert rc == 0
+        assert "components" in capsys.readouterr().out
+        labels = labels_path.read_text().splitlines()
+        assert len(labels) == tiny_hg.n_pairs
+        assert all(line.lstrip("-").isdigit() for line in labels)
+
+    def test_submit_wait_drives_to_terminal_state(
+        self, tiny_hg, tmp_path, capsys
+    ):
+        import threading
+
+        spool = str(tmp_path / "spool")
+        server = threading.Thread(
+            target=main,
+            args=(["serve", "--spool", spool, "--once",
+                   "--drain-timeout", "120"],),
+        )
+        rc_holder = {}
+
+        def submit():
+            rc_holder["rc"] = main(
+                ["submit", "--spool", spool,
+                 "--r1", tiny_hg.r1_path, "--r2", tiny_hg.r2_path,
+                 "--k", "21", "--m", "5", "--wait", "120"]
+            )
+
+        client = threading.Thread(target=submit)
+        client.start()
+        import time
+
+        time.sleep(0.3)  # let the submission land before the drain starts
+        server.start()
+        client.join(timeout=150)
+        server.join(timeout=150)
+        assert rc_holder["rc"] == 0
+        assert "succeeded" in capsys.readouterr().out
+
+    def test_cancel_queued_job(self, tiny_hg, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        main(
+            ["submit", "--spool", spool,
+             "--r1", tiny_hg.r1_path, "--k", "21", "--m", "5"]
+        )
+        job_id = capsys.readouterr().out.strip().splitlines()[-1]
+        assert main(["cancel", "--spool", spool, "--job", job_id]) == 0
+        assert main(["serve", "--spool", spool, "--once"]) == 0
+        assert main(["status", "--spool", spool]) == 0
+        assert "cancelled" in capsys.readouterr().out.splitlines()[-1]
+
+    def test_status_empty_spool(self, tmp_path, capsys):
+        assert main(["status", "--spool", str(tmp_path / "empty")]) == 0
+        assert "no jobs" in capsys.readouterr().out

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.index",
     "repro.runtime",
     "repro.core",
+    "repro.service",
     "repro.datasets",
     "repro.assembly",
     "repro.baselines",
