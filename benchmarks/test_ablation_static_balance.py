@@ -40,7 +40,7 @@ def mm_tuples(ctx):
 @pytest.mark.benchmark(group="ablation-balance")
 def test_ablation_exact_vs_sampled_balance(mm_tuples, benchmark):
     benchmark.pedantic(
-        lambda: sampled_boundaries(mm_tuples, M, N_PARTS, sample_size=4096),
+        lambda: sampled_boundaries(mm_tuples, M, N_PARTS, sample_size=4096, seed=0),
         rounds=1,
         iterations=1,
     )
@@ -58,7 +58,7 @@ def test_ablation_exact_vs_sampled_balance(mm_tuples, benchmark):
         stats = measure_partition_balance(
             mm_tuples,
             M,
-            sampled_boundaries(mm_tuples, M, N_PARTS, sample_size=sample),
+            sampled_boundaries(mm_tuples, M, N_PARTS, sample_size=sample, seed=0),
         )
         sampled_at[sample] = stats.imbalance
         rows.append(["sampled splitters", sample, f"{stats.imbalance:.2f}"])

@@ -1,0 +1,52 @@
+"""Invariant-checking static analysis for the METAPREP codebase.
+
+``metaprep check`` runs four AST-based checkers over ``src/repro`` and
+reports structured findings (file, line, rule id, message):
+
+* **fingerprint** (MP101–MP104) — every ``PipelineConfig`` field read by
+  partition-affecting code must be covered by the checkpoint/artifact
+  fingerprint (:func:`repro.core.checkpoint.config_payload`) or
+  explicitly declared partition-irrelevant;
+* **determinism** (MP201–MP203) — no wall-clock time, unseeded RNGs, or
+  unordered-set iteration in result-affecting paths;
+* **purity** (MP301–MP302) — callables submitted to the execution
+  backends must be picklable module-level functions free of
+  module-global writes;
+* **overflow** (MP401) — k-derived shift widths must not exceed the
+  64-bit packed-kmer limb outside the guarded two-limb path.
+
+Findings are silenced inline with ``# metaprep: ignore[RULE]`` or
+absorbed by the committed baseline file (``.metaprep-baseline.json``);
+``metaprep check --strict`` exits non-zero on any *new* finding.  The
+whole subsystem is stdlib-only (``ast`` + ``tokenize``) so the CI gate
+runs without the numeric stack.
+"""
+
+from repro.analysis.baseline import (
+    BASELINE_FILENAME,
+    load_baseline,
+    subtract_baseline,
+    write_baseline,
+)
+from repro.analysis.checkers import CHECKERS
+from repro.analysis.findings import RULES, Finding
+from repro.analysis.project import Project, ProjectLayoutError, SourceModule
+from repro.analysis.runner import CheckReport, run_checks
+from repro.analysis.suppress import is_suppressed, parse_suppressions
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "CHECKERS",
+    "CheckReport",
+    "Finding",
+    "Project",
+    "ProjectLayoutError",
+    "RULES",
+    "SourceModule",
+    "is_suppressed",
+    "load_baseline",
+    "parse_suppressions",
+    "run_checks",
+    "subtract_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,75 @@
+"""Committed-baseline support for ``metaprep check``.
+
+A baseline is a JSON file recording known findings.  ``metaprep check``
+subtracts the baseline from the current findings — only *new* findings
+gate (``--strict`` exits non-zero on them).  The baseline matches by
+content (``rule``, ``path``, ``message``) as a multiset, so edits that
+merely move a baselined finding to another line do not resurrect it,
+while a second occurrence of the same finding does count as new.
+
+The repository commits an empty baseline (the tree is expected clean);
+``--write-baseline`` regenerates the file from the current findings when
+a rule must land before its last offenders are fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Counter as CounterType
+from typing import Iterable, List, Tuple
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: default baseline filename, looked up under the check root
+BASELINE_FILENAME = ".metaprep-baseline.json"
+
+Key = Tuple[str, str, str]
+
+
+def load_baseline(path: Path) -> "CounterType[Key]":
+    """Load a baseline file into a finding-key multiset.
+
+    A missing file is an empty baseline.  A structurally invalid file
+    raises ``ValueError`` — silently ignoring a corrupt baseline would
+    turn the gate off.
+    """
+    if not path.exists():
+        return Counter()
+    data = json.loads(path.read_text())
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"{path}: not a metaprep baseline file")
+    keys: CounterType[Key] = Counter()
+    for entry in data["findings"]:
+        try:
+            keys[(entry["rule"], entry["path"], entry["message"])] += 1
+        except (TypeError, KeyError) as exc:
+            raise ValueError(f"{path}: malformed baseline entry {entry!r}") from exc
+    return keys
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, stable diffs)."""
+    entries = [
+        {"rule": f.rule, "path": f.path, "message": f.message}
+        for f in sorted(findings)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def subtract_baseline(
+    findings: List[Finding], baseline: "CounterType[Key]"
+) -> List[Finding]:
+    """Findings not accounted for by the baseline (multiset subtraction)."""
+    budget = Counter(baseline)
+    new: List[Finding] = []
+    for finding in sorted(findings):
+        if budget[finding.key()] > 0:
+            budget[finding.key()] -= 1
+        else:
+            new.append(finding)
+    return new

@@ -1,0 +1,32 @@
+"""Checker registry for :mod:`repro.analysis`.
+
+Each checker is a function ``Project -> List[Finding]``.  The runner
+iterates :data:`CHECKERS` in order, so new checkers register here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+from repro.analysis.checkers.fingerprint import check_fingerprint_coverage
+from repro.analysis.checkers.determinism import check_determinism
+from repro.analysis.checkers.purity import check_executor_purity
+from repro.analysis.checkers.overflow import check_kmer_overflow
+
+#: checker name -> checker function, in run order
+CHECKERS: Dict[str, Callable[[Project], List[Finding]]] = {
+    "fingerprint": check_fingerprint_coverage,
+    "determinism": check_determinism,
+    "purity": check_executor_purity,
+    "overflow": check_kmer_overflow,
+}
+
+__all__ = [
+    "CHECKERS",
+    "check_fingerprint_coverage",
+    "check_determinism",
+    "check_executor_purity",
+    "check_kmer_overflow",
+]

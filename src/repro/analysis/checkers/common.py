@@ -1,0 +1,142 @@
+"""Shared AST utilities for the checkers.
+
+Everything here is deliberately *local* static analysis: import-alias
+resolution, annotation matching, and scope walking within one module.
+No cross-module type inference is attempted — the checkers trade recall
+for zero-dependency, zero-surprise precision, and document their
+heuristics in :mod:`repro.analysis.findings`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: identifiers treated as a k-mer length in the overflow checker
+K_NAME = re.compile(r"^k[0-9]?$")
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted path they import.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from time import
+    time`` maps ``time -> time.time``; ``import os.path`` binds ``os``.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    first = alias.name.split(".")[0]
+                    aliases[first] = first
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports stay package-local
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def dotted_name(node: ast.expr, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve a ``Name``/``Attribute`` chain to its imported dotted path.
+
+    Returns ``None`` when the chain is not rooted in an imported name —
+    locals and attributes of locals never resolve, which keeps matching
+    against module-function tables (``time.time`` etc.) precise.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name) or node.id not in aliases:
+        return None
+    parts.append(aliases[node.id])
+    return ".".join(reversed(parts))
+
+
+def annotation_mentions(annotation: Optional[ast.expr], names: Tuple[str, ...]) -> bool:
+    """True when an annotation expression references any of ``names``.
+
+    Handles plain names, attributes, subscripts, unions (``X | None``),
+    and string annotations.
+    """
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return False
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name) and node.id in names:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in names:
+            return True
+    return False
+
+
+def terminal_name(node: ast.expr) -> Optional[str]:
+    """The last identifier of a ``Name``/``Attribute`` chain."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``scope`` without descending into nested function/class defs.
+
+    The scope node itself is yielded first; nested ``FunctionDef`` /
+    ``AsyncFunctionDef`` / ``ClassDef`` / ``Lambda`` nodes are yielded
+    (so callers can recurse explicitly) but their bodies are not.
+    """
+    yield scope
+    stack: List[ast.AST] = [scope]
+    while stack:
+        node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            yield child
+            if not isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+            ):
+                stack.append(child)
+
+
+def function_scopes(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, Optional[ast.ClassDef]]]:
+    """All function-like scopes of a module with their owning class.
+
+    Yields ``(module, None)`` first, then every ``FunctionDef`` /
+    ``AsyncFunctionDef`` paired with the innermost ``ClassDef`` that
+    contains it (``None`` for plain functions).
+    """
+    yield tree, None
+
+    def visit(node: ast.AST, owner: Optional[ast.ClassDef]):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, owner
+                yield from visit(child, owner)
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, child)
+            else:
+                yield from visit(child, owner)
+
+    yield from visit(tree, None)
+
+
+def contains_k_name(node: ast.expr) -> bool:
+    """True when the expression mentions a k-like identifier (``k``,
+    ``k1``, ``self.k``, ``cfg.k``, ...)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and K_NAME.match(sub.id):
+            return True
+        if isinstance(sub, ast.Attribute) and K_NAME.match(sub.attr):
+            return True
+    return False

@@ -1,0 +1,304 @@
+"""MP2xx — determinism lint over result-affecting paths.
+
+Partition output is bit-identical across executors (PR 1) and cached by
+content address (PR 2); both contracts die silently the moment a
+result-affecting module consults a nondeterministic source.  Three rules:
+
+* **MP201** — wall-clock time (``time.time``, ``datetime.now``...) in a
+  result-affecting module.  Monotonic measurement clocks
+  (``time.perf_counter``, ``time.monotonic``) are allowed: they feed the
+  timing reports, which are not part of the result contract.
+* **MP202** — unseeded or module-global random sources, anywhere in the
+  package: ``np.random.default_rng()`` with no seed, the legacy
+  ``np.random.*`` global API, ``random.*`` module functions, unseeded
+  ``RandomState()``/``Random()``.  Seeded generators and generators
+  received as parameters pass.
+* **MP203** — iteration over an unordered ``set``/``frozenset`` (literal,
+  constructor call, or a local so assigned) in a result-affecting module.
+  Iteration order of a set of strings depends on ``PYTHONHASHSEED``;
+  wrap in ``sorted(...)`` to fix an order.
+
+Scope: MP201/MP203 apply to the result-affecting directories below;
+timing/perf machinery (``perf/``, ``runtime/``, ``util/``) and the
+service layer (wall-clock job timestamps are part of *its* contract) are
+deliberately outside.  MP202 applies to the whole package — an unseeded
+RNG anywhere is a reproducibility hazard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, SourceModule
+from repro.analysis.checkers.common import (
+    annotation_mentions,
+    dotted_name,
+    import_aliases,
+    terminal_name,
+    walk_scope,
+)
+
+#: modules whose behaviour flows into partition/assembly results
+RESULT_AFFECTING_SCOPES = (
+    "kmers/",
+    "sort/",
+    "cc/",
+    "index/",
+    "core/",
+    "seqio/",
+    "assembly/",
+)
+
+#: wall-clock sources (monotonic clocks are deliberately absent)
+WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.ctime",
+        "time.asctime",
+        "time.localtime",
+        "time.gmtime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: legacy numpy module-global RNG entry points (always hidden shared state)
+NUMPY_GLOBAL_RNG = frozenset(
+    {
+        "seed",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "rand",
+        "randn",
+        "randint",
+        "random_integers",
+        "choice",
+        "shuffle",
+        "permutation",
+        "bytes",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "poisson",
+        "binomial",
+        "beta",
+        "gamma",
+        "exponential",
+    }
+)
+
+#: stdlib ``random`` module-global functions
+STDLIB_GLOBAL_RNG = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "getrandbits",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "uniform",
+        "triangular",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "gammavariate",
+        "seed",
+    }
+)
+
+
+# ----------------------------------------------------------------------
+# MP201 / MP202
+# ----------------------------------------------------------------------
+def _is_unseeded_call(node: ast.Call) -> bool:
+    """No positional seed and no non-``None`` ``seed=`` keyword."""
+    if node.args and not (
+        isinstance(node.args[0], ast.Constant) and node.args[0].value is None
+    ):
+        return False
+    for kw in node.keywords:
+        if kw.arg == "seed" and not (
+            isinstance(kw.value, ast.Constant) and kw.value.value is None
+        ):
+            return False
+    # every remaining form is seedless or an explicit None seed
+    return True
+
+
+def _scan_clocks(module: SourceModule, findings: List[Finding]) -> None:
+    aliases = import_aliases(module.tree)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.Attribute, ast.Name)):
+            continue
+        if not isinstance(getattr(node, "ctx", None), ast.Load):
+            continue
+        dotted = dotted_name(node, aliases)
+        if dotted in WALL_CLOCK:
+            findings.append(
+                Finding(
+                    path=module.relpath,
+                    line=node.lineno,
+                    rule="MP201",
+                    message=(
+                        f"wall-clock source '{dotted}' in a result-affecting "
+                        "path; use a monotonic clock for measurement or move "
+                        "timestamps out of the result"
+                    ),
+                )
+            )
+
+
+def _scan_rng(module: SourceModule, findings: List[Finding]) -> None:
+    aliases = import_aliases(module.tree)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = dotted_name(node.func, aliases)
+        if dotted is None:
+            continue
+        message = None
+        if dotted in ("numpy.random.default_rng", "numpy.random.RandomState"):
+            if _is_unseeded_call(node):
+                message = f"'{dotted}()' without a seed"
+        elif dotted.startswith("numpy.random.") and (
+            dotted.rsplit(".", 1)[1] in NUMPY_GLOBAL_RNG
+        ):
+            message = (
+                f"'{dotted}' draws from the numpy module-global RNG "
+                "(hidden shared state); use a seeded Generator"
+            )
+        elif dotted == "random.Random":
+            if _is_unseeded_call(node):
+                message = "'random.Random()' without a seed"
+        elif dotted.startswith("random.") and (
+            dotted.rsplit(".", 1)[1] in STDLIB_GLOBAL_RNG
+        ):
+            message = (
+                f"'{dotted}' draws from the stdlib module-global RNG; "
+                "use a seeded random.Random or numpy Generator"
+            )
+        if message is not None:
+            findings.append(
+                Finding(
+                    path=module.relpath,
+                    line=node.lineno,
+                    rule="MP202",
+                    message=message,
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# MP203
+# ----------------------------------------------------------------------
+_SET_CONSTRUCTORS = ("set", "frozenset")
+
+
+def _collect_set_names(scope: ast.AST) -> Set[str]:
+    """Names bound to set values within one scope (no nested functions)."""
+    names: Set[str] = set()
+
+    def is_setish(expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call) and terminal_name(expr.func) in _SET_CONSTRUCTORS:
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in names
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return is_setish(expr.left) or is_setish(expr.right)
+        return False
+
+    # two passes so forward-flowing chains (a = set(); b = a) settle
+    for _ in range(2):
+        for node in walk_scope(scope):
+            if isinstance(node, ast.Assign) and is_setish(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if annotation_mentions(
+                    node.annotation, ("set", "Set", "frozenset", "FrozenSet")
+                ) or (node.value is not None and is_setish(node.value)):
+                    names.add(node.target.id)
+    return names
+
+
+def _scan_set_iteration(module: SourceModule, findings: List[Finding]) -> None:
+    scopes: List[ast.AST] = [module.tree]
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scopes.append(node)
+
+    for scope in scopes:
+        set_names = _collect_set_names(scope)
+
+        def is_setish(expr: ast.expr) -> bool:
+            if isinstance(expr, (ast.Set, ast.SetComp)):
+                return True
+            if (
+                isinstance(expr, ast.Call)
+                and terminal_name(expr.func) in _SET_CONSTRUCTORS
+            ):
+                return True
+            if isinstance(expr, ast.Name):
+                return expr.id in set_names
+            if isinstance(expr, ast.BinOp) and isinstance(
+                expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+            ):
+                return is_setish(expr.left) or is_setish(expr.right)
+            return False
+
+        def flag(expr: ast.expr) -> None:
+            findings.append(
+                Finding(
+                    path=module.relpath,
+                    line=expr.lineno,
+                    rule="MP203",
+                    message=(
+                        "iteration over an unordered set; wrap in sorted(...) "
+                        "to fix a deterministic order"
+                    ),
+                )
+            )
+
+        for node in walk_scope(scope):
+            iters: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id in ("list", "tuple", "enumerate", "iter") and node.args:
+                    iters.append(node.args[0])
+            for candidate in iters:
+                if is_setish(candidate):
+                    flag(candidate)
+
+
+# ----------------------------------------------------------------------
+# the checker
+# ----------------------------------------------------------------------
+def check_determinism(project: Project) -> List[Finding]:
+    """Run the MP2xx determinism lint over ``project``."""
+    findings: List[Finding] = []
+    for module in project.select(RESULT_AFFECTING_SCOPES):
+        _scan_clocks(module, findings)
+        _scan_set_iteration(module, findings)
+    for module in project.modules:
+        _scan_rng(module, findings)
+    return findings

@@ -1,0 +1,332 @@
+"""MP1xx — fingerprint coverage of the artifact-store / checkpoint key.
+
+The content-addressed artifact store (:mod:`repro.service.store`) and the
+checkpoint fingerprint (:mod:`repro.core.checkpoint`) are sound only if
+:func:`repro.core.checkpoint.config_payload` captures every
+:class:`~repro.core.config.PipelineConfig` field that can change the
+partition result.  A field that influences output but is missing from the
+payload silently poisons the cache: two different runs collide on one
+artifact key.
+
+The checker cross-references three statically extracted facts:
+
+1. the set of ``PipelineConfig`` dataclass fields, with derived
+   properties/methods expanded to the base fields they read
+   (``tuple_bytes -> {k}``, ``resolved_chunks -> {n_chunks, n_tasks,
+   n_threads}``);
+2. the literal keys of the dict returned by ``config_payload`` plus the
+   ``PARTITION_IRRELEVANT_FIELDS`` declaration next to it (fields the
+   determinism contract proves cannot change output — executor choice,
+   pass/chunk decomposition, and so on);
+3. every read of a config-typed expression inside the
+   partition-affecting modules (``kmers/``, ``sort/``, ``cc/``,
+   ``index/``, ``core/pipeline.py``).
+
+Config-typed expressions are found by local inference: parameters
+annotated ``PipelineConfig``, variables assigned from a
+``PipelineConfig(...)`` call or from ``self.config``, and ``self.config``
+itself.
+
+Rules:
+
+* **MP101** — a field is read by partition-affecting code but is neither
+  a payload key nor declared partition-irrelevant.
+* **MP102** — ``config_payload`` emits a key that is not a config field.
+* **MP103** — a field is declared partition-irrelevant *and* emitted by
+  the payload (the two classifications contradict).
+* **MP104** — a field is in neither set (unclassified: the add-a-field,
+  forget-the-fingerprint hazard, caught before the field is even read).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, SourceModule
+from repro.analysis.checkers.common import annotation_mentions, terminal_name
+
+CONFIG_MODULE = "core/config.py"
+CHECKPOINT_MODULE = "core/checkpoint.py"
+CONFIG_CLASS = "PipelineConfig"
+PAYLOAD_FUNCTION = "config_payload"
+IRRELEVANT_CONSTANT = "PARTITION_IRRELEVANT_FIELDS"
+
+#: modules whose config reads must be covered by the fingerprint
+PARTITION_AFFECTING_SCOPES = (
+    "kmers/",
+    "sort/",
+    "cc/",
+    "index/",
+    "core/pipeline.py",
+)
+
+
+# ----------------------------------------------------------------------
+# fact extraction
+# ----------------------------------------------------------------------
+def _find_class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _config_fields(cls: ast.ClassDef) -> Dict[str, int]:
+    """Dataclass field name -> declaration line."""
+    fields: Dict[str, int] = {}
+    for node in cls.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            fields[node.target.id] = node.lineno
+    return fields
+
+
+def _derived_reads(cls: ast.ClassDef, fields: Dict[str, int]) -> Dict[str, Set[str]]:
+    """Property/method name -> base fields it (transitively) reads."""
+    direct: Dict[str, Set[str]] = {}
+    for node in cls.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name.startswith("__"):
+            continue  # validation / dunders are not derived accessors
+        reads: Set[str] = set()
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"
+            ):
+                reads.add(sub.attr)
+        direct[node.name] = reads
+
+    resolved: Dict[str, Set[str]] = {}
+
+    def resolve(name: str, seen: Set[str]) -> Set[str]:
+        if name in resolved:
+            return resolved[name]
+        base: Set[str] = set()
+        for read in direct.get(name, ()):
+            if read in fields:
+                base.add(read)
+            elif read in direct and read not in seen:
+                base |= resolve(read, seen | {name})
+        resolved[name] = base
+        return base
+
+    return {name: resolve(name, set()) for name in direct}
+
+
+def _payload_keys(
+    checkpoint: SourceModule,
+) -> Tuple[Dict[str, int], Optional[Finding]]:
+    """Literal keys of the dict returned by ``config_payload``."""
+    for node in checkpoint.tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == PAYLOAD_FUNCTION:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Return) and isinstance(sub.value, ast.Dict):
+                    keys: Dict[str, int] = {}
+                    for key in sub.value.keys:
+                        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                            keys[key.value] = key.lineno
+                    return keys, None
+            return {}, Finding(
+                path=checkpoint.relpath,
+                line=node.lineno,
+                rule="MP102",
+                message=(
+                    f"{PAYLOAD_FUNCTION} must return a literal dict so "
+                    "fingerprint coverage can be verified statically"
+                ),
+            )
+    return {}, None
+
+
+def _irrelevant_fields(checkpoint: SourceModule) -> Tuple[Dict[str, int], int]:
+    """The ``PARTITION_IRRELEVANT_FIELDS`` declaration (name -> line)."""
+    for node in checkpoint.tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == IRRELEVANT_CONSTANT:
+                names = {
+                    sub.value: sub.lineno
+                    for sub in ast.walk(node)
+                    if isinstance(sub, ast.Constant) and isinstance(sub.value, str)
+                }
+                return names, node.lineno
+    return {}, 0
+
+
+# ----------------------------------------------------------------------
+# config-read scan
+# ----------------------------------------------------------------------
+def _is_self_config(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "config"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+class _ReadScanner(ast.NodeVisitor):
+    """Collect attribute reads of config-typed expressions in one module."""
+
+    def __init__(self) -> None:
+        self.reads: List[Tuple[str, int]] = []
+        self._typed: Set[str] = set()
+
+    # -- type propagation ----------------------------------------------
+    def _is_config_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self._typed
+        if _is_self_config(node):
+            return True
+        if isinstance(node, ast.Call):
+            return terminal_name(node.func) == CONFIG_CLASS
+        if isinstance(node, ast.BoolOp):
+            return any(self._is_config_expr(v) for v in node.values)
+        return False
+
+    def _bind_params(self, node: ast.AST) -> None:
+        args = getattr(node, "args", None)
+        if args is None:
+            return
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if annotation_mentions(arg.annotation, (CONFIG_CLASS,)):
+                self._typed.add(arg.arg)
+
+    # -- visitors -------------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        saved = set(self._typed)
+        self._bind_params(node)
+        self.generic_visit(node)
+        self._typed = saved
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        if self._is_config_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._typed.add(target.id)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if isinstance(node.target, ast.Name) and (
+            annotation_mentions(node.annotation, (CONFIG_CLASS,))
+            or (node.value is not None and self._is_config_expr(node.value))
+        ):
+            self._typed.add(node.target.id)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self._is_config_expr(node.value):
+            self.reads.append((node.attr, node.lineno))
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# the checker
+# ----------------------------------------------------------------------
+def check_fingerprint_coverage(project: Project) -> List[Finding]:
+    """Run the MP1xx fingerprint-coverage analysis over ``project``."""
+    config_mod = project.module(CONFIG_MODULE)
+    checkpoint_mod = project.module(CHECKPOINT_MODULE)
+    if config_mod is None or checkpoint_mod is None:
+        return []
+    cls = _find_class(config_mod.tree, CONFIG_CLASS)
+    if cls is None:
+        return []
+
+    fields = _config_fields(cls)
+    derived = _derived_reads(cls, fields)
+    payload, payload_error = _payload_keys(checkpoint_mod)
+    irrelevant, irrelevant_line = _irrelevant_fields(checkpoint_mod)
+
+    findings: List[Finding] = []
+    if payload_error is not None:
+        findings.append(payload_error)
+
+    covered = set(payload) | set(irrelevant)
+
+    # MP102: stale payload keys
+    for key, line in sorted(payload.items()):
+        if key not in fields:
+            findings.append(
+                Finding(
+                    path=checkpoint_mod.relpath,
+                    line=line,
+                    rule="MP102",
+                    message=(
+                        f"{PAYLOAD_FUNCTION} emits key '{key}' which is not "
+                        f"a {CONFIG_CLASS} field"
+                    ),
+                )
+            )
+
+    # MP103: contradictory classification
+    for name in sorted(set(irrelevant) & set(payload)):
+        findings.append(
+            Finding(
+                path=checkpoint_mod.relpath,
+                line=irrelevant.get(name, irrelevant_line),
+                rule="MP103",
+                message=(
+                    f"field '{name}' is listed in {IRRELEVANT_CONSTANT} but "
+                    f"also emitted by {PAYLOAD_FUNCTION}"
+                ),
+            )
+        )
+
+    # MP104: unclassified fields
+    for name, line in sorted(fields.items()):
+        if name not in covered:
+            findings.append(
+                Finding(
+                    path=config_mod.relpath,
+                    line=line,
+                    rule="MP104",
+                    message=(
+                        f"{CONFIG_CLASS}.{name} is neither fingerprinted by "
+                        f"{PAYLOAD_FUNCTION} nor declared in "
+                        f"{IRRELEVANT_CONSTANT}"
+                    ),
+                )
+            )
+
+    # MP101: uncovered reads in partition-affecting modules
+    for module in project.select(PARTITION_AFFECTING_SCOPES):
+        scanner = _ReadScanner()
+        scanner.visit(module.tree)
+        reported: Set[str] = set()
+        for attr, line in scanner.reads:
+            if attr in fields:
+                base_fields = {attr}
+            elif attr in derived:
+                base_fields = derived[attr]
+            else:
+                continue  # not a config member (e.g. a typo: pyflakes' job)
+            for name in sorted(base_fields):
+                if name in covered or name in reported:
+                    continue
+                reported.add(name)
+                via = f" (via '{attr}')" if attr != name else ""
+                findings.append(
+                    Finding(
+                        path=module.relpath,
+                        line=line,
+                        rule="MP101",
+                        message=(
+                            f"{CONFIG_CLASS}.{name} is read by partition-"
+                            f"affecting code{via} but is not emitted by "
+                            f"{PAYLOAD_FUNCTION} and not declared in "
+                            f"{IRRELEVANT_CONSTANT}"
+                        ),
+                    )
+                )
+    return findings

@@ -1,0 +1,116 @@
+"""Source-tree model for the checkers.
+
+A :class:`Project` wraps one repository root (a directory containing
+``src/repro``) and parses every Python file under the package once —
+AST, raw text, and inline suppressions — so the four checkers share one
+pass over the tree.  Checkers address files by *package-relative* path
+(``core/pipeline.py``), while findings report *root-relative* paths
+(``src/repro/core/pipeline.py``) so they are clickable from the repo
+root.
+
+The loader is dependency-free (stdlib ``ast``/``tokenize`` only): the CI
+gate can run it without installing the pipeline's numeric stack.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence
+
+from repro.analysis.suppress import parse_suppressions
+
+#: package directory relative to the project root
+PACKAGE_RELDIR = Path("src") / "repro"
+
+
+class ProjectLayoutError(ValueError):
+    """The given root does not contain a ``src/repro`` package."""
+
+
+@dataclass
+class SourceModule:
+    """One parsed Python file."""
+
+    path: Path
+    #: path relative to the project root, POSIX separators (finding paths)
+    relpath: str
+    #: path relative to the package dir, POSIX separators (scope matching)
+    pkgpath: str
+    text: str
+    tree: ast.Module
+    #: line -> suppressed rule ids (see :mod:`repro.analysis.suppress`)
+    suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    def line_text(self, line: int) -> str:
+        """The stripped source text of a 1-based line (diagnostics)."""
+        lines = self.text.splitlines()
+        return lines[line - 1].strip() if 1 <= line <= len(lines) else ""
+
+
+class Project:
+    """All parsed modules of one checkout, indexed for the checkers."""
+
+    def __init__(self, root: Path, modules: List[SourceModule]) -> None:
+        self.root = root
+        self.modules = modules
+        self._by_pkgpath = {m.pkgpath: m for m in modules}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, root: Path) -> "Project":
+        """Parse every ``*.py`` under ``<root>/src/repro``.
+
+        A file that fails to parse raises ``SyntaxError`` annotated with
+        its path: the analyzer refuses to certify a tree it cannot read.
+        """
+        root = Path(root).resolve()
+        package_dir = root / PACKAGE_RELDIR
+        if not package_dir.is_dir():
+            raise ProjectLayoutError(
+                f"{root}: expected a '{PACKAGE_RELDIR}' package directory"
+            )
+        modules: List[SourceModule] = []
+        for path in sorted(package_dir.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            text = path.read_text()
+            try:
+                tree = ast.parse(text, filename=str(path))
+            except SyntaxError as exc:
+                exc.filename = str(path)
+                raise
+            modules.append(
+                SourceModule(
+                    path=path,
+                    relpath=path.relative_to(root).as_posix(),
+                    pkgpath=path.relative_to(package_dir).as_posix(),
+                    text=text,
+                    tree=tree,
+                    suppressions=parse_suppressions(text),
+                )
+            )
+        return cls(root, modules)
+
+    # ------------------------------------------------------------------
+    def module(self, pkgpath: str) -> Optional[SourceModule]:
+        """Look up one module by package-relative path, or ``None``."""
+        return self._by_pkgpath.get(pkgpath)
+
+    def select(self, scopes: Sequence[str]) -> Iterator[SourceModule]:
+        """Modules whose package path matches any scope.
+
+        A scope ending in ``/`` matches a directory prefix; otherwise it
+        must match a file exactly.  ``("sort/", "core/pipeline.py")``
+        selects the whole sort package plus the pipeline driver.
+        """
+        for module in self.modules:
+            for scope in scopes:
+                if scope.endswith("/"):
+                    if module.pkgpath.startswith(scope):
+                        yield module
+                        break
+                elif module.pkgpath == scope:
+                    yield module
+                    break

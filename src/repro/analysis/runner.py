@@ -1,0 +1,91 @@
+"""Orchestration for ``metaprep check``.
+
+:func:`run_checks` loads the project once, runs every registered checker,
+then applies the two noise controls in order:
+
+1. inline suppressions (``# metaprep: ignore[RULE]`` on the finding's
+   line) remove findings at the source;
+2. the committed baseline (:mod:`repro.analysis.baseline`) absorbs known
+   findings, so only *new* findings gate.
+
+The result is a :class:`CheckReport` carrying every population (raw,
+suppressed, baselined, new) so the CLI can print honest counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.baseline import BASELINE_FILENAME, load_baseline, subtract_baseline
+from repro.analysis.checkers import CHECKERS
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+from repro.analysis.suppress import is_suppressed
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one analysis run."""
+
+    root: Path
+    #: every finding the checkers produced, sorted
+    raw: List[Finding] = field(default_factory=list)
+    #: findings removed by inline ``# metaprep: ignore[...]`` comments
+    suppressed: List[Finding] = field(default_factory=list)
+    #: findings absorbed by the baseline file
+    baselined: List[Finding] = field(default_factory=list)
+    #: findings that gate (new relative to suppressions + baseline)
+    new: List[Finding] = field(default_factory=list)
+    #: checker name -> number of raw findings it produced
+    per_checker: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when no new findings remain."""
+        return not self.new
+
+
+def run_checks(
+    root: Path,
+    baseline_path: Optional[Path] = None,
+    use_baseline: bool = True,
+) -> CheckReport:
+    """Run every registered checker over the checkout at ``root``.
+
+    ``baseline_path`` defaults to ``<root>/.metaprep-baseline.json``;
+    pass ``use_baseline=False`` to gate on the suppressed-only findings
+    (what ``--write-baseline`` snapshots).
+    """
+    root = Path(root).resolve()
+    project = Project.load(root)
+    by_relpath = {module.relpath: module for module in project.modules}
+
+    report = CheckReport(root=root)
+    for name, checker in CHECKERS.items():
+        produced = checker(project)
+        report.per_checker[name] = len(produced)
+        report.raw.extend(produced)
+    report.raw.sort()
+
+    unsuppressed: List[Finding] = []
+    for finding in report.raw:
+        module = by_relpath.get(finding.path)
+        if module is not None and is_suppressed(
+            module.suppressions, finding.line, finding.rule
+        ):
+            report.suppressed.append(finding)
+        else:
+            unsuppressed.append(finding)
+
+    if use_baseline:
+        if baseline_path is None:
+            baseline_path = root / BASELINE_FILENAME
+        baseline = load_baseline(baseline_path)
+        report.new = subtract_baseline(unsuppressed, baseline)
+        new_ids = {id(finding) for finding in report.new}
+        report.baselined = [f for f in unsuppressed if id(f) not in new_ids]
+    else:
+        report.new = unsuppressed
+    return report

@@ -1,0 +1,56 @@
+"""Inline suppression comments: ``# metaprep: ignore[RULE, ...]``.
+
+A finding is suppressed when the line it points at carries a suppression
+comment naming its rule id (or the wildcard ``*``)::
+
+    edges = executor.map(fn, jobs)  # metaprep: ignore[MP301]
+    for item in candidates:         # metaprep: ignore[MP203, MP201]
+
+Suppressions are parsed from the token stream, not by regex over raw
+lines, so rule text inside string literals never counts.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet
+
+#: matches the suppression payload inside a comment token
+_PATTERN = re.compile(r"#\s*metaprep:\s*ignore\[([A-Za-z0-9*,\s]+)\]")
+
+
+def parse_suppressions(text: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line number -> rule ids suppressed on that line.
+
+    The wildcard ``*`` suppresses every rule on the line.  Malformed or
+    absent suppression comments contribute nothing; a file that fails to
+    tokenize (which would also fail to parse) yields an empty map.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PATTERN.search(tok.string)
+            if not match:
+                continue
+            rules = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            if rules:
+                line = tok.start[0]
+                suppressions[line] = suppressions.get(line, frozenset()) | rules
+    except tokenize.TokenizeError:
+        return {}
+    return suppressions
+
+
+def is_suppressed(
+    suppressions: Dict[int, FrozenSet[str]], line: int, rule: str
+) -> bool:
+    """True when ``rule`` is suppressed on ``line``."""
+    rules = suppressions.get(line)
+    return rules is not None and (rule in rules or "*" in rules)

@@ -7,6 +7,7 @@ Subcommands::
     metaprep run     --r1 a_R1.fastq --r2 a_R2.fastq --out parts/ \
                      --k 27 --tasks 4 --threads 8 --passes 2
     metaprep assemble --fastq parts/lc_p0_t0.fastq     # MiniAssembler
+    metaprep check    --strict                         # static analysis gate
 
 Service verbs (the partition job service; see :mod:`repro.service`)::
 
@@ -217,6 +218,76 @@ def cmd_normalize(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.analysis import (
+        BASELINE_FILENAME,
+        RULES,
+        ProjectLayoutError,
+        run_checks,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print(f"{rule}  {RULES[rule]}")
+        return 0
+
+    root = Path(args.root) if args.root else Path.cwd()
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / BASELINE_FILENAME
+    )
+    try:
+        report = run_checks(
+            root,
+            baseline_path=baseline_path,
+            use_baseline=not args.no_baseline,
+        )
+    except ProjectLayoutError as exc:
+        print(f"metaprep check: {exc}", file=sys.stderr)
+        return 2
+    except SyntaxError as exc:
+        print(f"metaprep check: cannot parse {exc.filename}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        snapshot = report.new + report.baselined
+        write_baseline(baseline_path, snapshot)
+        print(f"baseline written: {baseline_path} ({len(snapshot)} finding(s))")
+        return 0
+
+    if args.format == "json":
+        print(
+            _json.dumps(
+                {
+                    "root": str(report.root),
+                    "new": [f.as_dict() for f in report.new],
+                    "baselined": [f.as_dict() for f in report.baselined],
+                    "suppressed": [f.as_dict() for f in report.suppressed],
+                    "per_checker": report.per_checker,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for finding in report.new:
+            print(finding.format())
+        counts = ", ".join(
+            f"{name}: {n}" for name, n in report.per_checker.items()
+        )
+        print(
+            f"metaprep check: {len(report.new)} new, "
+            f"{len(report.baselined)} baselined, "
+            f"{len(report.suppressed)} suppressed ({counts})"
+        )
+    if args.strict and not report.ok:
+        return 1
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.service.daemon import ServeDaemon
     from repro.service.store import ArtifactStore
@@ -376,6 +447,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "check", help="run the invariant-checking static analysis suite"
+    )
+    p.add_argument(
+        "--root",
+        default=None,
+        help="repository root containing src/repro (default: cwd)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any new finding remains (the CI gate)",
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file (default: <root>/.metaprep-baseline.json)",
+    )
+    p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every unsuppressed finding",
+    )
+    p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot current findings into the baseline file and exit",
+    )
+    p.add_argument("--format", default="text", choices=("text", "json"))
+    p.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    _add_common(p)
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("serve", help="run the partition job service daemon")
     p.add_argument("--spool", required=True, help="service spool directory")

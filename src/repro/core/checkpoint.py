@@ -43,12 +43,47 @@ def payload_fingerprint(payload: dict) -> str:
     return hashlib.blake2b(blob, digest_size=16).hexdigest()
 
 
+#: ``PipelineConfig`` fields that provably cannot change the partition
+#: result, and are therefore deliberately absent from
+#: :func:`config_payload`.  Every config field must appear either here or
+#: as a payload key — ``metaprep check`` (rule MP104) enforces the split,
+#: and MP101 flags partition-affecting code that reads a field listed
+#: here.  Rationale per field:
+#:
+#: * ``executor`` / ``max_workers`` — both engines are bit-identical by
+#:   the differential contract of :mod:`repro.runtime.executor`;
+#: * ``write_outputs`` — toggles emission of the partitioned FASTQ files,
+#:   not the labels the artifact store caches;
+#: * ``machine`` — only feeds the timing projection;
+#: * ``verify_static_counts`` — a pure assertion;
+#: * ``radix_skip_constant`` — a sort-internal shortcut that leaves the
+#:   sorted order unchanged;
+#: * ``n_passes`` / ``memory_budget_per_task`` / ``n_chunks`` — the
+#:   pass/chunk decomposition; the merge step makes labels independent of
+#:   how work was split (verified by the pass-count invariance tests).
+PARTITION_IRRELEVANT_FIELDS = frozenset(
+    {
+        "executor",
+        "max_workers",
+        "write_outputs",
+        "machine",
+        "verify_static_counts",
+        "radix_skip_constant",
+        "n_passes",
+        "memory_budget_per_task",
+        "n_chunks",
+    }
+)
+
+
 def config_payload(config: PipelineConfig) -> dict:
     """The configuration fields that determine a run's output partition.
 
-    Excludes knobs that only change *how* the answer is computed
-    (executor, worker count, output writing) — results are bit-identical
-    across those by the executor determinism contract.
+    Excludes the :data:`PARTITION_IRRELEVANT_FIELDS` — knobs that only
+    change *how* the answer is computed (executor, worker count, output
+    writing) — results are bit-identical across those by the executor
+    determinism contract.  The returned dict must stay a literal so
+    ``metaprep check`` can verify fingerprint coverage statically.
     """
     return {
         "k": config.k,
@@ -57,6 +92,7 @@ def config_payload(config: PipelineConfig) -> dict:
         "n_threads": config.n_threads,
         "kmer_filter": (config.kmer_filter.min_freq, config.kmer_filter.max_freq),
         "localcc_opt": config.localcc_opt,
+        "sampling_seed": config.sampling_seed,
     }
 
 

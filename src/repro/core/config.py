@@ -39,6 +39,11 @@ class PipelineConfig:
     n_chunks: int | None = None
     #: k-mer frequency filter gating read-graph edges (section 4.4).
     kmer_filter: FrequencyFilter = field(default_factory=FrequencyFilter)
+    #: seed for sampled splitter selection in LocalSort's partition step
+    #: (:func:`repro.sort.sampling.sampled_boundaries`).  Part of the
+    #: partition fingerprint: different seeds sample different splitters
+    #: and may produce different (all valid) bucket boundaries.
+    sampling_seed: int = 0
     #: enumerate component ids instead of read ids on passes >= 2
     #: (LocalCC-Opt, section 3.5.1).
     localcc_opt: bool = True

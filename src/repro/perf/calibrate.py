@@ -18,11 +18,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cc.dsf import DisjointSetForest
-from repro.kmers.codec import KmerArray
+from repro.kmers.codec import MAX_K_ONE_LIMB, KmerArray
 from repro.kmers.engine import KmerTuples, enumerate_canonical_kmers
 from repro.seqio.records import ReadBatch
 from repro.sort.radix import radix_passes_for, radix_sort_tuples
 from repro.util.rng import rng_for
+from repro.util.validation import check_in_range
 
 
 @dataclass(frozen=True)
@@ -68,6 +69,9 @@ def measure_kmer_rate(n_bases: int = 300_000, k: int = 27, repeats: int = 3) -> 
 
 
 def measure_sort_rate(n_tuples: int = 200_000, k: int = 27, repeats: int = 3) -> float:
+    # the synthetic keys fill a single uint64 limb, so the calibration
+    # only models one-limb k-mers
+    check_in_range("k", k, 1, MAX_K_ONE_LIMB)
     rng = rng_for(102, "calibrate-sort")
     lo = rng.integers(0, 1 << (2 * k), size=n_tuples, dtype=np.uint64)
     ids = rng.integers(0, n_tuples, size=n_tuples, dtype=np.uint32)

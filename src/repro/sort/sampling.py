@@ -18,11 +18,15 @@ needed to size the buffers.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.kmers.engine import KmerTuples
 from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # layering: sort sits below core, import only for types
+    from repro.core.config import PipelineConfig
 
 
 @dataclass
@@ -44,13 +48,21 @@ def sampled_boundaries(
     m: int,
     n_parts: int,
     sample_size: int = 1024,
-    seed: int = 0,
+    *,
+    seed: int,
 ) -> np.ndarray:
     """Bin-range edges from a random key sample (sample-sort style).
 
     Returns ``n_parts + 1`` edges over ``[0, 4^m]``, comparable to
     :func:`repro.index.passplan.balanced_boundaries` built from the exact
     histogram.
+
+    ``seed`` is keyword-required and has no default: splitter choice
+    changes the produced boundaries, so the seed is part of the partition
+    fingerprint (``PipelineConfig.sampling_seed``, emitted by
+    :func:`repro.core.checkpoint.config_payload`).  Pipeline call sites
+    should go through :func:`config_sampled_boundaries` so the fingerprinted
+    seed cannot be bypassed.
     """
     check_positive("n_parts", n_parts)
     check_positive("sample_size", sample_size)
@@ -74,6 +86,27 @@ def sampled_boundaries(
     np.clip(edges, 0, n_bins, out=edges)
     np.maximum.accumulate(edges, out=edges)
     return edges
+
+
+def config_sampled_boundaries(
+    tuples: KmerTuples,
+    config: "PipelineConfig",
+    n_parts: int,
+    sample_size: int = 1024,
+) -> np.ndarray:
+    """:func:`sampled_boundaries` with ``m`` and the seed taken from config.
+
+    The seed comes from ``config.sampling_seed``, which the checkpoint /
+    artifact-store fingerprint covers — two runs that sample different
+    splitters can never collide on one cached artifact.
+    """
+    return sampled_boundaries(
+        tuples,
+        config.m,
+        n_parts,
+        sample_size=sample_size,
+        seed=config.sampling_seed,
+    )
 
 
 def measure_partition_balance(

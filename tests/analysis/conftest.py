@@ -1,0 +1,34 @@
+"""Fixtures for the static-analysis tests.
+
+``make_project`` builds a throwaway checkout (``<tmp>/src/repro/...``)
+from a mapping of package-relative paths to source text, so each checker
+test states exactly the tree it analyzes.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.project import Project
+
+
+@pytest.fixture
+def make_project(tmp_path):
+    """Build a fake checkout and load it as a :class:`Project`."""
+
+    def build(files: dict) -> Project:
+        package = tmp_path / "src" / "repro"
+        for pkgpath, text in files.items():
+            path = package / pkgpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text))
+        return Project.load(tmp_path)
+
+    return build
+
+
+@pytest.fixture
+def project_root(tmp_path):
+    """The root path ``make_project`` builds under."""
+    return Path(tmp_path)

@@ -1,0 +1,219 @@
+"""MP2xx determinism checker: trip and pass fixtures."""
+
+from repro.analysis.checkers.determinism import check_determinism
+
+
+def rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestMP201WallClock:
+    def test_time_time_trips_in_result_path(self, make_project):
+        project = make_project(
+            {
+                "sort/local.py": """
+                    import time
+
+                    def stamp():
+                        return time.time()
+                """
+            }
+        )
+        findings = check_determinism(project)
+        assert rules(findings) == ["MP201"]
+        assert "time.time" in findings[0].message
+
+    def test_datetime_now_trips(self, make_project):
+        project = make_project(
+            {
+                "cc/merge.py": """
+                    from datetime import datetime
+
+                    def stamp():
+                        return datetime.now()
+                """
+            }
+        )
+        assert rules(check_determinism(project)) == ["MP201"]
+
+    def test_monotonic_clocks_allowed(self, make_project):
+        project = make_project(
+            {
+                "sort/local.py": """
+                    import time
+
+                    def measure():
+                        t0 = time.perf_counter()
+                        return time.monotonic() - t0
+                """
+            }
+        )
+        assert check_determinism(project) == []
+
+    def test_wall_clock_outside_result_scope_allowed(self, make_project):
+        project = make_project(
+            {
+                "service/queue.py": """
+                    import time
+
+                    def enqueued_at():
+                        return time.time()
+                """,
+                "perf/timer.py": """
+                    import time
+
+                    def now():
+                        return time.time()
+                """,
+            }
+        )
+        assert check_determinism(project) == []
+
+
+class TestMP202RandomSources:
+    def test_unseeded_default_rng_trips_anywhere(self, make_project):
+        project = make_project(
+            {
+                "service/jitter.py": """
+                    import numpy as np
+
+                    def rng():
+                        return np.random.default_rng()
+                """
+            }
+        )
+        findings = check_determinism(project)
+        assert rules(findings) == ["MP202"]
+        assert "without a seed" in findings[0].message
+
+    def test_seeded_default_rng_passes(self, make_project):
+        project = make_project(
+            {
+                "sort/sampling.py": """
+                    import numpy as np
+
+                    def rng(seed: int):
+                        return np.random.default_rng(seed)
+                """
+            }
+        )
+        assert check_determinism(project) == []
+
+    def test_seed_none_keyword_trips(self, make_project):
+        project = make_project(
+            {
+                "sort/sampling.py": """
+                    import numpy as np
+
+                    def rng():
+                        return np.random.default_rng(seed=None)
+                """
+            }
+        )
+        assert rules(check_determinism(project)) == ["MP202"]
+
+    def test_numpy_module_global_api_trips(self, make_project):
+        project = make_project(
+            {
+                "kmers/noise.py": """
+                    import numpy as np
+
+                    def sample(n):
+                        return np.random.randint(0, 10, size=n)
+                """
+            }
+        )
+        findings = check_determinism(project)
+        assert rules(findings) == ["MP202"]
+        assert "module-global" in findings[0].message
+
+    def test_stdlib_random_module_trips(self, make_project):
+        project = make_project(
+            {
+                "util/pick.py": """
+                    import random
+
+                    def pick(items):
+                        return random.choice(items)
+                """
+            }
+        )
+        assert rules(check_determinism(project)) == ["MP202"]
+
+    def test_seeded_stdlib_random_instance_passes(self, make_project):
+        project = make_project(
+            {
+                "util/pick.py": """
+                    import random
+
+                    def pick(items, seed: int):
+                        return random.Random(seed).choice(items)
+                """
+            }
+        )
+        assert check_determinism(project) == []
+
+
+class TestMP203SetIteration:
+    def test_for_over_set_literal_trips(self, make_project):
+        project = make_project(
+            {
+                "index/build.py": """
+                    def names():
+                        out = []
+                        for name in {"a", "b"}:
+                            out.append(name)
+                        return out
+                """
+            }
+        )
+        findings = check_determinism(project)
+        assert rules(findings) == ["MP203"]
+        assert "sorted" in findings[0].message
+
+    def test_for_over_set_typed_local_trips(self, make_project):
+        project = make_project(
+            {
+                "index/build.py": """
+                    def names(items):
+                        seen = set(items)
+                        return [x for x in seen]
+                """
+            }
+        )
+        assert rules(check_determinism(project)) == ["MP203"]
+
+    def test_sorted_set_passes(self, make_project):
+        project = make_project(
+            {
+                "index/build.py": """
+                    def names(items):
+                        seen = set(items)
+                        return [x for x in sorted(seen)]
+                """
+            }
+        )
+        assert check_determinism(project) == []
+
+    def test_list_over_set_algebra_trips(self, make_project):
+        project = make_project(
+            {
+                "cc/labels.py": """
+                    def diff(a, b):
+                        return list(set(a) - set(b))
+                """
+            }
+        )
+        assert rules(check_determinism(project)) == ["MP203"]
+
+    def test_set_iteration_outside_result_scope_allowed(self, make_project):
+        project = make_project(
+            {
+                "service/store.py": """
+                    def names(items):
+                        seen = set(items)
+                        return [x for x in seen]
+                """
+            }
+        )
+        assert check_determinism(project) == []

@@ -1,0 +1,236 @@
+"""MP1xx fingerprint-coverage checker: trip and pass fixtures."""
+
+from repro.analysis.checkers.fingerprint import check_fingerprint_coverage
+
+CONFIG = """
+    from dataclasses import dataclass
+
+    @dataclass
+    class PipelineConfig:
+        k: int = 27
+        m: int = 8
+        localcc_opt: bool = True
+        executor: str = "serial"
+
+        @property
+        def tuple_bytes(self) -> int:
+            return 12 if self.k > 31 else 8
+"""
+
+CHECKPOINT_OK = """
+    PARTITION_IRRELEVANT_FIELDS = frozenset({"executor"})
+
+    def config_payload(config):
+        return {
+            "k": config.k,
+            "m": config.m,
+            "localcc_opt": config.localcc_opt,
+        }
+"""
+
+
+def rules(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestPassFixture:
+    def test_clean_tree(self, make_project):
+        project = make_project(
+            {
+                "core/config.py": CONFIG,
+                "core/checkpoint.py": CHECKPOINT_OK,
+                "sort/local.py": """
+                    def sort(config: "PipelineConfig"):
+                        return config.k + config.m
+                """,
+            }
+        )
+        assert check_fingerprint_coverage(project) == []
+
+    def test_derived_property_reads_covered_fields(self, make_project):
+        project = make_project(
+            {
+                "core/config.py": CONFIG,
+                "core/checkpoint.py": CHECKPOINT_OK,
+                "sort/local.py": """
+                    def sort(config: "PipelineConfig"):
+                        return config.tuple_bytes
+                """,
+            }
+        )
+        assert check_fingerprint_coverage(project) == []
+
+    def test_reads_outside_partition_scope_ignored(self, make_project):
+        project = make_project(
+            {
+                "core/config.py": CONFIG,
+                "core/checkpoint.py": CHECKPOINT_OK,
+                "perf/model.py": """
+                    def project(config: "PipelineConfig"):
+                        return config.executor
+                """,
+            }
+        )
+        assert check_fingerprint_coverage(project) == []
+
+
+class TestMP101:
+    def test_uncovered_read_trips(self, make_project):
+        project = make_project(
+            {
+                "core/config.py": CONFIG,
+                "core/checkpoint.py": """
+                    PARTITION_IRRELEVANT_FIELDS = frozenset({"executor"})
+
+                    def config_payload(config):
+                        return {"k": config.k, "localcc_opt": config.localcc_opt}
+                """,
+                "cc/localcc.py": """
+                    def run(config: "PipelineConfig"):
+                        return config.m
+                """,
+            }
+        )
+        findings = check_fingerprint_coverage(project)
+        mp101 = [f for f in findings if f.rule == "MP101"]
+        assert len(mp101) == 1
+        assert "PipelineConfig.m" in mp101[0].message
+        assert mp101[0].path == "src/repro/cc/localcc.py"
+
+    def test_uncovered_derived_read_names_base_field(self, make_project):
+        project = make_project(
+            {
+                "core/config.py": CONFIG,
+                "core/checkpoint.py": """
+                    PARTITION_IRRELEVANT_FIELDS = frozenset(
+                        {"executor", "m", "localcc_opt"}
+                    )
+
+                    def config_payload(config):
+                        return {}
+                """,
+                "kmers/gen.py": """
+                    def gen(cfg: "PipelineConfig"):
+                        return cfg.tuple_bytes
+                """,
+            }
+        )
+        mp101 = [
+            f
+            for f in check_fingerprint_coverage(project)
+            if f.rule == "MP101"
+        ]
+        assert len(mp101) == 1
+        assert "PipelineConfig.k" in mp101[0].message
+        assert "tuple_bytes" in mp101[0].message
+
+    def test_self_config_attribute_tracked(self, make_project):
+        project = make_project(
+            {
+                "core/config.py": CONFIG,
+                "core/checkpoint.py": """
+                    PARTITION_IRRELEVANT_FIELDS = frozenset({"executor"})
+
+                    def config_payload(config):
+                        return {"k": config.k, "localcc_opt": config.localcc_opt}
+                """,
+                "core/pipeline.py": """
+                    class Driver:
+                        def run(self):
+                            cfg = self.config
+                            return cfg.m
+                """,
+            }
+        )
+        findings = check_fingerprint_coverage(project)
+        # the uncovered field also fires MP104 (unclassified), by design
+        assert rules(findings) == ["MP101", "MP104"]
+        mp101 = [f for f in findings if f.rule == "MP101"]
+        assert mp101[0].path == "src/repro/core/pipeline.py"
+
+
+class TestMP102:
+    def test_stale_payload_key_trips(self, make_project):
+        project = make_project(
+            {
+                "core/config.py": CONFIG,
+                "core/checkpoint.py": """
+                    PARTITION_IRRELEVANT_FIELDS = frozenset({"executor"})
+
+                    def config_payload(config):
+                        return {
+                            "k": config.k,
+                            "m": config.m,
+                            "localcc_opt": config.localcc_opt,
+                            "n_nodes": 16,
+                        }
+                """,
+            }
+        )
+        findings = check_fingerprint_coverage(project)
+        assert rules(findings) == ["MP102"]
+        assert "n_nodes" in findings[0].message
+
+    def test_non_literal_payload_trips(self, make_project):
+        project = make_project(
+            {
+                "core/config.py": CONFIG,
+                "core/checkpoint.py": """
+                    PARTITION_IRRELEVANT_FIELDS = frozenset(
+                        {"executor", "k", "m", "localcc_opt"}
+                    )
+
+                    def config_payload(config):
+                        payload = {}
+                        for name in ("k", "m"):
+                            payload[name] = getattr(config, name)
+                        return payload
+                """,
+            }
+        )
+        findings = check_fingerprint_coverage(project)
+        assert "MP102" in rules(findings)
+        assert any("literal dict" in f.message for f in findings)
+
+
+class TestMP103:
+    def test_contradictory_classification_trips(self, make_project):
+        project = make_project(
+            {
+                "core/config.py": CONFIG,
+                "core/checkpoint.py": """
+                    PARTITION_IRRELEVANT_FIELDS = frozenset({"executor", "k"})
+
+                    def config_payload(config):
+                        return {
+                            "k": config.k,
+                            "m": config.m,
+                            "localcc_opt": config.localcc_opt,
+                        }
+                """,
+            }
+        )
+        findings = check_fingerprint_coverage(project)
+        assert rules(findings) == ["MP103"]
+        assert "'k'" in findings[0].message
+
+
+class TestMP104:
+    def test_unclassified_field_trips(self, make_project):
+        project = make_project(
+            {
+                "core/config.py": CONFIG,
+                "core/checkpoint.py": """
+                    def config_payload(config):
+                        return {
+                            "k": config.k,
+                            "m": config.m,
+                            "localcc_opt": config.localcc_opt,
+                        }
+                """,
+            }
+        )
+        findings = check_fingerprint_coverage(project)
+        assert rules(findings) == ["MP104"]
+        assert "executor" in findings[0].message
+        assert findings[0].path == "src/repro/core/config.py"

@@ -1,0 +1,138 @@
+"""Acceptance: ``metaprep check`` on the real tree, and on deliberately
+broken copies of it (the ISSUE's three sabotage scenarios)."""
+
+import shutil
+from pathlib import Path
+
+from repro.analysis.runner import run_checks
+from repro.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def broken_copy(tmp_path: Path) -> Path:
+    """Copy the real ``src/repro`` tree into a scratch root."""
+    root = tmp_path / "checkout"
+    shutil.copytree(
+        REPO_ROOT / "src" / "repro",
+        root / "src" / "repro",
+        ignore=shutil.ignore_patterns("__pycache__"),
+    )
+    return root
+
+
+class TestRealTreeIsClean:
+    def test_strict_run_is_green(self):
+        report = run_checks(REPO_ROOT)
+        assert report.ok, [f.format() for f in report.new]
+
+    def test_cli_strict_exit_zero(self, capsys):
+        rc = cli_main(["check", "--root", str(REPO_ROOT), "--strict"])
+        assert rc == 0
+        assert "0 new" in capsys.readouterr().out
+
+
+class TestBrokenInvariantsGate:
+    def test_removed_payload_field_trips_mp101(self, tmp_path, capsys):
+        root = broken_copy(tmp_path)
+        checkpoint = root / "src" / "repro" / "core" / "checkpoint.py"
+        text = checkpoint.read_text()
+        assert '"m": config.m,' in text
+        checkpoint.write_text(text.replace('"m": config.m,\n        ', ""))
+
+        report = run_checks(root)
+        assert {"MP101", "MP104"} <= {f.rule for f in report.new}
+        assert any(
+            f.rule == "MP101" and "PipelineConfig.m" in f.message
+            for f in report.new
+        )
+        rc = cli_main(["check", "--root", str(root), "--strict"])
+        assert rc == 1
+        assert "MP101" in capsys.readouterr().out
+
+    def test_unseeded_rng_in_localcc_trips_mp202(self, tmp_path, capsys):
+        root = broken_copy(tmp_path)
+        localcc = root / "src" / "repro" / "cc" / "localcc.py"
+        localcc.write_text(
+            localcc.read_text()
+            + "\n\ndef _jitter():\n"
+            + "    return np.random.default_rng().random()\n"
+        )
+
+        report = run_checks(root)
+        assert any(
+            f.rule == "MP202" and f.path == "src/repro/cc/localcc.py"
+            for f in report.new
+        )
+        rc = cli_main(["check", "--root", str(root), "--strict"])
+        assert rc == 1
+        assert "MP202" in capsys.readouterr().out
+
+    def test_lambda_submission_trips_mp301(self, tmp_path, capsys):
+        root = broken_copy(tmp_path)
+        pipeline = root / "src" / "repro" / "core" / "pipeline.py"
+        pipeline.write_text(
+            pipeline.read_text()
+            + "\n\ndef _broken(executor, jobs):\n"
+            + "    return executor.map(lambda job: job, jobs)\n"
+        )
+
+        report = run_checks(root)
+        assert any(
+            f.rule == "MP301" and f.path == "src/repro/core/pipeline.py"
+            for f in report.new
+        )
+        rc = cli_main(["check", "--root", str(root), "--strict"])
+        assert rc == 1
+        assert "MP301" in capsys.readouterr().out
+
+
+class TestSamplingSeedFingerprinted:
+    def test_seed_in_config_payload(self):
+        from repro.core.checkpoint import config_payload
+        from repro.core.config import PipelineConfig
+
+        payload = config_payload(PipelineConfig(sampling_seed=7))
+        assert payload["sampling_seed"] == 7
+
+    def test_seed_changes_fingerprint(self):
+        from repro.core.checkpoint import config_payload, payload_fingerprint
+        from repro.core.config import PipelineConfig
+
+        a = payload_fingerprint(config_payload(PipelineConfig(sampling_seed=0)))
+        b = payload_fingerprint(config_payload(PipelineConfig(sampling_seed=1)))
+        assert a != b
+
+    def test_every_field_classified(self):
+        import dataclasses
+
+        from repro.core.checkpoint import (
+            PARTITION_IRRELEVANT_FIELDS,
+            config_payload,
+        )
+        from repro.core.config import PipelineConfig
+
+        config = PipelineConfig()
+        fields = {f.name for f in dataclasses.fields(PipelineConfig)}
+        payload_keys = set(config_payload(config))
+        assert payload_keys | PARTITION_IRRELEVANT_FIELDS == fields
+        assert payload_keys & PARTITION_IRRELEVANT_FIELDS == set()
+
+    def test_config_sampled_boundaries_uses_config_seed(self):
+        import numpy as np
+
+        from repro.core.config import PipelineConfig
+        from repro.kmers.engine import KmerTuples
+        from repro.sort.sampling import (
+            config_sampled_boundaries,
+            sampled_boundaries,
+        )
+        from tests.sort.test_sampling import tuples_with_bins
+
+        rng = np.random.default_rng(5)
+        t = tuples_with_bins(rng, 4000, m=4)
+        cfg = PipelineConfig(k=13, m=4, sampling_seed=9)
+        via_config = config_sampled_boundaries(t, cfg, 4)
+        direct = sampled_boundaries(t, 4, 4, seed=9)
+        assert np.array_equal(via_config, direct)
+        assert isinstance(KmerTuples.empty(13), KmerTuples)

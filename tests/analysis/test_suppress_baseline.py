@@ -1,0 +1,136 @@
+"""Suppression parsing, baseline round-trip, and runner integration."""
+
+import pytest
+
+from repro.analysis.baseline import (
+    load_baseline,
+    subtract_baseline,
+    write_baseline,
+)
+from repro.analysis.findings import RULES, Finding
+from repro.analysis.runner import run_checks
+from repro.analysis.suppress import is_suppressed, parse_suppressions
+
+
+class TestSuppressionParsing:
+    def test_single_rule(self):
+        sup = parse_suppressions("x = 1  # metaprep: ignore[MP203]\n")
+        assert is_suppressed(sup, 1, "MP203")
+        assert not is_suppressed(sup, 1, "MP201")
+        assert not is_suppressed(sup, 2, "MP203")
+
+    def test_multiple_rules(self):
+        sup = parse_suppressions("x = 1  # metaprep: ignore[MP201, MP203]\n")
+        assert is_suppressed(sup, 1, "MP201")
+        assert is_suppressed(sup, 1, "MP203")
+
+    def test_wildcard(self):
+        sup = parse_suppressions("x = 1  # metaprep: ignore[*]\n")
+        for rule in RULES:
+            assert is_suppressed(sup, 1, rule)
+
+    def test_string_literal_does_not_count(self):
+        sup = parse_suppressions('x = "# metaprep: ignore[MP203]"\n')
+        assert sup == {}
+
+    def test_plain_comment_does_not_count(self):
+        assert parse_suppressions("x = 1  # a normal comment\n") == {}
+
+
+class TestBaseline:
+    def finding(self, line=3, rule="MP203", msg="iteration over a set"):
+        return Finding(path="src/repro/a.py", line=line, rule=rule, message=msg)
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = [self.finding(), self.finding(line=9, rule="MP201", msg="clock")]
+        write_baseline(path, findings)
+        baseline = load_baseline(path)
+        assert sum(baseline.values()) == 2
+        assert subtract_baseline(findings, baseline) == []
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == {}
+
+    def test_invalid_file_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"not": "a baseline"}')
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_line_drift_does_not_resurrect(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [self.finding(line=3)])
+        moved = [self.finding(line=40)]
+        assert subtract_baseline(moved, load_baseline(path)) == []
+
+    def test_second_occurrence_counts_as_new(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [self.finding()])
+        doubled = [self.finding(line=3), self.finding(line=8)]
+        new = subtract_baseline(doubled, load_baseline(path))
+        assert len(new) == 1
+
+
+OFFENDING = {
+    "index/build.py": """
+        def names(items):
+            seen = set(items)
+            return [x for x in seen]
+    """
+}
+
+SUPPRESSED = {
+    "index/build.py": """
+        def names(items):
+            seen = set(items)
+            return [x for x in seen]  # metaprep: ignore[MP203]
+    """
+}
+
+
+class TestRunnerIntegration:
+    def test_finding_gates_without_baseline(self, make_project, project_root):
+        make_project(OFFENDING)
+        report = run_checks(project_root)
+        assert not report.ok
+        assert [f.rule for f in report.new] == ["MP203"]
+
+    def test_inline_suppression_clears(self, make_project, project_root):
+        make_project(SUPPRESSED)
+        report = run_checks(project_root)
+        assert report.ok
+        assert [f.rule for f in report.suppressed] == ["MP203"]
+
+    def test_baseline_absorbs_and_round_trips(self, make_project, project_root):
+        make_project(OFFENDING)
+        baseline_path = project_root / ".metaprep-baseline.json"
+        first = run_checks(project_root)
+        write_baseline(baseline_path, first.new)
+
+        second = run_checks(project_root)
+        assert second.ok
+        assert [f.rule for f in second.baselined] == ["MP203"]
+
+        # a new, different finding still gates through the baseline
+        (project_root / "src" / "repro" / "index" / "build.py").write_text(
+            "import time\n"
+            "def names(items):\n"
+            "    seen = set(items)\n"
+            "    t = time.time()\n"
+            "    return [x for x in seen], t\n"
+        )
+        third = run_checks(project_root)
+        assert not third.ok
+        assert [f.rule for f in third.new] == ["MP201"]
+
+    def test_per_checker_counts(self, make_project, project_root):
+        make_project(OFFENDING)
+        report = run_checks(project_root)
+        assert report.per_checker["determinism"] == 1
+        assert set(report.per_checker) == {
+            "fingerprint",
+            "determinism",
+            "purity",
+            "overflow",
+        }

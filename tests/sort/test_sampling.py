@@ -24,24 +24,24 @@ def tuples_with_bins(rng, n, m, skew=False):
 class TestSampledBoundaries:
     def test_edges_span(self, rng):
         t = tuples_with_bins(rng, 5000, m=4)
-        edges = sampled_boundaries(t, 4, 8)
+        edges = sampled_boundaries(t, 4, 8, seed=0)
         assert edges[0] == 0
         assert edges[-1] == 4**4
         assert np.all(np.diff(edges) >= 0)
 
     def test_uniform_keys_decent_balance(self, rng):
         t = tuples_with_bins(rng, 20_000, m=4)
-        edges = sampled_boundaries(t, 4, 8, sample_size=2048)
+        edges = sampled_boundaries(t, 4, 8, sample_size=2048, seed=0)
         stats = measure_partition_balance(t, 4, edges)
         assert stats.imbalance < 1.6
 
     def test_bigger_sample_no_worse(self, rng):
         t = tuples_with_bins(rng, 20_000, m=4, skew=True)
         small = measure_partition_balance(
-            t, 4, sampled_boundaries(t, 4, 8, sample_size=64)
+            t, 4, sampled_boundaries(t, 4, 8, sample_size=64, seed=0)
         )
         big = measure_partition_balance(
-            t, 4, sampled_boundaries(t, 4, 8, sample_size=8192)
+            t, 4, sampled_boundaries(t, 4, 8, sample_size=8192, seed=0)
         )
         assert big.imbalance <= small.imbalance * 1.3
 
@@ -56,7 +56,7 @@ class TestSampledBoundaries:
             t, 4, balanced_boundaries(counts, 8)
         )
         sampled = measure_partition_balance(
-            t, 4, sampled_boundaries(t, 4, 8, sample_size=256)
+            t, 4, sampled_boundaries(t, 4, 8, sample_size=256, seed=0)
         )
         assert exact.imbalance <= sampled.imbalance * 1.05
 
@@ -68,12 +68,12 @@ class TestSampledBoundaries:
 
     def test_empty_tuples(self):
         t = KmerTuples.empty(13)
-        edges = sampled_boundaries(t, 4, 4)
+        edges = sampled_boundaries(t, 4, 4, seed=0)
         assert edges[0] == 0 and edges[-1] == 4**4
 
     def test_partition_counts_sum(self, rng):
         t = tuples_with_bins(rng, 7000, m=4)
-        edges = sampled_boundaries(t, 4, 5)
+        edges = sampled_boundaries(t, 4, 5, seed=0)
         stats = measure_partition_balance(t, 4, edges)
         assert stats.counts.sum() == len(t)
         assert stats.n_parts == 5

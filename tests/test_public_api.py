@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.assembly",
     "repro.baselines",
     "repro.perf",
+    "repro.analysis",
 ]
 
 
