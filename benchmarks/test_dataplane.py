@@ -1,0 +1,136 @@
+"""Dataplane transport microbenchmark: pickle payloads vs shm descriptors.
+
+The historical process engine shipped every tuple batch across the pool
+boundary as a pickled payload — one serialize copy plus one deserialize
+copy per hop.  The zero-copy dataplane writes tuples once into a
+shared-memory block and ships a constant-size :class:`BlockDescriptor`
+instead.  This benchmark times both transports on the real pass-1 tuple
+stream of the largest bundled synthetic dataset (IS, 25000 pairs at
+scale 1) and records the per-tuple exchange cost to
+``BENCH_dataplane.json`` at the repo root (CI uploads it as an
+artifact; set ``METAPREP_BENCH_DATAPLANE_DATASET=HG`` for the smoke
+variant).
+
+Both legs move the same bytes to the same destination semantics: the
+receiver ends up with a readable :class:`KmerTuples` batch.  The pickle
+leg pays ``dumps`` + ``loads`` of the columnar arrays; the shm leg pays
+the one ``TupleBlock.write`` copy plus descriptor pickling and segment
+attachment (constant per hop, independent of batch size).
+"""
+
+import json
+import os
+import pickle
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.reporting import table_lines, write_report
+from repro.datasets.registry import build_dataset
+from repro.kmers.engine import enumerate_canonical_kmers
+from repro.runtime.buffers import SharedMemoryBufferPool, attach_block
+from repro.seqio.fastq import read_fastq
+from repro.seqio.records import ReadBatch
+
+K = 27
+ROUNDS = 5
+RESULT_PATH = Path(__file__).parent.parent / "BENCH_dataplane.json"
+
+
+def _tuple_stream(bench_root):
+    name = os.environ.get("METAPREP_BENCH_DATAPLANE_DATASET", "IS")
+    ds = build_dataset(name, bench_root / f"dataplane-{name.lower()}", seed=11)
+    r1 = read_fastq(ds.r1_path)
+    r2 = read_fastq(ds.r2_path)
+    seqs, ids = [], []
+    for i, (a, b) in enumerate(zip(r1, r2)):
+        seqs.extend((a.sequence, b.sequence))
+        ids.extend((i, i))  # both mates share one read id (section 3.2)
+    batch = ReadBatch.from_sequences(seqs, read_ids=ids)
+    return name, ds, enumerate_canonical_kmers(batch, K)
+
+
+def _pickle_exchange(tuples):
+    """The legacy transport: payload crosses the boundary by value."""
+    wire = pickle.dumps(tuples, protocol=pickle.HIGHEST_PROTOCOL)
+    received = pickle.loads(wire)
+    return int(received.read_ids[-1])
+
+
+def _shm_exchange(pool, tuples):
+    """The dataplane transport: one write into the segment, then a
+    constant-size descriptor crosses the boundary."""
+    block = pool.allocate(K, len(tuples))
+    try:
+        block.write(0, tuples)
+        wire = pickle.dumps(
+            block.descriptor(), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        received = attach_block(pickle.loads(wire)).view(0, len(tuples))
+        return int(received.read_ids[-1])
+    finally:
+        pool.release(block)
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.benchmark(group="dataplane")
+def test_dataplane_transport(bench_root, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    name, ds, tuples = _tuple_stream(bench_root)
+    n = len(tuples)
+    assert n > 0
+
+    checksum = _pickle_exchange(tuples)
+    pool = SharedMemoryBufferPool()
+    try:
+        assert _shm_exchange(pool, tuples) == checksum  # same bytes arrive
+        t_pickle = _best_of(lambda: _pickle_exchange(tuples))
+        t_shm = _best_of(lambda: _shm_exchange(pool, tuples))
+    finally:
+        pool.close()
+
+    per_pickle = t_pickle / n * 1e9
+    per_shm = t_shm / n * 1e9
+    payload = {
+        "dataset": name,
+        "n_pairs": ds.n_pairs,
+        "n_tuples": n,
+        "k": K,
+        "tuple_bytes": 12,
+        "rounds": ROUNDS,
+        "pickle": {
+            "seconds": round(t_pickle, 6),
+            "ns_per_tuple": round(per_pickle, 3),
+        },
+        "shm_descriptor": {
+            "seconds": round(t_shm, 6),
+            "ns_per_tuple": round(per_shm, 3),
+        },
+        "speedup": round(t_pickle / t_shm, 3) if t_shm > 0 else None,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        ["pickle payload", f"{t_pickle:.4f}", f"{per_pickle:.1f}"],
+        ["shm descriptor", f"{t_shm:.4f}", f"{per_shm:.1f}"],
+    ]
+    write_report(
+        "dataplane_transport",
+        f"tuple exchange transport, {name} ({n} tuples, k={K})",
+        table_lines(["transport", "seconds", "ns/tuple"], rows),
+    )
+
+    # the acceptance bar: descriptors beat payloads per tuple moved
+    assert per_shm < per_pickle, (
+        f"shm descriptor transport ({per_shm:.1f} ns/tuple) did not beat "
+        f"pickle payloads ({per_pickle:.1f} ns/tuple)"
+    )

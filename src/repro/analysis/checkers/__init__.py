@@ -14,6 +14,7 @@ from repro.analysis.checkers.fingerprint import check_fingerprint_coverage
 from repro.analysis.checkers.determinism import check_determinism
 from repro.analysis.checkers.purity import check_executor_purity
 from repro.analysis.checkers.overflow import check_kmer_overflow
+from repro.analysis.checkers.resources import check_executor_resources
 
 #: checker name -> checker function, in run order
 CHECKERS: Dict[str, Callable[[Project], List[Finding]]] = {
@@ -21,6 +22,7 @@ CHECKERS: Dict[str, Callable[[Project], List[Finding]]] = {
     "determinism": check_determinism,
     "purity": check_executor_purity,
     "overflow": check_kmer_overflow,
+    "resources": check_executor_resources,
 }
 
 __all__ = [
@@ -29,4 +31,5 @@ __all__ = [
     "check_determinism",
     "check_executor_purity",
     "check_kmer_overflow",
+    "check_executor_resources",
 ]

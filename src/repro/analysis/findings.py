@@ -16,6 +16,10 @@ invariant family they guard:
   free of module-global writes.
 * ``MP4xx`` — k-mer dtype/overflow: ``k``-derived shifts/multiplies must
   not exceed 64 bits outside the two-limb (``k > 31``) path.
+* ``MP5xx`` — executor resources: shared-memory segments must be
+  created by the buffer-pool API (:mod:`repro.runtime.buffers`) and
+  attachments must be context-managed or finally-released, so a worker
+  crash can never leak ``/dev/shm`` names.
 """
 
 from __future__ import annotations
@@ -55,6 +59,10 @@ RULES = {
     "MP401": (
         "k-derived shift/multiply can exceed 64 bits without routing "
         "through the two-limb (k > 31) path"
+    ),
+    "MP501": (
+        "SharedMemory segment created outside the buffer-pool API, or "
+        "attached without a finally/context-managed release"
     ),
 }
 

@@ -109,6 +109,36 @@ def local_connected_components(
     return stats
 
 
+def fold_block_partitions(
+    block,
+    counts: np.ndarray,
+    forest: DisjointSetForest,
+    kfilter: FrequencyFilter | None = None,
+) -> Tuple[LocalCCStats, np.ndarray]:
+    """Fold the sorted partitions of a
+    :class:`~repro.runtime.buffers.TupleBlock` into ``forest``.
+
+    ``counts`` are the per-thread partition lengths from the in-place
+    range partition; partition ``t`` is consumed as a zero-copy view
+    ``block.view(starts[t], starts[t+1])`` in thread-rank order — the
+    deterministic union sequence the engines' bit-identity rests on.
+    Returns the merged :class:`LocalCCStats` and the per-thread edge
+    counts.
+    """
+    stats = LocalCCStats()
+    edges_by_thread = np.zeros(len(counts), dtype=np.int64)
+    start = 0
+    for t, count in enumerate(counts):
+        end = start + int(count)
+        part_stats = local_connected_components(
+            block.view(start, end), forest, kfilter
+        )
+        stats.merge(part_stats)
+        edges_by_thread[t] = part_stats.n_edges
+        start = end
+    return stats, edges_by_thread
+
+
 def map_ids_to_components(
     ids: np.ndarray, forest: DisjointSetForest
 ) -> np.ndarray:

@@ -29,6 +29,50 @@ from repro.util.logging import get_logger
 
 _LOG = get_logger("core.checkpoint")
 _SCHEMA = "metaprep/checkpoint"
+_BLOCK_SCHEMA = "metaprep/tupleblock"
+
+
+def save_block_spill(path: str | os.PathLike, block, length: int | None = None) -> None:
+    """Spill a :class:`~repro.runtime.buffers.TupleBlock` to disk.
+
+    The spill format is the block's descriptor metadata plus the raw
+    column bytes — the on-disk twin of the descriptor wire format, in the
+    same ``MPREPTAB`` container every other table uses.  ``length``
+    limits the spill to the block's first ``length`` tuples (a partially
+    filled block spills only its live prefix).
+    """
+    length = block.capacity if length is None else length
+    view = block.view(0, length)
+    meta = {
+        "k": block.k,
+        "length": length,
+        "two_limb": block.two_limb,
+    }
+    arrays = {"lo": view.kmers.lo, "ids": view.read_ids}
+    if block.two_limb:
+        arrays["hi"] = view.kmers.hi
+    tmp = Path(path).with_suffix(".tmp")
+    write_table(tmp, _BLOCK_SCHEMA, meta, arrays)
+    os.replace(tmp, path)
+
+
+def load_block_spill(path: str | os.PathLike, pool):
+    """Load a spilled TupleBlock into a fresh block from ``pool``.
+
+    The backing is the *loader's* choice — a spill written from a heap
+    block restores into a shared segment and vice versa; only the bytes
+    are contractual.  Returns the filled block (capacity == spilled
+    length).
+    """
+    from repro.kmers.codec import KmerArray
+    from repro.kmers.engine import KmerTuples
+
+    meta, arrays = read_table(path, expect_schema=_BLOCK_SCHEMA)
+    k, length = int(meta["k"]), int(meta["length"])
+    block = pool.allocate(k, length)
+    hi = arrays["hi"] if meta["two_limb"] else None
+    block.write(0, KmerTuples(KmerArray(k, arrays["lo"], hi), arrays["ids"]))
+    return block
 
 
 def payload_fingerprint(payload: dict) -> str:
@@ -60,7 +104,10 @@ def payload_fingerprint(payload: dict) -> str:
 #:   sorted order unchanged;
 #: * ``n_passes`` / ``memory_budget_per_task`` / ``n_chunks`` — the
 #:   pass/chunk decomposition; the merge step makes labels independent of
-#:   how work was split (verified by the pass-count invariance tests).
+#:   how work was split (verified by the pass-count invariance tests);
+#: * ``dataplane`` — selects the TupleBlock backing (heap ndarrays vs
+#:   shared-memory segments); both backings carry identical bytes through
+#:   identical stage code, enforced by the dataplane property tests.
 PARTITION_IRRELEVANT_FIELDS = frozenset(
     {
         "executor",
@@ -72,6 +119,7 @@ PARTITION_IRRELEVANT_FIELDS = frozenset(
         "n_passes",
         "memory_budget_per_task",
         "n_chunks",
+        "dataplane",
     }
 )
 

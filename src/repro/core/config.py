@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.kmers.codec import MAX_K_TWO_LIMB, KmerCodec
 from repro.kmers.filter import FrequencyFilter
+from repro.runtime.buffers import DATAPLANE_NAMES
 from repro.runtime.executor import EXECUTOR_NAMES
 from repro.util.validation import check_in_range, check_positive
 
@@ -56,8 +57,11 @@ class PipelineConfig:
     #: not affect the timing model (which uses the paper's nominal pass
     #: count) — only real wall time.
     radix_skip_constant: bool = True
-    #: sanity-check the static offset math against actual counts (cheap;
-    #: keep on).
+    #: sanity-check the driver-side aggregate of the static offset math
+    #: against actual counts (cheap; keep on).  Independent of this flag,
+    #: every KmerGen worker verifies its own chunk's counts before
+    #: writing — the dataplane's write offsets assume them, so that check
+    #: is structural, not optional.
     verify_static_counts: bool = True
     #: execution backend for per-chunk KmerGen and per-owner-task
     #: LocalSort+LocalCC: ``"serial"`` (inline, the reference engine) or
@@ -69,6 +73,14 @@ class PipelineConfig:
     #: mask; see :func:`repro.runtime.executor.available_cpu_count`).
     #: Ignored by the serial engine.
     max_workers: int | None = None
+    #: tuple-buffer backing for the stage boundaries
+    #: (:mod:`repro.runtime.buffers`): ``"auto"`` picks plain heap
+    #: ndarrays under the serial engine and shared-memory segments under
+    #: the process engine; ``"shared"`` forces shared memory everywhere
+    #: (the differential tests probe the backing this way); ``"heap"``
+    #: forces heap arrays and is invalid with the process engine, whose
+    #: workers could not see them.
+    dataplane: str = "auto"
 
     def __post_init__(self) -> None:
         check_in_range("k", self.k, 2, MAX_K_TWO_LIMB)
@@ -89,6 +101,16 @@ class PipelineConfig:
             )
         if self.max_workers is not None:
             check_positive("max_workers", self.max_workers)
+        if self.dataplane not in DATAPLANE_NAMES:
+            raise ValueError(
+                f"dataplane must be one of {DATAPLANE_NAMES}, "
+                f"got {self.dataplane!r}"
+            )
+        if self.dataplane == "heap" and self.executor == "process":
+            raise ValueError(
+                "dataplane='heap' cannot carry tuples across the process "
+                "engine's pool boundary; use 'auto' or 'shared'"
+            )
         if self.n_chunks is not None:
             if self.n_chunks < self.n_tasks * self.n_threads:
                 raise ValueError(

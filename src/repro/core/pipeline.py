@@ -39,7 +39,7 @@ import numpy as np
 from repro.cc.dsf import DisjointSetForest
 from repro.cc.localcc import (
     LocalCCStats,
-    local_connected_components,
+    fold_block_partitions,
     map_ids_to_components,
 )
 from repro.cc.mergecc import MergeCCStats, merge_component_arrays, tree_merge_schedule
@@ -51,11 +51,22 @@ from repro.core.partition import (
 )
 from repro.index.create import IndexCreateResult, index_create
 from repro.index.fastqpart import FastqPartTable, load_chunk_reads
-from repro.index.offsets import chunk_assignment, send_counts_matrix
+from repro.index.offsets import (
+    chunk_assignment,
+    chunk_send_counts,
+    recv_write_offsets,
+    send_counts_matrix,
+)
 from repro.index.passplan import PassPlan, passes_for_memory_budget, plan_passes
-from repro.kmers.engine import KmerTuples, enumerate_canonical_kmers
+from repro.kmers.engine import enumerate_canonical_kmers
 from repro.kmers.filter import FrequencyFilter
-from repro.runtime.comm import AllToAllStats, custom_all_to_all
+from repro.runtime.buffers import (
+    BlockHandle,
+    BufferPool,
+    create_buffer_pool,
+    open_block,
+)
+from repro.runtime.comm import AllToAllStats, block_exchange_stats
 from repro.runtime.executor import (
     ExecutionBackend,
     create_executor,
@@ -64,8 +75,8 @@ from repro.runtime.executor import (
 from repro.runtime.machines import get_machine
 from repro.runtime.timing import ProjectedTimes, TimingModel
 from repro.runtime.work import RunWork, StepNames
-from repro.sort.radix import RadixSortStats, radix_passes_for, radix_sort_tuples
-from repro.sort.partition import range_partition
+from repro.sort.radix import RadixSortStats, radix_passes_for, radix_sort_block
+from repro.sort.partition import range_partition_block
 from repro.util.logging import get_logger
 from repro.util.timers import StepTimer, TimeBreakdown
 
@@ -99,13 +110,6 @@ def _estimate_ccio_bytes(
     return est
 
 
-def _concat_tuples(parts: Sequence[KmerTuples], k: int) -> KmerTuples:
-    nonempty = [x for x in parts if len(x)]
-    return (
-        KmerTuples.concatenate(nonempty) if nonempty else KmerTuples.empty(k)
-    )
-
-
 # ----------------------------------------------------------------------
 # executor job payloads and worker functions
 #
@@ -113,6 +117,16 @@ def _concat_tuples(parts: Sequence[KmerTuples], k: int) -> KmerTuples:
 # picklable payloads so the process engine can ship it to workers; the
 # serial engine calls the very same functions inline, which is what makes
 # the two engines bit-identical by construction.
+#
+# Tuples never appear in the payloads.  Each pass preallocates one
+# destination TupleBlock per owner task, sized exactly by the index
+# tables (:func:`repro.index.offsets.recv_write_offsets`); KmerGen jobs
+# carry block *handles* plus their chunk's write offsets and write kept
+# tuples straight into the owners' blocks, and owner jobs sort/fold the
+# very same backing in place.  Under the process engine the handles are
+# shared-memory descriptors — a few hundred bytes per job regardless of
+# tuple volume — which is the zero-copy dataplane the paper's custom
+# all-to-all corresponds to.
 # ----------------------------------------------------------------------
 
 
@@ -137,26 +151,33 @@ class _ChunkJob:
     bin_lo: int
     bin_hi: int
     task_edges: np.ndarray
+    #: table-predicted tuples this chunk sends each destination: (P,)
+    expected_counts: np.ndarray
+    #: this chunk's write offset in each destination block: (P,)
+    write_offsets: np.ndarray
+    #: destination block handles, owner-task order
+    blocks: List[BlockHandle]
 
 
 @dataclass
 class _ChunkResult:
     chunk: int
-    #: tuples of this chunk falling in the pass's k-mer range, in scan order
-    kept: KmerTuples
-    #: destination (owner) task of each kept tuple
-    dest: np.ndarray
+    #: tuples actually written per destination (== expected, verified)
+    counts: np.ndarray
     #: k-mer positions scanned (pre-range-filter), for work accounting
     n_positions: int
     times: TimeBreakdown
 
 
 def _kmergen_chunk_task(job: _ChunkJob) -> _ChunkResult:
-    """Load one chunk and enumerate its in-pass canonical k-mers.
+    """Enumerate one chunk's in-pass k-mers into the destination blocks.
 
     Pure with respect to driver state: reads the shared context, touches
     no forests (the LocalCC-Opt id->component mapping happens on the
-    driver, in chunk order, exactly as a sequential scan would).
+    driver, per sender region, exactly as a sequential scan would).  The
+    kept tuples are written directly into each owner task's block at
+    this chunk's precomputed offsets — the all-to-all "send" is the
+    write itself; only the tiny count/stat result crosses back.
     """
     ctx: _WorkerContext = worker_shared()
     times = TimeBreakdown()
@@ -172,11 +193,28 @@ def _kmergen_chunk_task(job: _ChunkJob) -> _ChunkResult:
     kept_bins = bins[in_pass]
     dest = np.searchsorted(job.task_edges, kept_bins, side="right") - 1
     dest = np.clip(dest, 0, ctx.n_tasks - 1)
+    parts, counts = kept.split_by_destination(dest, ctx.n_tasks)
     times.add(StepNames.KMERGEN, time.perf_counter() - t0)
+
+    # Mandatory, not gated by verify_static_counts: the write offsets
+    # assume the table-predicted counts, so a mismatch would scribble
+    # over a neighboring chunk's region.  Check before touching blocks.
+    if not np.array_equal(counts, job.expected_counts):
+        d = int(np.flatnonzero(counts != job.expected_counts)[0])
+        raise StaticCountMismatch(
+            f"chunk {job.chunk} -> task {d}: produced {counts[d]} tuples, "
+            f"index predicted {job.expected_counts[d]}"
+        )
+
+    t0 = time.perf_counter()
+    for d, part in enumerate(parts):
+        if len(part):
+            with open_block(job.blocks[d]) as block:
+                block.write(int(job.write_offsets[d]), part)
+    times.add(StepNames.KMERGEN_COMM, time.perf_counter() - t0)
     return _ChunkResult(
         chunk=job.chunk,
-        kept=kept,
-        dest=dest,
+        counts=counts,
         n_positions=len(tuples),
         times=times,
     )
@@ -187,9 +225,11 @@ class _OwnerJob:
     """One owner-task unit: LocalSort + LocalCC for task ``task``'s range."""
 
     task: int
-    #: received tuple blocks in source-rank order (the deterministic
-    #: receive-side layout of the custom all-to-all)
-    parts: List[KmerTuples]
+    #: the task's received-tuple block (sources in rank order — the
+    #: deterministic receive-side layout of the zero-copy exchange)
+    block: BlockHandle
+    #: live tuples in the block (== block capacity for this pass)
+    n_received: int
     #: the task's forest state; mutated in place by the serial engine,
     #: on a pickled copy (returned in the result) by the process engine
     parent: np.ndarray
@@ -212,43 +252,44 @@ class _OwnerResult:
 
 
 def _owner_sort_cc_task(job: _OwnerJob) -> _OwnerResult:
-    """Range-partition, sort, and fold one owner task's received tuples.
+    """Range-partition, sort, and fold one owner task's received block.
 
-    Threads run in rank order (sources were already concatenated in rank
-    order), so the union sequence — and with it the resulting parent
-    array — is identical on every engine.
+    Every step operates in place over the block's backing: the stable
+    partition permutation, the per-thread radix sorts, and the LocalCC
+    folds all consume zero-copy views.  Threads run in rank order, so
+    the union sequence — and with it the resulting parent array — is
+    identical on every engine.
     """
     ctx: _WorkerContext = worker_shared()
     times = TimeBreakdown()
-    received = _concat_tuples(job.parts, ctx.k)
     forest = DisjointSetForest.wrap(job.parent)
 
-    t0 = time.perf_counter()
-    partitions, counts = range_partition(
-        received, ctx.m, job.thread_edges, span=job.span
-    )
-    sort_stats = RadixSortStats()
-    sorted_parts = []
-    for part in partitions:
-        sorted_part, rstats = radix_sort_tuples(
-            part, skip_constant=ctx.radix_skip_constant
+    with open_block(job.block) as block:
+        t0 = time.perf_counter()
+        counts = range_partition_block(
+            block, job.n_received, ctx.m, job.thread_edges, span=job.span
         )
-        sort_stats.merge(rstats)
-        sorted_parts.append(sorted_part)
-    times.add(StepNames.LOCALSORT, time.perf_counter() - t0)
+        sort_stats = RadixSortStats()
+        start = 0
+        for count in counts:
+            end = start + int(count)
+            sort_stats.merge(
+                radix_sort_block(
+                    block, start, end, skip_constant=ctx.radix_skip_constant
+                )
+            )
+            start = end
+        times.add(StepNames.LOCALSORT, time.perf_counter() - t0)
 
-    t0 = time.perf_counter()
-    cc_stats = LocalCCStats()
-    edges_by_thread = np.zeros(ctx.n_threads, dtype=np.int64)
-    for t, part in enumerate(sorted_parts):
-        stats_cc = local_connected_components(part, forest, ctx.kmer_filter)
-        cc_stats.merge(stats_cc)
-        edges_by_thread[t] = stats_cc.n_edges
-    times.add(StepNames.LOCALCC, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        cc_stats, edges_by_thread = fold_block_partitions(
+            block, counts, forest, ctx.kmer_filter
+        )
+        times.add(StepNames.LOCALCC, time.perf_counter() - t0)
     return _OwnerResult(
         task=job.task,
         parent=forest.parent,
-        n_received=len(received),
+        n_received=job.n_received,
         part_lengths=np.asarray(counts, dtype=np.int64),
         edges_by_thread=edges_by_thread,
         sort_stats=sort_stats,
@@ -442,6 +483,9 @@ class MetaPrep:
                 radix_skip_constant=cfg.radix_skip_constant,
             )
         )
+        buffers = create_buffer_pool(
+            cfg.dataplane, executor.prefers_shared_buffers
+        )
         try:
             for spec in plan.passes:
                 if spec.index < start_pass:
@@ -460,6 +504,7 @@ class MetaPrep:
                     cc_stats,
                     comm_stats,
                     executor,
+                    buffers,
                 )
                 if store is not None:
                     from repro.core.checkpoint import Checkpoint
@@ -476,7 +521,11 @@ class MetaPrep:
                     "pass_complete", pass_index=spec.index, n_passes=n_passes
                 )
         finally:
+            # executor first (workers drop their block attachments when
+            # they exit), then the pool unlinks every segment it created
+            # — the crash-safety guarantee the /dev/shm leak tests pin.
             executor.close()
+            buffers.close()
 
         # ---- MergeCC --------------------------------------------------
         with timer.step(StepNames.MERGECC):
@@ -550,6 +599,7 @@ class MetaPrep:
         cc_stats: LocalCCStats,
         comm_stats: List[AllToAllStats],
         executor: ExecutionBackend,
+        buffers: BufferPool,
     ) -> None:
         cfg = self.config
         p_tasks, t_threads = cfg.n_tasks, cfg.n_threads
@@ -568,107 +618,140 @@ class MetaPrep:
                 spec.bin_hi,
             )
 
-        # ---- KmerGen (+ I/O) -------------------------------------------
-        # One job per chunk, dispatched through the executor; results come
-        # back in chunk order regardless of which worker ran them.
-        chunk_results = executor.map(
-            _kmergen_chunk_task,
-            [
-                _ChunkJob(
-                    chunk=c,
-                    bin_lo=spec.bin_lo,
-                    bin_hi=spec.bin_hi,
-                    task_edges=spec.task_edges,
-                )
-                for c in range(table.n_chunks)
-            ],
+        # ---- static dataplane layout -----------------------------------
+        # The index tables fix, before any k-mer is enumerated, exactly
+        # how many tuples each chunk contributes to each owner task and
+        # where in the owner's block they land (section 3.2.2/3.3).  One
+        # destination block per owner, sized to the pass; chunk writers
+        # never contend and never handshake.
+        per_chunk = chunk_send_counts(
+            table, spec.task_edges, p_tasks, spec.bin_lo, spec.bin_hi
         )
-
-        # send_blocks[p][d] accumulates per-thread tuple slices in thread
-        # order: the deterministic buffer layout of section 3.2.2.
-        send_parts: List[List[List[KmerTuples]]] = [
-            [[] for _ in range(p_tasks)] for _ in range(p_tasks)
+        offsets, sender_splits, totals = recv_write_offsets(
+            per_chunk, assignment, p_tasks, t_threads
+        )
+        dest_blocks = [
+            buffers.allocate(cfg.k, int(totals[d])) for d in range(p_tasks)
         ]
-        actual_counts = np.zeros((p_tasks, t_threads, p_tasks), dtype=np.int64)
-        for res in chunk_results:
-            c = res.chunk
-            p, t = divmod(int(assignment[c]), t_threads)
-            timer.merge(res.times)
-            work.kmergen_io_bytes[p, t] += table.chunk_bytes(c)
-            work.fastq_parse_bytes[p, t] += table.chunk_bytes(c)
-            work.kmergen_positions_scanned[p, t] += res.n_positions
+        handles = [block.handle() for block in dest_blocks]
 
-            t_gen0 = time.perf_counter()
-            kept = res.kept
-            if use_opt and len(kept):
-                # LocalCC-Opt: enumerate (k-mer, component id) tuples.
-                # Mapped on the driver, chunk by chunk in scan order, so
-                # forest state never crosses the executor boundary here.
-                kept = KmerTuples(
-                    kept.kmers,
-                    map_ids_to_components(kept.read_ids, forests[p]),
+        try:
+            # ---- KmerGen (+ I/O) ---------------------------------------
+            # One job per chunk, dispatched through the executor; results
+            # come back in chunk order regardless of which worker ran
+            # them.  Payloads carry block handles, never tuples.
+            chunk_results = executor.map(
+                _kmergen_chunk_task,
+                [
+                    _ChunkJob(
+                        chunk=c,
+                        bin_lo=spec.bin_lo,
+                        bin_hi=spec.bin_hi,
+                        task_edges=spec.task_edges,
+                        expected_counts=per_chunk[c],
+                        write_offsets=offsets[c],
+                        blocks=handles,
+                    )
+                    for c in range(table.n_chunks)
+                ],
+            )
+
+            actual_counts = np.zeros(
+                (p_tasks, t_threads, p_tasks), dtype=np.int64
+            )
+            for res in chunk_results:
+                c = res.chunk
+                p, t = divmod(int(assignment[c]), t_threads)
+                timer.merge(res.times)
+                work.kmergen_io_bytes[p, t] += table.chunk_bytes(c)
+                work.fastq_parse_bytes[p, t] += table.chunk_bytes(c)
+                work.kmergen_positions_scanned[p, t] += res.n_positions
+                work.kmergen_tuples[p, t] += int(res.counts.sum())
+                actual_counts[p, t, :] += res.counts
+
+            if expected is not None and not np.array_equal(
+                actual_counts, expected
+            ):
+                bad = np.argwhere(actual_counts != expected)[0]
+                p, t, d = (int(x) for x in bad)
+                raise StaticCountMismatch(
+                    f"pass {spec.index}: task {p} thread {t} -> task {d}: "
+                    f"produced {actual_counts[p, t, d]} tuples, index "
+                    f"predicted {expected[p, t, d]}"
                 )
-            work.kmergen_tuples[p, t] += len(kept)
-            for d in range(p_tasks):
-                sel = np.flatnonzero(res.dest == d)
-                part = kept.take(sel) if len(sel) else KmerTuples.empty(cfg.k)
-                send_parts[p][d].append(part)
-                actual_counts[p, t, d] += len(part)
-            timer.record(StepNames.KMERGEN, time.perf_counter() - t_gen0)
 
-        if expected is not None and not np.array_equal(actual_counts, expected):
-            bad = np.argwhere(actual_counts != expected)[0]
-            p, t, d = (int(x) for x in bad)
-            raise StaticCountMismatch(
-                f"pass {spec.index}: task {p} thread {t} -> task {d}: "
-                f"produced {actual_counts[p, t, d]} tuples, index predicted "
-                f"{expected[p, t, d]}"
+            if use_opt:
+                # LocalCC-Opt: rewrite read ids to component roots in
+                # place, one sender region at a time with that sender's
+                # forest — forest state never crosses the executor
+                # boundary, and the mapping equals the sequential
+                # chunk-by-chunk scan (find_many is pure, elementwise).
+                t_gen0 = time.perf_counter()
+                for d in range(p_tasks):
+                    for p in range(p_tasks):
+                        lo_i = int(sender_splits[p, d])
+                        hi_i = int(sender_splits[p + 1, d])
+                        if hi_i > lo_i:
+                            region = dest_blocks[d].view(lo_i, hi_i)
+                            region.read_ids[:] = map_ids_to_components(
+                                region.read_ids, forests[p]
+                            )
+                timer.record(StepNames.KMERGEN, time.perf_counter() - t_gen0)
+
+            # ---- KmerGen-Comm ------------------------------------------
+            # The tuples already sit in their owners' blocks (the chunk
+            # writers' offset writes *are* the exchange); what remains of
+            # Comm is the byte accounting, reproduced exactly from the
+            # static counts.
+            with timer.step(StepNames.KMERGEN_COMM):
+                by_task = sender_splits[1:] - sender_splits[:-1]
+                stats = block_exchange_stats(by_task, cfg.tuple_bytes)
+            comm_stats.append(stats)
+            work.comm_bytes_matrix += stats.bytes_matrix
+            work.comm_stage_max_bytes.append(
+                list(stats.max_message_bytes_per_stage)
             )
 
-        # ---- KmerGen-Comm ----------------------------------------------
-        with timer.step(StepNames.KMERGEN_COMM):
-            send_blocks = [
-                [_concat_tuples(send_parts[p][d], cfg.k) for d in range(p_tasks)]
-                for p in range(p_tasks)
-            ]
-            recv_blocks, stats = custom_all_to_all(
-                send_blocks, nbytes_of=lambda tp: tp.nbytes
+            # ---- LocalSort + LocalCC per owner task ---------------------
+            # One job per destination task d; the serial engine mutates
+            # forests[d] in place, the process engine round-trips a
+            # pickled copy — either way res.parent is the post-pass
+            # forest state.  Tuples stay in the blocks throughout.
+            owner_results = executor.map(
+                _owner_sort_cc_task,
+                [
+                    _OwnerJob(
+                        task=d,
+                        block=handles[d],
+                        n_received=int(totals[d]),
+                        parent=forests[d].parent,
+                        thread_edges=spec.thread_edges[d],
+                        span=(
+                            int(spec.task_edges[d]),
+                            int(spec.task_edges[d + 1]),
+                        ),
+                    )
+                    for d in range(p_tasks)
+                ],
             )
-        comm_stats.append(stats)
-        work.comm_bytes_matrix += stats.bytes_matrix
-        work.comm_stage_max_bytes.append(list(stats.max_message_bytes_per_stage))
-
-        # ---- LocalSort + LocalCC per owner task -------------------------
-        # One job per destination task d; the serial engine mutates
-        # forests[d] in place, the process engine round-trips a pickled
-        # copy — either way res.parent is the post-pass forest state.
-        owner_results = executor.map(
-            _owner_sort_cc_task,
-            [
-                _OwnerJob(
-                    task=d,
-                    parts=list(recv_blocks[d]),
-                    parent=forests[d].parent,
-                    thread_edges=spec.thread_edges[d],
-                    span=(int(spec.task_edges[d]), int(spec.task_edges[d + 1])),
+            nominal_passes = radix_passes_for(cfg.k)
+            for res in owner_results:
+                d = res.task
+                forests[d] = DisjointSetForest.wrap(res.parent)
+                timer.merge(res.times)
+                # partition scatter work: each thread handles ~1/T of the
+                # stream
+                work.partition_tuples[d, :] += int(
+                    np.ceil(res.n_received / t_threads)
                 )
-                for d in range(p_tasks)
-            ],
-        )
-        nominal_passes = radix_passes_for(cfg.k)
-        for res in owner_results:
-            d = res.task
-            forests[d] = DisjointSetForest.wrap(res.parent)
-            timer.merge(res.times)
-            # partition scatter work: each thread handles ~1/T of the stream
-            work.partition_tuples[d, :] += int(
-                np.ceil(res.n_received / t_threads)
-            )
-            # timing model uses the paper's fixed pass count
-            work.sort_tuple_passes[d, :] += res.part_lengths * nominal_passes
-            if is_first_pass:
-                work.cc_edges_first_pass[d, :] += res.edges_by_thread
-            else:
-                work.cc_edges_later_passes[d, :] += res.edges_by_thread
-            sort_stats.merge(res.sort_stats)
-            cc_stats.merge(res.cc_stats)
+                # timing model uses the paper's fixed pass count
+                work.sort_tuple_passes[d, :] += res.part_lengths * nominal_passes
+                if is_first_pass:
+                    work.cc_edges_first_pass[d, :] += res.edges_by_thread
+                else:
+                    work.cc_edges_later_passes[d, :] += res.edges_by_thread
+                sort_stats.merge(res.sort_stats)
+                cc_stats.merge(res.cc_stats)
+        finally:
+            for block in dest_blocks:
+                buffers.release(block)

@@ -16,7 +16,7 @@ the counts the real KmerGen produces.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
@@ -76,6 +76,80 @@ def send_counts_matrix(
     threads = assignment % n_threads
     np.add.at(out, (tasks, threads), per_chunk)
     return out
+
+
+def chunk_send_counts(
+    table: FastqPartTable,
+    task_edges: np.ndarray,
+    n_tasks: int,
+    pass_lo: int = 0,
+    pass_hi: int | None = None,
+) -> np.ndarray:
+    """Tuples chunk ``c`` will contribute to each destination task: (C, P).
+
+    The per-chunk resolution of :func:`send_counts_matrix` — exact, from
+    the chunk histograms alone.  This is what sizes the zero-copy
+    destination blocks and fixes each chunk's write offsets before
+    KmerGen runs a single instruction.
+    """
+    task_edges = np.asarray(task_edges, dtype=np.int64)
+    if len(task_edges) != n_tasks + 1:
+        raise ValueError(
+            f"need {n_tasks + 1} task edges, got {len(task_edges)}"
+        )
+    if pass_hi is None:
+        pass_hi = table.n_bins
+    clipped = np.clip(task_edges, pass_lo, pass_hi)
+    return _bin_range_counts(table.hist, clipped)
+
+
+def recv_write_offsets(
+    per_chunk: np.ndarray,
+    assignment: np.ndarray,
+    n_tasks: int,
+    n_threads: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Each chunk's write offset into every destination task's block.
+
+    The receive-side layout of the zero-copy exchange is fixed up front:
+    destination ``d``'s block holds tuples grouped by *source task* in
+    rank order, and within a source task by chunk id — exactly the order
+    the payload all-to-all produces (sources concatenated in rank order,
+    each source's chunks appended in chunk order).  Given the exact
+    ``per_chunk`` counts from :func:`chunk_send_counts`, every chunk's
+    slice of every destination block is known in advance, so KmerGen
+    writers never contend and never handshake.
+
+    Returns ``(offsets, sender_splits, totals)``:
+
+    * ``offsets`` — ``(C, P)``; ``offsets[c, d]`` is where chunk ``c``'s
+      tuples for destination ``d`` begin in ``d``'s block,
+    * ``sender_splits`` — ``(P + 1, P)``; ``sender_splits[p, d]`` is
+      where source task ``p``'s region begins in ``d``'s block (row
+      ``P`` holds the block ends),
+    * ``totals`` — ``(P,)``; destination block sizes in tuples.
+    """
+    per_chunk = np.asarray(per_chunk, dtype=np.int64)
+    n_chunks = per_chunk.shape[0]
+    tasks = np.asarray(assignment, dtype=np.int64) // n_threads
+    if len(tasks) != n_chunks:
+        raise ValueError(
+            f"assignment covers {len(tasks)} chunks, counts cover {n_chunks}"
+        )
+    # chunks in receive order: source task ascending, chunk id ascending
+    order = np.lexsort((np.arange(n_chunks), tasks))
+    ordered = per_chunk[order]
+    csum = np.zeros_like(ordered)
+    np.cumsum(ordered[:-1], axis=0, out=csum[1:])
+    offsets = np.zeros_like(per_chunk)
+    offsets[order] = csum
+
+    by_task = np.zeros((n_tasks, per_chunk.shape[1]), dtype=np.int64)
+    np.add.at(by_task, tasks, per_chunk)
+    sender_splits = np.zeros((n_tasks + 1, per_chunk.shape[1]), dtype=np.int64)
+    np.cumsum(by_task, axis=0, out=sender_splits[1:])
+    totals = sender_splits[-1].copy()
+    return offsets, sender_splits, totals
 
 
 def recv_counts_matrix(send_counts: np.ndarray) -> np.ndarray:

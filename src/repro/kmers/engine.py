@@ -69,6 +69,32 @@ class KmerTuples:
     def slice(self, lo: int, hi: int) -> "KmerTuples":
         return KmerTuples(self.kmers.slice(lo, hi), self.read_ids[lo:hi])
 
+    def split_by_destination(
+        self, dest: np.ndarray, n_dest: int
+    ) -> "tuple[List[KmerTuples], np.ndarray]":
+        """Group tuples by destination task, preserving scan order.
+
+        ``dest[i]`` is the owner task of tuple ``i``.  Returns
+        ``(parts, counts)`` where ``parts[d]`` holds the tuples bound for
+        ``d`` in their original relative order (the grouping is stable —
+        the property the deterministic exchange layout rests on) and
+        ``counts[d] == len(parts[d])``.
+        """
+        counts = np.bincount(dest, minlength=n_dest).astype(np.int64)
+        if len(counts) > n_dest:
+            raise ValueError(
+                f"dest contains values >= n_dest ({n_dest})"
+            )
+        order = np.argsort(dest, kind="stable")
+        gathered = self.take(order)
+        parts: "List[KmerTuples]" = []
+        start = 0
+        for d in range(n_dest):
+            end = start + int(counts[d])
+            parts.append(gathered.slice(start, end))
+            start = end
+        return parts, counts
+
     @staticmethod
     def concatenate(parts: "List[KmerTuples]") -> "KmerTuples":
         parts = [p for p in parts if len(p) > 0]

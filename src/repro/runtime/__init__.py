@@ -30,8 +30,20 @@ from repro.runtime.executor import (
     create_executor,
 )
 from repro.runtime.machines import MachineSpec, EDISON, GANGA, get_machine
+from repro.runtime.buffers import (
+    DATAPLANE_NAMES,
+    BlockDescriptor,
+    BufferPool,
+    HeapBufferPool,
+    SharedMemoryBufferPool,
+    TupleBlock,
+    attach_block,
+    create_buffer_pool,
+    open_block,
+)
 from repro.runtime.comm import (
     AllToAllStats,
+    block_exchange_stats,
     custom_all_to_all,
     all_to_all_schedule,
 )
@@ -51,7 +63,17 @@ __all__ = [
     "EDISON",
     "GANGA",
     "get_machine",
+    "DATAPLANE_NAMES",
+    "BlockDescriptor",
+    "BufferPool",
+    "HeapBufferPool",
+    "SharedMemoryBufferPool",
+    "TupleBlock",
+    "attach_block",
+    "create_buffer_pool",
+    "open_block",
     "AllToAllStats",
+    "block_exchange_stats",
     "custom_all_to_all",
     "all_to_all_schedule",
     "RunWork",

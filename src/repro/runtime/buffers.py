@@ -1,0 +1,511 @@
+"""Zero-copy columnar tuple buffers: the dataplane under every stage hop.
+
+The paper moves (k-mer, read id) tuples through KmerGen -> Comm ->
+LocalSort -> LocalCC without redundant copies: threads append into
+per-task send buffers at offsets precomputed from the FASTQPart table
+(section 3.2.2), the custom all-to-all lands messages directly in the
+receive buffer (section 3.3), and LocalSort ping-pongs in a bounded
+scratch (section 3.4).  The historical ``executor="process"`` backend
+broke that discipline — every stage hop pickled, copied, and unpickled
+the columnar arrays across the pool boundary.
+
+This module restores the paper's buffer discipline:
+
+* :class:`TupleBlock` — a fixed-layout columnar buffer holding the key
+  limb(s) (``lo``/``hi``, ``uint64``) and the ``read_ids`` (``uint32``)
+  of a tuple batch.  The layout is exactly the paper's 12-byte
+  (one-limb) / 20-byte (two-limb) tuple accounting, laid out
+  column-major in one contiguous allocation.
+* :class:`BlockDescriptor` — the picklable wire format of a block:
+  segment name, dtype layout, shape, and per-column byte offsets.  A
+  descriptor is a few hundred bytes regardless of how many tuples the
+  block holds; shipping it through the process pool replaces shipping
+  the payload.
+* :class:`HeapBufferPool` — plain in-process ndarray backing (the
+  serial engine; unchanged semantics, zero new copies).
+* :class:`SharedMemoryBufferPool` — ``multiprocessing.shared_memory``
+  backing with a pooling allocator (freed segments are reused across
+  passes) and guaranteed unlink-on-exit (``close()`` in the pipeline's
+  ``finally``, plus a ``weakref.finalize`` safety net for abandoned
+  pools).
+
+**Lifecycle rules.**  Segments are created *only* by a pool, and only
+the creating pool unlinks them — workers attach read-write views via
+:func:`open_block` and drop them when the job ends.  This split keeps
+the ``resource_tracker`` ledger balanced under the ``fork`` start
+method (create registers once, unlink unregisters once; worker attaches
+collapse in the tracker's name set) so a clean run leaves no
+``/dev/shm`` residue and no tracker warnings, and a crashed run is
+swept by the pool's ``finally``/finalizer or, last resort, the tracker
+itself.  Rule MP501 (``metaprep check``) statically enforces that no
+code outside this module opens segments.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Union
+
+import numpy as np
+
+from repro.kmers.codec import MAX_K_ONE_LIMB, MAX_K_TWO_LIMB, KmerArray
+from repro.kmers.engine import KmerTuples
+from repro.util.logging import get_logger
+from repro.util.validation import check_in_range
+
+_LOG = get_logger("runtime.buffers")
+
+#: shm segment name prefix; the crash-safety tests scan /dev/shm for it
+SEGMENT_PREFIX = "metaprep"
+
+#: recognized dataplane names, in documentation order (``auto`` resolves
+#: per engine: heap under serial, shared memory under process)
+DATAPLANE_NAMES = ("auto", "heap", "shared")
+
+_LO_DTYPE = np.dtype(np.uint64)
+_HI_DTYPE = np.dtype(np.uint64)
+_IDS_DTYPE = np.dtype(np.uint32)
+
+
+def _two_limb(k: int) -> bool:
+    return k > MAX_K_ONE_LIMB
+
+
+def block_nbytes(k: int, capacity: int) -> int:
+    """Payload bytes of a ``capacity``-tuple block: 12 or 20 per tuple,
+    exactly the paper's tuple accounting."""
+    per = (16 if _two_limb(k) else 8) + 4
+    return per * capacity
+
+
+@dataclass(frozen=True)
+class BlockDescriptor:
+    """Picklable wire format of a :class:`TupleBlock`.
+
+    Carries everything a worker needs to rebuild zero-copy views into
+    the backing segment: the segment name, the dtype layout (implied by
+    ``k``), the shape (``capacity``), and the byte offset of each
+    column.  ``segment`` is the empty string for capacity-0 blocks,
+    which need no backing at all.
+    """
+
+    segment: str
+    k: int
+    capacity: int
+    lo_offset: int
+    hi_offset: int  # -1 in one-limb mode
+    ids_offset: int
+    nbytes: int
+
+    @property
+    def two_limb(self) -> bool:
+        return self.hi_offset >= 0
+
+
+def _column_offsets(k: int, capacity: int) -> tuple:
+    """(lo, hi, ids) byte offsets of the columnar layout; hi is -1 in
+    one-limb mode.  Columns are contiguous and 4-byte aligned."""
+    lo_off = 0
+    if _two_limb(k):
+        hi_off = capacity * _LO_DTYPE.itemsize
+        ids_off = hi_off + capacity * _HI_DTYPE.itemsize
+    else:
+        hi_off = -1
+        ids_off = capacity * _LO_DTYPE.itemsize
+    return lo_off, hi_off, ids_off
+
+
+class TupleBlock:
+    """A columnar (k-mer limbs + read ids) buffer with explicit backing.
+
+    The three columns are parallel arrays over one contiguous buffer —
+    plain heap ndarrays or views into a shared-memory segment.  Stage
+    code reads and writes *views* (:meth:`view`, :meth:`write`,
+    :meth:`permute`); the buffer itself moves between processes as a
+    :class:`BlockDescriptor`, never as a pickled payload.
+    """
+
+    __slots__ = ("k", "capacity", "lo", "hi", "ids", "segment", "_shm", "__weakref__")
+
+    def __init__(
+        self,
+        k: int,
+        capacity: int,
+        lo: np.ndarray,
+        hi: np.ndarray | None,
+        ids: np.ndarray,
+        segment: str = "",
+        shm=None,
+    ) -> None:
+        check_in_range("k", k, 1, MAX_K_TWO_LIMB)
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.k = int(k)
+        self.capacity = int(capacity)
+        self.lo = lo
+        self.hi = hi
+        self.ids = ids
+        #: shared-memory segment name; "" for heap blocks
+        self.segment = segment
+        self._shm = shm
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.capacity
+
+    @property
+    def two_limb(self) -> bool:
+        return self.hi is not None
+
+    @property
+    def nbytes(self) -> int:
+        return block_nbytes(self.k, self.capacity)
+
+    @property
+    def shared(self) -> bool:
+        return bool(self.segment)
+
+    def descriptor(self) -> BlockDescriptor:
+        """The block's wire format (valid for shared blocks and for empty
+        blocks, which travel as backing-less descriptors)."""
+        if not self.segment and self.capacity > 0:
+            raise ValueError(
+                "heap-backed blocks have no cross-process descriptor; "
+                "pass the block object itself (serial engine) or allocate "
+                "from a SharedMemoryBufferPool"
+            )
+        lo_off, hi_off, ids_off = _column_offsets(self.k, self.capacity)
+        return BlockDescriptor(
+            segment=self.segment,
+            k=self.k,
+            capacity=self.capacity,
+            lo_offset=lo_off,
+            hi_offset=hi_off,
+            ids_offset=ids_off,
+            nbytes=self.nbytes,
+        )
+
+    def handle(self) -> "BlockHandle":
+        """What to put in an executor job payload: the descriptor for
+        shared/empty blocks, the block itself for heap blocks (which only
+        the serial engine may ship — same process, no pickling)."""
+        if self.segment or self.capacity == 0:
+            return self.descriptor()
+        return self
+
+    # ------------------------------------------------------------------
+    # stage-facing views and writes
+    # ------------------------------------------------------------------
+    def view(self, lo_idx: int = 0, hi_idx: int | None = None) -> KmerTuples:
+        """Zero-copy :class:`KmerTuples` over ``[lo_idx, hi_idx)``.
+
+        The returned tuple batch aliases the block's backing: mutating
+        the block changes the view and vice versa.
+        """
+        hi_idx = self.capacity if hi_idx is None else hi_idx
+        if not (0 <= lo_idx <= hi_idx <= self.capacity):
+            raise ValueError(
+                f"view [{lo_idx}, {hi_idx}) out of range for capacity "
+                f"{self.capacity}"
+            )
+        hi_col = self.hi[lo_idx:hi_idx] if self.hi is not None else None
+        return KmerTuples(
+            KmerArray(self.k, self.lo[lo_idx:hi_idx], hi_col),
+            self.ids[lo_idx:hi_idx],
+        )
+
+    def write(self, at: int, tuples: KmerTuples) -> int:
+        """Copy ``tuples`` into the block starting at ``at``; returns the
+        end position.  This is the dataplane's *one* copy per tuple —
+        the append into the exchange buffer."""
+        if tuples.k != self.k:
+            raise ValueError(f"k mismatch: block {self.k}, tuples {tuples.k}")
+        n = len(tuples)
+        end = at + n
+        if not (0 <= at and end <= self.capacity):
+            raise ValueError(
+                f"write [{at}, {end}) out of range for capacity {self.capacity}"
+            )
+        if n == 0:
+            return end
+        self.lo[at:end] = tuples.kmers.lo
+        if self.hi is not None:
+            self.hi[at:end] = tuples.kmers.hi
+        self.ids[at:end] = tuples.read_ids
+        return end
+
+    def permute(self, order: np.ndarray, length: int | None = None) -> None:
+        """Reorder the first ``length`` tuples in place by gather index
+        ``order`` (LocalSort's range-partition scatter, executed over the
+        shared backing)."""
+        length = self.capacity if length is None else length
+        if len(order) != length:
+            raise ValueError(
+                f"order has {len(order)} entries for length {length}"
+            )
+        self.lo[:length] = self.lo[:length][order]
+        if self.hi is not None:
+            self.hi[:length] = self.hi[:length][order]
+        self.ids[:length] = self.ids[:length][order]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = f"shm:{self.segment}" if self.segment else "heap"
+        return f"TupleBlock(k={self.k}, capacity={self.capacity}, {kind})"
+
+
+#: what job payloads carry: a descriptor (shared/empty) or, under the
+#: serial engine only, the heap block itself
+BlockHandle = Union[TupleBlock, BlockDescriptor]
+
+
+def _empty_block(k: int) -> TupleBlock:
+    hi = np.empty(0, dtype=_HI_DTYPE) if _two_limb(k) else None
+    return TupleBlock(
+        k, 0, np.empty(0, dtype=_LO_DTYPE), hi, np.empty(0, dtype=_IDS_DTYPE)
+    )
+
+
+def _views_over(buf, k: int, capacity: int, segment: str, shm=None) -> TupleBlock:
+    lo_off, hi_off, ids_off = _column_offsets(k, capacity)
+    lo = np.ndarray((capacity,), dtype=_LO_DTYPE, buffer=buf, offset=lo_off)
+    hi = (
+        np.ndarray((capacity,), dtype=_HI_DTYPE, buffer=buf, offset=hi_off)
+        if hi_off >= 0
+        else None
+    )
+    ids = np.ndarray((capacity,), dtype=_IDS_DTYPE, buffer=buf, offset=ids_off)
+    return TupleBlock(k, capacity, lo, hi, ids, segment=segment, shm=shm)
+
+
+def attach_block(descriptor: BlockDescriptor) -> TupleBlock:
+    """Attach read-write views to an existing segment (worker side).
+
+    Zero-copy: the views alias the creator's memory.  The attachment
+    owns no lifecycle — the segment's fd is closed immediately (the
+    mapping persists, per POSIX), and mapping ownership is handed to the
+    views themselves: the ``SharedMemory`` wrapper is stripped of its
+    mmap before it can be garbage-collected, so the mapping lives
+    exactly as long as the last array that aliases it (``memoryview ->
+    mmap`` base chain), never shorter.  The creating pool remains the
+    only unlinker, so workers cannot leak segments, only mappings, and
+    those die with the views.
+    """
+    if descriptor.capacity == 0 or not descriptor.segment:
+        return _empty_block(descriptor.k)
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=descriptor.segment)
+    buf = shm.buf
+    # Detach the mapping from the wrapper: SharedMemory.__del__ would
+    # otherwise unmap it the moment the (often temporary) wrapper dies,
+    # leaving any retained views dangling (a segfault, not an exception).
+    shm._buf = None
+    shm._mmap = None
+    fd = getattr(shm, "_fd", -1)
+    if fd >= 0:  # close the fd now; the mmap stays valid without it
+        os.close(fd)
+        shm._fd = -1
+    return _views_over(
+        buf, descriptor.k, descriptor.capacity, descriptor.segment
+    )
+
+
+@contextmanager
+def open_block(handle: BlockHandle) -> Iterator[TupleBlock]:
+    """Resolve a job-payload handle into a usable block.
+
+    A :class:`TupleBlock` handle (serial engine, heap backing) passes
+    through untouched; a :class:`BlockDescriptor` is attached for the
+    duration of the ``with`` body.  Exiting drops this frame's column
+    references; the mapping is reclaimed when the last view dies.
+    """
+    if isinstance(handle, TupleBlock):
+        yield handle
+        return
+    block = attach_block(handle)
+    try:
+        yield block
+    finally:
+        # Drop our column references eagerly.  Callers may legitimately
+        # retain views — attach_block hands mapping ownership to the
+        # arrays — so the mapping itself is refcount-reclaimed when the
+        # last view dies.
+        block.lo = block.ids = block.hi = None  # type: ignore[assignment]
+        block._shm = None
+
+
+# ----------------------------------------------------------------------
+# pools
+# ----------------------------------------------------------------------
+class BufferPool:
+    """Allocator interface shared by both backings."""
+
+    kind: str = "abstract"
+
+    def allocate(self, k: int, capacity: int) -> TupleBlock:
+        """A block for ``capacity`` tuples of ``k``-mers.  Contents are
+        uninitialized; the caller's offset table covers every slot."""
+        raise NotImplementedError
+
+    def release(self, block: TupleBlock) -> None:
+        """Return a block to the pool.  The block's views become invalid;
+        shared segments go to the free list for reuse."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release every segment this pool ever created.  Idempotent;
+        called from the pipeline's ``finally``."""
+
+    def __enter__(self) -> "BufferPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class HeapBufferPool(BufferPool):
+    """Plain in-process ndarray backing (the serial engine's dataplane)."""
+
+    kind = "heap"
+
+    def allocate(self, k: int, capacity: int) -> TupleBlock:
+        if capacity == 0:
+            return _empty_block(k)
+        hi = np.empty(capacity, dtype=_HI_DTYPE) if _two_limb(k) else None
+        return TupleBlock(
+            k,
+            capacity,
+            np.empty(capacity, dtype=_LO_DTYPE),
+            hi,
+            np.empty(capacity, dtype=_IDS_DTYPE),
+        )
+
+    def release(self, block: TupleBlock) -> None:
+        block.lo = block.ids = block.hi = None  # type: ignore[assignment]
+
+
+def _sweep_segments(segments: Dict[str, object]) -> None:
+    """Unlink-and-close every segment; tolerant of partial teardown.
+
+    Unlink comes first — it only needs the name and must succeed even
+    when live numpy views prevent closing the mapping (``BufferError``).
+    """
+    for name, shm in list(segments.items()):
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        try:
+            shm.close()
+        except BufferError:
+            # a view still aliases the mapping; the memory is reclaimed
+            # when the view dies, and the name is already unlinked
+            _LOG.debug("segment %s closed late (live views at sweep)", name)
+        segments.pop(name, None)
+
+
+class SharedMemoryBufferPool(BufferPool):
+    """Pooling allocator over ``multiprocessing.shared_memory`` segments.
+
+    Segments are sized to the next power of two and recycled through a
+    size-keyed free list, so a multipass run touches the allocator once
+    per (size class, concurrent block) rather than once per pass.  Every
+    created segment is tracked until :meth:`close` unlinks it; an
+    abandoned pool is swept by ``weakref.finalize`` at GC/interpreter
+    exit, and a hard-killed process is covered by the resource tracker.
+    """
+
+    kind = "shared"
+
+    #: smallest segment, so tiny blocks still pool by size class
+    MIN_SEGMENT_BYTES = 4096
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, object] = {}  # name -> SharedMemory (owned)
+        self._free: Dict[int, List[str]] = {}  # size -> reusable names
+        self._seq = 0
+        self.segments_created = 0
+        self.segments_reused = 0
+        self._finalizer = weakref.finalize(self, _sweep_segments, self._segments)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _size_class(nbytes: int) -> int:
+        size = SharedMemoryBufferPool.MIN_SEGMENT_BYTES
+        while size < nbytes:
+            size <<= 1
+        return size
+
+    def _new_segment(self, size: int):
+        from multiprocessing import shared_memory
+
+        while True:
+            name = f"{SEGMENT_PREFIX}-{os.getpid()}-{self._seq}"
+            self._seq += 1
+            try:
+                shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+            except FileExistsError:
+                continue  # stale name from an unrelated process; next seq
+            self._segments[shm.name if hasattr(shm, "name") else name] = shm
+            self.segments_created += 1
+            return shm
+
+    # ------------------------------------------------------------------
+    def allocate(self, k: int, capacity: int) -> TupleBlock:
+        if capacity == 0:
+            return _empty_block(k)
+        size = self._size_class(block_nbytes(k, capacity))
+        free = self._free.get(size)
+        if free:
+            name = free.pop()
+            shm = self._segments[name]
+            self.segments_reused += 1
+        else:
+            shm = self._new_segment(size)
+        return _views_over(shm.buf, k, capacity, shm.name, shm=shm)
+
+    def release(self, block: TupleBlock) -> None:
+        name = block.segment
+        block.lo = block.ids = block.hi = None  # type: ignore[assignment]
+        block._shm = None
+        if not name or name not in self._segments:
+            return
+        size = self._segments[name].size
+        self._free.setdefault(size, []).append(name)
+
+    def close(self) -> None:
+        self._free.clear()
+        self._finalizer()  # runs _sweep_segments exactly once per pool life
+        # re-arm for pools reused after close (tests); dict is empty now
+        self._finalizer = weakref.finalize(self, _sweep_segments, self._segments)
+
+    @property
+    def live_segments(self) -> int:
+        return len(self._segments)
+
+
+def create_buffer_pool(dataplane: str = "auto", prefer_shared: bool = False) -> BufferPool:
+    """Instantiate the dataplane backing for a run.
+
+    ``auto`` resolves by engine: shared memory when the executor prefers
+    it (the process engine), heap otherwise.  ``shared`` forces the
+    shared-memory backing under any engine (the differential tests use
+    this to probe the backing without a pool of workers); ``heap``
+    forces plain ndarrays and is valid only where no process boundary
+    exists.
+    """
+    if dataplane not in DATAPLANE_NAMES:
+        raise ValueError(
+            f"unknown dataplane {dataplane!r}; expected one of {DATAPLANE_NAMES}"
+        )
+    if dataplane == "heap" and prefer_shared:
+        raise ValueError(
+            "dataplane='heap' cannot carry tuples across a process boundary; "
+            "use 'auto' or 'shared' with the process engine"
+        )
+    if dataplane == "shared" or (dataplane == "auto" and prefer_shared):
+        return SharedMemoryBufferPool()
+    return HeapBufferPool()

@@ -98,6 +98,40 @@ def custom_all_to_all(
     return recv, stats
 
 
+def block_exchange_stats(counts: np.ndarray, tuple_bytes: int) -> AllToAllStats:
+    """Stats for a zero-copy block exchange, from counts alone.
+
+    Under the TupleBlock dataplane no payloads cross the wire — senders
+    write tuples straight into offset-described views of the receiver's
+    preallocated segment, and the (P, P) tuple-count matrix is known
+    up front from the index tables.  This reproduces exactly the
+    accounting :func:`custom_all_to_all` would produce for payloads of
+    ``counts[p, d] * tuple_bytes`` bytes, stage for stage, so the
+    timing model and the differential tests see identical comm stats
+    regardless of transport.
+    """
+    counts = np.asarray(counts)
+    if counts.ndim != 2 or counts.shape[0] != counts.shape[1]:
+        raise ValueError(f"counts must be (P, P), got shape {counts.shape}")
+    if tuple_bytes <= 0:
+        raise ValueError(f"tuple_bytes must be positive, got {tuple_bytes}")
+    n_tasks = counts.shape[0]
+    stats = AllToAllStats(n_tasks=n_tasks)
+    stats.bytes_matrix = counts.astype(np.int64) * tuple_bytes
+    schedule = all_to_all_schedule(n_tasks)
+    stats.n_stages = len(schedule)
+    for pairs in schedule:
+        stage_max = 0
+        for sender, receiver in pairs:
+            size = int(stats.bytes_matrix[sender, receiver])
+            if sender != receiver:
+                stats.wire_bytes_total += size
+                stats.n_messages += 1
+                stage_max = max(stage_max, size)
+        stats.max_message_bytes_per_stage.append(stage_max)
+    return stats
+
+
 def broadcast(payload, n_tasks: int, nbytes_of: Callable[[object], int]) -> Tuple[List[object], int]:
     """Rank-0 broadcast (used for the final global component list,
     section 3.6).  Binomial-tree accounting: ceil(log2 P) rounds, each

@@ -133,4 +133,5 @@ class TestRunnerIntegration:
             "determinism",
             "purity",
             "overflow",
+            "resources",
         }

@@ -8,10 +8,15 @@ from repro.core.checkpoint import (
     CheckpointMismatch,
     CheckpointStore,
     config_fingerprint,
+    load_block_spill,
     prune_checkpoints,
+    save_block_spill,
 )
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import MetaPrep
+from repro.kmers.codec import KmerArray
+from repro.kmers.engine import KmerTuples
+from repro.runtime.buffers import HeapBufferPool, SharedMemoryBufferPool
 
 
 class TestStore:
@@ -230,6 +235,69 @@ class TestExecutorResume:
             result.partition.parent, reference.partition.parent
         )
         assert not CheckpointStore(tmp_path).exists()
+
+
+def _filled_block(pool, k, n, seed=0):
+    rng = np.random.default_rng(seed)
+    lo = rng.integers(0, 2**63, size=n, dtype=np.uint64)
+    hi = rng.integers(0, 2**63, size=n, dtype=np.uint64) if k > 31 else None
+    ids = rng.integers(0, 2**31, size=n, dtype=np.uint32)
+    block = pool.allocate(k, n)
+    block.write(0, KmerTuples(KmerArray(k, lo, hi), ids))
+    return block
+
+
+class TestBlockSpill:
+    """The spill format is backing-agnostic: only the bytes are
+    contractual, so every (writer backing, reader backing) pairing must
+    round-trip bit-identically."""
+
+    @pytest.mark.parametrize("k", [21, 33])
+    @pytest.mark.parametrize("src", ["heap", "shared"])
+    @pytest.mark.parametrize("dst", ["heap", "shared"])
+    def test_roundtrip_across_backings(self, tmp_path, k, src, dst):
+        pools = {
+            "heap": HeapBufferPool(),
+            "shared": SharedMemoryBufferPool(),
+        }
+        try:
+            block = _filled_block(pools[src], k, 40)
+            path = tmp_path / "spill.bin"
+            save_block_spill(path, block)
+            back = load_block_spill(path, pools[dst])
+            assert back.capacity == 40
+            a, b = block.view(0, 40), back.view(0, 40)
+            assert np.array_equal(a.kmers.lo, b.kmers.lo)
+            if k > 31:
+                assert np.array_equal(a.kmers.hi, b.kmers.hi)
+            assert np.array_equal(a.read_ids, b.read_ids)
+        finally:
+            pools["shared"].close()
+
+    def test_partial_length_spills_live_prefix(self, tmp_path):
+        pool = HeapBufferPool()
+        block = _filled_block(pool, 21, 40)
+        path = tmp_path / "spill.bin"
+        save_block_spill(path, block, length=12)
+        back = load_block_spill(path, pool)
+        assert back.capacity == 12
+        a, b = block.view(0, 12), back.view(0, 12)
+        assert np.array_equal(a.kmers.lo, b.kmers.lo)
+        assert np.array_equal(a.read_ids, b.read_ids)
+
+    def test_spill_publish_is_atomic(self, tmp_path):
+        block = _filled_block(HeapBufferPool(), 21, 8)
+        path = tmp_path / "spill.bin"
+        save_block_spill(path, block)
+        assert path.exists()
+        assert not path.with_suffix(".tmp").exists()
+
+    def test_empty_block_roundtrip(self, tmp_path):
+        pool = HeapBufferPool()
+        path = tmp_path / "spill.bin"
+        save_block_spill(path, pool.allocate(21, 0))
+        back = load_block_spill(path, pool)
+        assert back.capacity == 0
 
 
 class TestPruneCheckpoints:

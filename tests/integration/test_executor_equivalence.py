@@ -1,8 +1,9 @@
 """Differential test suite: the ``process`` engine must be bit-identical
-to the ``serial`` reference engine.
+to the ``serial`` reference engine, and the shared-memory dataplane must
+be bit-identical to the heap dataplane.
 
 For every grid point (P, T, n_passes, k in {21, 33}, LocalCC-Opt on/off)
-the two engines run the same dataset through the same prebuilt index, and
+the engines run the same dataset through the same prebuilt index, and
 the partition labels, the component summary, and *every* integer counter
 in :class:`~repro.runtime.work.RunWork` are compared for exact equality.
 Any scheduling leak — a reordered union, a dropped tuple, a miscounted
@@ -44,12 +45,13 @@ GRID = [
 ]
 
 
-def _run(tiny_hg, indexes, grid_point, executor):
+def _run(tiny_hg, indexes, grid_point, executor, dataplane="auto"):
     cfg = PipelineConfig(
         m=M,
         write_outputs=False,
         executor=executor,
         max_workers=2,
+        dataplane=dataplane,
         **grid_point,
     )
     return MetaPrep(cfg).run(tiny_hg.units, index=indexes[grid_point["k"]])
@@ -107,6 +109,22 @@ class TestBitIdentity:
         assert (
             serial.projected.total_seconds == process.projected.total_seconds
         )
+
+    def test_shared_dataplane_matches_heap(self, tiny_hg, indexes, grid_point):
+        """Third leg of the differential: the serial engine with the
+        shared-memory dataplane forced on.  This isolates the buffer
+        backing from the executor — any byte the shm path moves
+        differently from plain ndarrays breaks bit-identity here."""
+        heap = _run(tiny_hg, indexes, grid_point, "serial", dataplane="heap")
+        shared = _run(
+            tiny_hg, indexes, grid_point, "serial", dataplane="shared"
+        )
+        assert np.array_equal(heap.partition.labels, shared.partition.labels)
+        assert np.array_equal(heap.partition.parent, shared.partition.parent)
+        assert heap.partition.summary == shared.partition.summary
+        assert_runwork_identical(heap.work, shared.work)
+        assert heap.sort_stats == shared.sort_stats
+        assert heap.cc_stats == shared.cc_stats
 
 
 class TestStaticChecksActiveInWorkers:

@@ -1,6 +1,6 @@
 """Property tests for the execution backends.
 
-Two properties, probed over seeded-random read sets:
+Three properties, probed over seeded-random read sets:
 
 1. **Engine invariance** — the executor choice is invisible in the
    output: for any input, ``partition_from_parent`` produces the same
@@ -8,13 +8,23 @@ Two properties, probed over seeded-random read sets:
 2. **Loud failure** — a worker that raises, or dies outright, mid-pass
    surfaces a clear error on the driver; it never hangs and never yields
    a silently wrong partition.
+3. **No residue** — a crashed pass leaks nothing: every shared-memory
+   segment the dataplane created is unlinked by the pipeline's
+   ``finally`` sweep, so ``/dev/shm`` is clean and the interpreter exits
+   without resource-tracker leak warnings.
 """
 
 import multiprocessing as mp
 import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
 
 import numpy as np
 import pytest
+
+from repro.runtime.buffers import SEGMENT_PREFIX
 
 import repro.core.pipeline as pipeline_mod
 from repro.core.config import PipelineConfig
@@ -140,3 +150,104 @@ class TestWorkerFailure:
         )
         with pytest.raises(RuntimeError, match="injected worker failure"):
             _run(units, index, "serial")
+
+
+# ---- crash residue ----------------------------------------------------
+
+
+def _our_shm_segments():
+    """Names of this process's dataplane segments still in ``/dev/shm``."""
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        pytest.skip("no /dev/shm on this platform")
+    prefix = f"{SEGMENT_PREFIX}-{os.getpid()}-"
+    return sorted(p.name for p in shm_dir.iterdir() if p.name.startswith(prefix))
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="requires fork start method")
+class TestCrashResidue:
+    @pytest.fixture()
+    def units_and_index(self, tmp_path):
+        units = [_random_unit(tmp_path, seed=9)]
+        return units, index_create(units, k=21, m=4, n_chunks=8)
+
+    def test_worker_exception_leaves_no_shm_segments(
+        self, units_and_index, monkeypatch
+    ):
+        units, index = units_and_index
+        monkeypatch.setattr(
+            pipeline_mod, "_kmergen_chunk_task", _raise_in_worker
+        )
+        with pytest.raises(RuntimeError, match="injected worker failure"):
+            _run(units, index, "process")
+        assert _our_shm_segments() == []
+
+    def test_worker_death_leaves_no_shm_segments(
+        self, units_and_index, monkeypatch
+    ):
+        units, index = units_and_index
+        monkeypatch.setattr(
+            pipeline_mod, "_kmergen_chunk_task", _die_in_worker
+        )
+        with pytest.raises(ExecutorError, match="worker died"):
+            _run(units, index, "process")
+        assert _our_shm_segments() == []
+
+    def test_clean_run_leaves_no_shm_segments(self, units_and_index):
+        units, index = units_and_index
+        _run(units, index, "process")
+        assert _our_shm_segments() == []
+
+    def test_crashed_run_exits_without_tracker_warning(self, tmp_path):
+        """The resource tracker reports leaks only at interpreter exit,
+        so the whole crash scenario runs in a subprocess and the property
+        is asserted on its stderr."""
+        script = textwrap.dedent(
+            """
+            import os
+
+            import repro.core.pipeline as pipeline_mod
+            from repro.core.config import PipelineConfig
+            from repro.core.pipeline import MetaPrep
+            from repro.index.create import index_create
+            from repro.runtime.executor import ExecutorError
+
+            _ORIGINAL = pipeline_mod._kmergen_chunk_task
+
+            def _die(job):
+                if job.chunk == 2:
+                    os._exit(23)
+                return _ORIGINAL(job)
+
+            pipeline_mod._kmergen_chunk_task = _die
+
+            units = [os.environ["CRASH_TEST_UNIT"]]
+            index = index_create(units, k=21, m=4, n_chunks=8)
+            cfg = PipelineConfig(
+                k=21, m=4, n_tasks=2, n_threads=2, n_passes=2,
+                write_outputs=False, executor="process", max_workers=2,
+            )
+            try:
+                MetaPrep(cfg).run(units, index=index)
+            except ExecutorError:
+                pass
+            else:
+                raise SystemExit("expected the injected crash")
+            """
+        )
+        unit = _random_unit(tmp_path, seed=9)
+        env = dict(os.environ, CRASH_TEST_UNIT=unit)
+        src = Path(pipeline_mod.__file__).resolve().parents[2]
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [str(src), env.get("PYTHONPATH", "")])
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+            cwd=tmp_path,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "leaked shared_memory" not in result.stderr, result.stderr

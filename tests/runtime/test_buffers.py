@@ -1,0 +1,292 @@
+"""Unit tests for the zero-copy columnar dataplane.
+
+Both backings get the same block-semantics battery (write/view/permute
+aliasing), the descriptor is pinned as a constant-size wire format, and
+the shared-memory pool's lifecycle guarantees — reuse, unlink-on-close,
+finalizer sweep — are asserted against ``/dev/shm`` directly.
+"""
+
+import gc
+import pickle
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.kmers.codec import KmerArray
+from repro.kmers.engine import KmerTuples
+from repro.runtime.buffers import (
+    BlockDescriptor,
+    HeapBufferPool,
+    SharedMemoryBufferPool,
+    TupleBlock,
+    attach_block,
+    block_nbytes,
+    create_buffer_pool,
+    open_block,
+)
+
+
+def random_tuples(rng, k, n):
+    lo = rng.integers(0, 2**63, size=n, dtype=np.uint64)
+    hi = rng.integers(0, 2**63, size=n, dtype=np.uint64) if k > 31 else None
+    ids = rng.integers(0, 2**31, size=n, dtype=np.uint32)
+    return KmerTuples(KmerArray(k, lo, hi), ids)
+
+
+def assert_tuples_equal(a, b):
+    assert np.array_equal(a.kmers.lo, b.kmers.lo)
+    assert (a.kmers.hi is None) == (b.kmers.hi is None)
+    if a.kmers.hi is not None:
+        assert np.array_equal(a.kmers.hi, b.kmers.hi)
+    assert np.array_equal(a.read_ids, b.read_ids)
+
+
+@pytest.fixture(params=["heap", "shared"])
+def pool(request):
+    p = HeapBufferPool() if request.param == "heap" else SharedMemoryBufferPool()
+    yield p
+    p.close()
+
+
+class TestBlockSemantics:
+    @pytest.mark.parametrize("k", [15, 31, 33])
+    def test_write_view_roundtrip(self, pool, k):
+        rng = np.random.default_rng(0)
+        tuples = random_tuples(rng, k, 50)
+        block = pool.allocate(k, 50)
+        assert block.write(0, tuples) == 50
+        assert_tuples_equal(block.view(0, 50), tuples)
+
+    def test_partial_writes_compose(self, pool):
+        rng = np.random.default_rng(1)
+        a, b = random_tuples(rng, 21, 10), random_tuples(rng, 21, 7)
+        block = pool.allocate(21, 17)
+        assert block.write(0, a) == 10
+        assert block.write(10, b) == 17
+        assert_tuples_equal(block.view(0, 10), a)
+        assert_tuples_equal(block.view(10, 17), b)
+
+    def test_view_aliases_backing(self, pool):
+        rng = np.random.default_rng(2)
+        block = pool.allocate(21, 5)
+        block.write(0, random_tuples(rng, 21, 5))
+        view = block.view(0, 5)
+        view.read_ids[2] = 99
+        assert block.view(2, 3).read_ids[0] == 99
+
+    def test_permute_matches_take(self, pool):
+        rng = np.random.default_rng(3)
+        tuples = random_tuples(rng, 33, 20)
+        block = pool.allocate(33, 20)
+        block.write(0, tuples)
+        order = rng.permutation(20)
+        block.permute(order, 20)
+        assert_tuples_equal(block.view(0, 20), tuples.take(order))
+
+    def test_permute_prefix_only(self, pool):
+        rng = np.random.default_rng(4)
+        tuples = random_tuples(rng, 21, 10)
+        block = pool.allocate(21, 10)
+        block.write(0, tuples)
+        block.permute(np.array([2, 0, 1]), 3)
+        assert_tuples_equal(block.view(0, 3), tuples.take([2, 0, 1]))
+        assert_tuples_equal(block.view(3, 10), tuples.take(range(3, 10)))
+
+    def test_write_out_of_range_rejected(self, pool):
+        rng = np.random.default_rng(5)
+        block = pool.allocate(21, 4)
+        with pytest.raises(ValueError, match="out of range"):
+            block.write(2, random_tuples(rng, 21, 3))
+
+    def test_k_mismatch_rejected(self, pool):
+        rng = np.random.default_rng(6)
+        block = pool.allocate(21, 4)
+        with pytest.raises(ValueError, match="k mismatch"):
+            block.write(0, random_tuples(rng, 15, 2))
+
+    def test_capacity_zero_block(self, pool):
+        block = pool.allocate(21, 0)
+        assert len(block) == 0
+        assert len(block.view(0, 0)) == 0
+        # empty blocks always have a descriptor (no backing to name)
+        assert block.descriptor().segment == ""
+
+
+class TestDescriptor:
+    def test_heap_block_has_no_descriptor(self):
+        block = HeapBufferPool().allocate(21, 4)
+        with pytest.raises(ValueError, match="no cross-process descriptor"):
+            block.descriptor()
+        assert block.handle() is block
+
+    def test_shared_handle_is_descriptor(self):
+        pool = SharedMemoryBufferPool()
+        try:
+            block = pool.allocate(21, 4)
+            handle = block.handle()
+            assert isinstance(handle, BlockDescriptor)
+            assert handle.segment == block.segment
+        finally:
+            pool.close()
+
+    def test_descriptor_size_independent_of_capacity(self):
+        pool = SharedMemoryBufferPool()
+        try:
+            small = pool.allocate(33, 1).descriptor()
+            large = pool.allocate(33, 100_000).descriptor()
+            # a few extra bytes for the wider ints, never the payload
+            assert len(pickle.dumps(large)) <= len(pickle.dumps(small)) + 32
+            assert len(pickle.dumps(large)) < 512
+        finally:
+            pool.close()
+
+    @pytest.mark.parametrize("k", [15, 33])
+    def test_attach_sees_creator_bytes(self, k):
+        rng = np.random.default_rng(7)
+        pool = SharedMemoryBufferPool()
+        try:
+            tuples = random_tuples(rng, k, 30)
+            block = pool.allocate(k, 30)
+            block.write(0, tuples)
+            attached = attach_block(block.descriptor())
+            assert_tuples_equal(attached.view(0, 30), tuples)
+            # and writes flow back: it is the same memory
+            attached.ids[0] = 12345
+            assert block.ids[0] == 12345
+        finally:
+            pool.close()
+
+    def test_retained_view_outlives_attachment_wrapper(self):
+        """Mapping ownership belongs to the views: a view taken from a
+        temporary attachment must stay readable after the wrapper (and a
+        GC pass) are gone — dangling here is a segfault, not an error."""
+        rng = np.random.default_rng(9)
+        pool = SharedMemoryBufferPool()
+        try:
+            tuples = random_tuples(rng, 21, 1000)
+            block = pool.allocate(21, 1000)
+            block.write(0, tuples)
+            view = attach_block(block.descriptor()).view(0, 1000)
+            gc.collect()
+            assert_tuples_equal(view, tuples)
+        finally:
+            pool.close()
+
+    def test_open_block_passes_heap_through(self):
+        block = HeapBufferPool().allocate(21, 4)
+        with open_block(block) as opened:
+            assert opened is block
+
+    def test_open_block_attaches_descriptor(self):
+        rng = np.random.default_rng(8)
+        pool = SharedMemoryBufferPool()
+        try:
+            tuples = random_tuples(rng, 21, 6)
+            block = pool.allocate(21, 6)
+            block.write(0, tuples)
+            with open_block(block.descriptor()) as opened:
+                assert opened is not block
+                assert_tuples_equal(opened.view(0, 6), tuples)
+            assert opened.lo is None  # columns dropped on exit
+        finally:
+            pool.close()
+
+
+def _shm_names():
+    shm = Path("/dev/shm")
+    if not shm.is_dir():
+        pytest.skip("no /dev/shm on this platform")
+    return {p.name for p in shm.iterdir() if p.name.startswith("metaprep-")}
+
+
+class TestSharedMemoryPool:
+    def test_size_class_is_power_of_two(self):
+        for nbytes in [1, 4095, 4096, 4097, 100_000]:
+            size = SharedMemoryBufferPool._size_class(nbytes)
+            assert size >= max(nbytes, SharedMemoryBufferPool.MIN_SEGMENT_BYTES)
+            assert size & (size - 1) == 0
+
+    def test_release_reuses_segment(self):
+        pool = SharedMemoryBufferPool()
+        try:
+            a = pool.allocate(21, 100)
+            name = a.segment
+            pool.release(a)
+            b = pool.allocate(21, 90)  # same size class
+            assert b.segment == name
+            assert pool.segments_created == 1
+            assert pool.segments_reused == 1
+            assert pool.live_segments == 1
+        finally:
+            pool.close()
+
+    def test_close_unlinks_everything(self):
+        pool = SharedMemoryBufferPool()
+        blocks = [pool.allocate(21, 50) for _ in range(3)]
+        names = {b.segment for b in blocks}
+        assert names <= _shm_names()
+        for b in blocks:
+            pool.release(b)
+        pool.close()
+        assert not (names & _shm_names())
+        assert pool.live_segments == 0
+        pool.close()  # idempotent
+
+    def test_close_with_live_views_still_unlinks(self):
+        pool = SharedMemoryBufferPool()
+        block = pool.allocate(21, 50)
+        name = block.segment
+        view = block.view(0, 10)  # keeps the mapping alive through close
+        pool.close()
+        assert name not in _shm_names()
+        assert view.read_ids.shape == (10,)  # mapping survives unlink
+
+    def test_abandoned_pool_swept_by_finalizer(self):
+        pool = SharedMemoryBufferPool()
+        name = pool.allocate(21, 50).segment
+        assert name in _shm_names()
+        del pool
+        gc.collect()
+        assert name not in _shm_names()
+
+
+class TestCreateBufferPool:
+    def test_auto_resolves_by_engine(self):
+        assert create_buffer_pool("auto", prefer_shared=False).kind == "heap"
+        with create_buffer_pool("auto", prefer_shared=True) as p:
+            assert p.kind == "shared"
+
+    def test_shared_forced_anywhere(self):
+        with create_buffer_pool("shared", prefer_shared=False) as p:
+            assert p.kind == "shared"
+
+    def test_heap_with_process_engine_rejected(self):
+        with pytest.raises(ValueError, match="process boundary"):
+            create_buffer_pool("heap", prefer_shared=True)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataplane"):
+            create_buffer_pool("mmap")
+
+
+class TestBlockNbytes:
+    def test_paper_tuple_accounting(self):
+        # 12 bytes one-limb (8 key + 4 id), 20 bytes two-limb (16 + 4)
+        assert block_nbytes(27, 10) == 120
+        assert block_nbytes(33, 10) == 200
+
+    def test_block_reports_nbytes(self):
+        assert HeapBufferPool().allocate(27, 10).nbytes == 120
+
+
+class TestConstruction:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TupleBlock(
+                21,
+                -1,
+                np.empty(0, np.uint64),
+                None,
+                np.empty(0, np.uint32),
+            )
