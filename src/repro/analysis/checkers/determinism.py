@@ -21,8 +21,13 @@ result-affecting module consults a nondeterministic source.  Three rules:
 Scope: MP201/MP203 apply to the result-affecting directories below;
 timing/perf machinery (``perf/``, ``runtime/``, ``util/``) and the
 service layer (wall-clock job timestamps are part of *its* contract) are
-deliberately outside.  MP202 applies to the whole package — an unseeded
-RNG anywhere is a reproducibility hazard.
+deliberately outside.  ``telemetry/`` *is* in scope even though it is
+observability-only: its spans must stay on the monotonic timeline (a
+wall-clock read there would silently break cross-process span merging
+and re-introduce nondeterministic content into exported artifacts), and
+the monotonic sources it is built on are exactly the
+:data:`MONOTONIC_ALLOWED` allowlist.  MP202 applies to the whole
+package — an unseeded RNG anywhere is a reproducibility hazard.
 """
 
 from __future__ import annotations
@@ -40,7 +45,9 @@ from repro.analysis.checkers.common import (
     walk_scope,
 )
 
-#: modules whose behaviour flows into partition/assembly results
+#: modules whose behaviour flows into partition/assembly results, plus
+#: ``telemetry/`` whose span timeline must stay monotonic (see module
+#: docstring)
 RESULT_AFFECTING_SCOPES = (
     "kmers/",
     "sort/",
@@ -49,6 +56,23 @@ RESULT_AFFECTING_SCOPES = (
     "core/",
     "seqio/",
     "assembly/",
+    "telemetry/",
+)
+
+#: monotonic measurement clocks MP201 deliberately allows — the clocks
+#: the telemetry spool timeline is defined over (CLOCK_MONOTONIC, shared
+#: across processes on one host).  Kept as an explicit allowlist so the
+#: trip/pass fixtures can pin the split; every entry here must stay
+#: absent from :data:`WALL_CLOCK`.
+MONOTONIC_ALLOWED = frozenset(
+    {
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+    }
 )
 
 #: wall-clock sources (monotonic clocks are deliberately absent)

@@ -15,6 +15,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.cc.dsf import DisjointSetForest
 from repro.kmers.engine import KmerTuples
 from repro.kmers.filter import FrequencyFilter
@@ -127,6 +128,7 @@ def fold_block_partitions(
     """
     stats = LocalCCStats()
     edges_by_thread = np.zeros(len(counts), dtype=np.int64)
+    retries = 0
     start = 0
     for t, count in enumerate(counts):
         end = start + int(count)
@@ -135,7 +137,12 @@ def fold_block_partitions(
         )
         stats.merge(part_stats)
         edges_by_thread[t] = part_stats.n_edges
+        retries += max(0, part_stats.n_iterations - 1)
         start = end
+    if telemetry.enabled():
+        telemetry.add_counter("cc.unions", stats.n_unions)
+        telemetry.add_counter("cc.find_steps", stats.n_find_steps)
+        telemetry.add_counter("cc.retries", retries)
     return stats, edges_by_thread
 
 

@@ -8,6 +8,7 @@ Subcommands::
                      --k 27 --tasks 4 --threads 8 --passes 2
     metaprep assemble --fastq parts/lc_p0_t0.fastq     # MiniAssembler
     metaprep check    --strict                         # static analysis gate
+    metaprep trace   runs/tele/                        # inspect telemetry
 
 Service verbs (the partition job service; see :mod:`repro.service`)::
 
@@ -89,6 +90,8 @@ def cmd_run(args) -> int:
         write_outputs=args.out is not None,
         executor=args.executor,
         max_workers=args.workers,
+        dataplane=args.dataplane,
+        telemetry_dir=args.telemetry,
     )
     result = MetaPrep(config).run(_units_from_args(args), output_dir=args.out)
     print(format_partition_summary(result.partition.summary))
@@ -102,8 +105,53 @@ def cmd_run(args) -> int:
             f"T={args.threads}, S={result.n_passes})",
         )
     )
+    if result.telemetry is not None:
+        from repro.core.report import format_gap_report
+        from repro.telemetry.compare import compare_measured_projected
+
+        print()
+        print(format_gap_report(compare_measured_projected(result.telemetry)))
+        if args.telemetry:
+            print(f"telemetry artifacts written under {args.telemetry}")
     if args.out:
         print(f"\npartitions written under {args.out}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Inspect a persisted telemetry run: re-export the Perfetto trace
+    and print the measured-vs-projected gap table."""
+    from pathlib import Path
+
+    from repro.core.report import format_gap_report, format_table
+    from repro.telemetry.collect import RUN_FILENAME, RunTelemetry
+    from repro.telemetry.compare import compare_measured_projected
+    from repro.telemetry.exporters import TRACE_FILENAME, write_measured_trace
+
+    run_dir = Path(args.run)
+    record = run_dir / RUN_FILENAME if run_dir.is_dir() else run_dir
+    if not record.is_file():
+        print(f"metaprep trace: no {RUN_FILENAME} at {run_dir}", file=sys.stderr)
+        return 2
+    run = RunTelemetry.load(record)
+    out = Path(args.out) if args.out else record.parent / TRACE_FILENAME
+    n_events = write_measured_trace(run, out)
+    print(
+        f"{record}: {len(run.spans)} spans over tasks {run.tasks_seen()}; "
+        f"{n_events} trace events -> {out}"
+    )
+    counters = run.counter_totals()
+    if counters:
+        print()
+        print(
+            format_table(
+                ["counter", "total"],
+                [[name, v] for name, v in counters.items()],
+            )
+        )
+    if run.projected is not None:
+        print()
+        print(format_gap_report(compare_measured_projected(run)))
     return 0
 
 
@@ -445,8 +493,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --executor process (default: the CPUs "
         "available to this process per its affinity mask)",
     )
+    p.add_argument(
+        "--dataplane",
+        default="auto",
+        choices=("auto", "heap", "shared"),
+        help="tuple-buffer backing: heap ndarrays, shared-memory "
+        "segments, or auto (pick per executor)",
+    )
+    p.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="DIR",
+        help="collect run telemetry and write the artifacts (Perfetto "
+        "trace, metrics snapshot, Prometheus textfile) under DIR",
+    )
     _add_common(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "trace", help="export/inspect a run's collected telemetry"
+    )
+    p.add_argument(
+        "run",
+        help="telemetry directory of a previous run (or its telemetry.json)",
+    )
+    p.add_argument("--out", default=None, help="Perfetto trace output path")
+    _add_common(p)
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
         "check", help="run the invariant-checking static analysis suite"

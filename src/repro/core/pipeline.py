@@ -60,6 +60,9 @@ from repro.index.offsets import (
 from repro.index.passplan import PassPlan, passes_for_memory_budget, plan_passes
 from repro.kmers.engine import enumerate_canonical_kmers
 from repro.kmers.filter import FrequencyFilter
+from repro import telemetry
+from repro.telemetry.collect import TelemetryCollector, RunTelemetry
+from repro.telemetry.runtime import TelemetrySettings
 from repro.runtime.buffers import (
     BlockHandle,
     BufferPool,
@@ -141,6 +144,9 @@ class _WorkerContext:
     n_threads: int
     kmer_filter: FrequencyFilter
     radix_skip_constant: bool
+    #: spool settings when the run collects telemetry; workers activate
+    #: the thread-local emitter from this on first job
+    telemetry: TelemetrySettings | None = None
 
 
 @dataclass
@@ -148,6 +154,10 @@ class _ChunkJob:
     """One KmerGen unit: enumerate one FASTQ chunk for one pass."""
 
     chunk: int
+    #: owner slot (task rank) this chunk is assigned to — span attribution
+    task: int
+    #: which of the S passes this job belongs to
+    pass_index: int
     bin_lo: int
     bin_hi: int
     task_edges: np.ndarray
@@ -180,12 +190,20 @@ def _kmergen_chunk_task(job: _ChunkJob) -> _ChunkResult:
     write itself; only the tiny count/stat result crosses back.
     """
     ctx: _WorkerContext = worker_shared()
+    tele = ctx.telemetry is not None
+    if tele:
+        telemetry.activate(ctx.telemetry)
     times = TimeBreakdown()
-    t0 = time.perf_counter()
+    t0 = time.perf_counter_ns()
     batch = load_chunk_reads(ctx.table, job.chunk, keep_metadata=False)
-    times.add(StepNames.KMERGEN_IO, time.perf_counter() - t0)
+    t1 = time.perf_counter_ns()
+    times.add(StepNames.KMERGEN_IO, (t1 - t0) / 1e9)
+    if tele:
+        telemetry.record_span(
+            StepNames.KMERGEN_IO, t0, t1, task=job.task, aux=job.chunk
+        )
 
-    t0 = time.perf_counter()
+    t0 = time.perf_counter_ns()
     tuples = enumerate_canonical_kmers(batch, ctx.k)
     bins = tuples.kmers.mmer_prefix(ctx.m).astype(np.int64)
     in_pass = (bins >= job.bin_lo) & (bins < job.bin_hi)
@@ -194,7 +212,20 @@ def _kmergen_chunk_task(job: _ChunkJob) -> _ChunkResult:
     dest = np.searchsorted(job.task_edges, kept_bins, side="right") - 1
     dest = np.clip(dest, 0, ctx.n_tasks - 1)
     parts, counts = kept.split_by_destination(dest, ctx.n_tasks)
-    times.add(StepNames.KMERGEN, time.perf_counter() - t0)
+    t1 = time.perf_counter_ns()
+    times.add(StepNames.KMERGEN, (t1 - t0) / 1e9)
+    if tele:
+        telemetry.record_span(
+            StepNames.KMERGEN, t0, t1, task=job.task, aux=job.chunk
+        )
+        for d in range(ctx.n_tasks):
+            if counts[d]:
+                telemetry.add_counter(
+                    "kmergen.tuples_routed",
+                    int(counts[d]),
+                    task=job.task,
+                    aux=d,
+                )
 
     # Mandatory, not gated by verify_static_counts: the write offsets
     # assume the table-predicted counts, so a mismatch would scribble
@@ -206,12 +237,17 @@ def _kmergen_chunk_task(job: _ChunkJob) -> _ChunkResult:
             f"index predicted {job.expected_counts[d]}"
         )
 
-    t0 = time.perf_counter()
+    t0 = time.perf_counter_ns()
     for d, part in enumerate(parts):
         if len(part):
             with open_block(job.blocks[d]) as block:
                 block.write(int(job.write_offsets[d]), part)
-    times.add(StepNames.KMERGEN_COMM, time.perf_counter() - t0)
+    t1 = time.perf_counter_ns()
+    times.add(StepNames.KMERGEN_COMM, (t1 - t0) / 1e9)
+    if tele:
+        telemetry.record_span(
+            StepNames.KMERGEN_COMM, t0, t1, task=job.task, aux=job.chunk
+        )
     return _ChunkResult(
         chunk=job.chunk,
         counts=counts,
@@ -225,6 +261,8 @@ class _OwnerJob:
     """One owner-task unit: LocalSort + LocalCC for task ``task``'s range."""
 
     task: int
+    #: which of the S passes this job belongs to
+    pass_index: int
     #: the task's received-tuple block (sources in rank order — the
     #: deterministic receive-side layout of the zero-copy exchange)
     block: BlockHandle
@@ -261,11 +299,14 @@ def _owner_sort_cc_task(job: _OwnerJob) -> _OwnerResult:
     identical on every engine.
     """
     ctx: _WorkerContext = worker_shared()
+    tele = ctx.telemetry is not None
+    if tele:
+        telemetry.activate(ctx.telemetry)
     times = TimeBreakdown()
     forest = DisjointSetForest.wrap(job.parent)
 
     with open_block(job.block) as block:
-        t0 = time.perf_counter()
+        t0 = time.perf_counter_ns()
         counts = range_partition_block(
             block, job.n_received, ctx.m, job.thread_edges, span=job.span
         )
@@ -279,13 +320,23 @@ def _owner_sort_cc_task(job: _OwnerJob) -> _OwnerResult:
                 )
             )
             start = end
-        times.add(StepNames.LOCALSORT, time.perf_counter() - t0)
+        t1 = time.perf_counter_ns()
+        times.add(StepNames.LOCALSORT, (t1 - t0) / 1e9)
+        if tele:
+            telemetry.record_span(
+                StepNames.LOCALSORT, t0, t1, task=job.task, aux=job.pass_index
+            )
 
-        t0 = time.perf_counter()
+        t0 = time.perf_counter_ns()
         cc_stats, edges_by_thread = fold_block_partitions(
             block, counts, forest, ctx.kmer_filter
         )
-        times.add(StepNames.LOCALCC, time.perf_counter() - t0)
+        t1 = time.perf_counter_ns()
+        times.add(StepNames.LOCALCC, (t1 - t0) / 1e9)
+        if tele:
+            telemetry.record_span(
+                StepNames.LOCALCC, t0, t1, task=job.task, aux=job.pass_index
+            )
     return _OwnerResult(
         task=job.task,
         parent=forest.parent,
@@ -314,6 +365,8 @@ class PipelineResult:
     sort_stats: RadixSortStats
     cc_stats: LocalCCStats
     comm_stats: List[AllToAllStats] = field(default_factory=list)
+    #: merged real-run telemetry; None unless the run enabled it
+    telemetry: RunTelemetry | None = None
 
     @property
     def n_passes(self) -> int:
@@ -381,7 +434,43 @@ class MetaPrep:
         abort the run between passes — the job service uses exactly this
         for cooperative cancellation and timeouts; any checkpoint already
         written stays on disk for the next attempt.
+
+        With ``config.telemetry`` (or a ``config.telemetry_dir``) the run
+        additionally records per-worker spans and hot-path counters
+        (:mod:`repro.telemetry`); the merged record lands on
+        ``result.telemetry`` and, when a directory is set, is exported as
+        Perfetto trace / metrics snapshot / Prometheus textfile.
         """
+        cfg = self.config
+        collector = None
+        if cfg.telemetry_enabled:
+            collector = TelemetryCollector(cfg.telemetry_dir)
+            telemetry.activate(collector.settings)
+        try:
+            return self._run(
+                units,
+                output_dir,
+                index,
+                checkpoint_dir,
+                artifact_store,
+                events,
+                collector,
+            )
+        finally:
+            if collector is not None:
+                telemetry.deactivate()
+                collector.close()
+
+    def _run(
+        self,
+        units: Sequence,
+        output_dir,
+        index,
+        checkpoint_dir,
+        artifact_store,
+        events,
+        collector: TelemetryCollector | None,
+    ) -> PipelineResult:
         cfg = self.config
 
         def _emit(type_: str, **payload) -> None:
@@ -481,6 +570,9 @@ class MetaPrep:
                 n_threads=t_threads,
                 kmer_filter=cfg.kmer_filter,
                 radix_skip_constant=cfg.radix_skip_constant,
+                telemetry=(
+                    collector.settings if collector is not None else None
+                ),
             )
         )
         buffers = create_buffer_pool(
@@ -505,6 +597,7 @@ class MetaPrep:
                     comm_stats,
                     executor,
                     buffers,
+                    collector,
                 )
                 if store is not None:
                     from repro.core.checkpoint import Checkpoint
@@ -528,10 +621,17 @@ class MetaPrep:
             buffers.close()
 
         # ---- MergeCC --------------------------------------------------
+        t0_ns = time.perf_counter_ns()
         with timer.step(StepNames.MERGECC):
             global_parent, merge_stats = merge_component_arrays(
                 [f.parent for f in forests]
             )
+        if telemetry.enabled():
+            # the tree merge is a collective: every task participates over
+            # the same interval, so each task row carries the span
+            t1_ns = time.perf_counter_ns()
+            for p in range(p_tasks):
+                telemetry.record_span(StepNames.MERGECC, t0_ns, t1_ns, task=p)
         work.merge_rounds = tree_merge_schedule(p_tasks)
         work.merge_bytes_per_send = 4 * n_reads
         work.merge_entries_by_task = np.asarray(
@@ -543,9 +643,14 @@ class MetaPrep:
         # ---- partition + CC-I/O ----------------------------------------
         partition = partition_from_parent(global_parent)
         if cfg.write_outputs and output_dir is not None:
+            t0_ns = time.perf_counter_ns()
             with timer.step(StepNames.CC_IO):
                 write_partitions(
                     partition, table, assignment, p_tasks, t_threads, output_dir
+                )
+            if telemetry.enabled():
+                telemetry.record_span(
+                    StepNames.CC_IO, t0_ns, time.perf_counter_ns()
                 )
             work.ccio_bytes = partition.bytes_written.copy()
         else:
@@ -561,6 +666,21 @@ class MetaPrep:
             n_reads=n_reads,
         )
         projected = TimingModel(get_machine(cfg.machine)).project(work)
+        run_telemetry = None
+        if collector is not None:
+            run_telemetry = collector.finalize(
+                n_tasks=p_tasks, projected=projected
+            )
+            if cfg.telemetry_dir is not None:
+                from repro.telemetry.exporters import export_run_artifacts
+
+                artifacts = export_run_artifacts(
+                    run_telemetry, cfg.telemetry_dir
+                )
+                _LOG.info(
+                    "telemetry artifacts: %s",
+                    ", ".join(str(p) for p in artifacts.values()),
+                )
         _LOG.info(
             "run complete: %d reads, %d tuples, %d components (LC %.1f%%), "
             "projected %s %.2fs",
@@ -584,6 +704,7 @@ class MetaPrep:
             sort_stats=sort_stats,
             cc_stats=cc_stats,
             comm_stats=comm_stats,
+            telemetry=run_telemetry,
         )
 
     # ------------------------------------------------------------------
@@ -600,6 +721,7 @@ class MetaPrep:
         comm_stats: List[AllToAllStats],
         executor: ExecutionBackend,
         buffers: BufferPool,
+        collector: TelemetryCollector | None = None,
     ) -> None:
         cfg = self.config
         p_tasks, t_threads = cfg.n_tasks, cfg.n_threads
@@ -645,6 +767,8 @@ class MetaPrep:
                 [
                     _ChunkJob(
                         chunk=c,
+                        task=int(assignment[c]) // t_threads,
+                        pass_index=spec.index,
                         bin_lo=spec.bin_lo,
                         bin_hi=spec.bin_hi,
                         task_edges=spec.task_edges,
@@ -655,6 +779,8 @@ class MetaPrep:
                     for c in range(table.n_chunks)
                 ],
             )
+            if collector is not None:
+                collector.merge()  # KmerGen barrier: all chunk spools final
 
             actual_counts = np.zeros(
                 (p_tasks, t_threads, p_tasks), dtype=np.int64
@@ -686,8 +812,9 @@ class MetaPrep:
                 # forest — forest state never crosses the executor
                 # boundary, and the mapping equals the sequential
                 # chunk-by-chunk scan (find_many is pure, elementwise).
-                t_gen0 = time.perf_counter()
+                t_gen0 = time.perf_counter_ns()
                 for d in range(p_tasks):
+                    t_d0 = time.perf_counter_ns()
                     for p in range(p_tasks):
                         lo_i = int(sender_splits[p, d])
                         hi_i = int(sender_splits[p + 1, d])
@@ -696,7 +823,18 @@ class MetaPrep:
                             region.read_ids[:] = map_ids_to_components(
                                 region.read_ids, forests[p]
                             )
-                timer.record(StepNames.KMERGEN, time.perf_counter() - t_gen0)
+                    if telemetry.enabled():
+                        telemetry.record_span(
+                            StepNames.KMERGEN,
+                            t_d0,
+                            time.perf_counter_ns(),
+                            task=d,
+                            aux=spec.index,
+                        )
+                timer.record(
+                    StepNames.KMERGEN,
+                    (time.perf_counter_ns() - t_gen0) / 1e9,
+                )
 
             # ---- KmerGen-Comm ------------------------------------------
             # The tuples already sit in their owners' blocks (the chunk
@@ -722,6 +860,7 @@ class MetaPrep:
                 [
                     _OwnerJob(
                         task=d,
+                        pass_index=spec.index,
                         block=handles[d],
                         n_received=int(totals[d]),
                         parent=forests[d].parent,
@@ -734,6 +873,8 @@ class MetaPrep:
                     for d in range(p_tasks)
                 ],
             )
+            if collector is not None:
+                collector.merge()  # LocalSort+LocalCC barrier
             nominal_passes = radix_passes_for(cfg.k)
             for res in owner_results:
                 d = res.task

@@ -64,6 +64,44 @@ def format_memory(label_to_bytes: Dict[str, int]) -> str:
     return format_table(["array", "memory"], rows)
 
 
+def format_gap_report(report) -> str:
+    """Render a measured-vs-projected gap table
+    (:class:`repro.telemetry.compare.GapReport`).
+
+    One row per step: measured seconds, projected seconds, their ratio,
+    and a ``DRIFT`` marker when the ratio escapes the report's band.
+    """
+    lo, hi = report.band
+    rows: List[List[object]] = []
+    for row in report.rows:
+        ratio = f"{row.ratio:.2f}" if row.ratio is not None else "-"
+        rows.append(
+            [
+                row.step,
+                f"{row.measured_seconds:.3f}",
+                f"{row.projected_seconds:.3f}",
+                ratio,
+                "DRIFT" if row.drifted else "",
+            ]
+        )
+    total_ratio = (
+        f"{report.total_ratio:.2f}" if report.total_ratio is not None else "-"
+    )
+    rows.append(
+        [
+            "Total",
+            f"{report.measured_total:.3f}",
+            f"{report.projected_total:.3f}",
+            total_ratio,
+            "",
+        ]
+    )
+    title = f"measured vs projected (drift band {lo:g}-{hi:g}x)"
+    return f"{title}\n" + format_table(
+        ["step", "measured_s", "projected_s", "ratio", "flag"], rows
+    )
+
+
 def _short(value: object, width: int = 40) -> str:
     text = str(value)
     return text if len(text) <= width else text[: width - 1] + "…"

@@ -51,6 +51,7 @@ from typing import Dict, Iterator, List, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.kmers.codec import MAX_K_ONE_LIMB, MAX_K_TWO_LIMB, KmerArray
 from repro.kmers.engine import KmerTuples
 from repro.util.logging import get_logger
@@ -340,10 +341,81 @@ def open_block(handle: BlockHandle) -> Iterator[TupleBlock]:
 # ----------------------------------------------------------------------
 # pools
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BufferPoolStats:
+    """Occupancy and lifetime accounting of one pool.
+
+    ``in_use_*`` count currently allocated (not yet released) non-empty
+    blocks; ``hwm_*`` are their high-water marks over the pool's life —
+    the number the paper's §3.7 memory budget bounds.  ``allocated_*``
+    are lifetime totals.  Segment counters are zero for heap pools.
+    """
+
+    kind: str
+    in_use_blocks: int
+    in_use_bytes: int
+    hwm_blocks: int
+    hwm_bytes: int
+    allocated_blocks: int
+    allocated_bytes: int
+    segments_created: int = 0
+    segments_reused: int = 0
+    live_segments: int = 0
+
+
 class BufferPool:
     """Allocator interface shared by both backings."""
 
     kind: str = "abstract"
+
+    def __init__(self) -> None:
+        self._in_use_blocks = 0
+        self._in_use_bytes = 0
+        self._hwm_blocks = 0
+        self._hwm_bytes = 0
+        self._allocated_blocks = 0
+        self._allocated_bytes = 0
+
+    # -- occupancy accounting (both backings route through these) ------
+    def _note_allocate(self, block: TupleBlock) -> None:
+        if block.capacity == 0:
+            return
+        nbytes = block.nbytes
+        self._in_use_blocks += 1
+        self._in_use_bytes += nbytes
+        self._allocated_blocks += 1
+        self._allocated_bytes += nbytes
+        self._hwm_blocks = max(self._hwm_blocks, self._in_use_blocks)
+        self._hwm_bytes = max(self._hwm_bytes, self._in_use_bytes)
+        if telemetry.enabled():
+            telemetry.add_counter("buffers.bytes_allocated", nbytes)
+            telemetry.set_gauge(
+                "buffers.pool_in_use_blocks", self._in_use_blocks
+            )
+            telemetry.set_gauge("buffers.pool_in_use_bytes", self._in_use_bytes)
+            telemetry.set_gauge("buffers.pool_hwm_bytes", self._hwm_bytes)
+
+    def _note_release(self, block: TupleBlock) -> None:
+        if block.capacity == 0 or block.lo is None:  # empty or re-released
+            return
+        self._in_use_blocks = max(0, self._in_use_blocks - 1)
+        self._in_use_bytes = max(0, self._in_use_bytes - block.nbytes)
+
+    def stats(self) -> BufferPoolStats:
+        """The pool's occupancy/high-water statistics — the public
+        accessor telemetry gauges and tests read (no private state)."""
+        return BufferPoolStats(
+            kind=self.kind,
+            in_use_blocks=self._in_use_blocks,
+            in_use_bytes=self._in_use_bytes,
+            hwm_blocks=self._hwm_blocks,
+            hwm_bytes=self._hwm_bytes,
+            allocated_blocks=self._allocated_blocks,
+            allocated_bytes=self._allocated_bytes,
+            segments_created=getattr(self, "segments_created", 0),
+            segments_reused=getattr(self, "segments_reused", 0),
+            live_segments=getattr(self, "live_segments", 0),
+        )
 
     def allocate(self, k: int, capacity: int) -> TupleBlock:
         """A block for ``capacity`` tuples of ``k``-mers.  Contents are
@@ -375,15 +447,18 @@ class HeapBufferPool(BufferPool):
         if capacity == 0:
             return _empty_block(k)
         hi = np.empty(capacity, dtype=_HI_DTYPE) if _two_limb(k) else None
-        return TupleBlock(
+        block = TupleBlock(
             k,
             capacity,
             np.empty(capacity, dtype=_LO_DTYPE),
             hi,
             np.empty(capacity, dtype=_IDS_DTYPE),
         )
+        self._note_allocate(block)
+        return block
 
     def release(self, block: TupleBlock) -> None:
+        self._note_release(block)
         block.lo = block.ids = block.hi = None  # type: ignore[assignment]
 
 
@@ -424,6 +499,7 @@ class SharedMemoryBufferPool(BufferPool):
     MIN_SEGMENT_BYTES = 4096
 
     def __init__(self) -> None:
+        super().__init__()
         self._segments: Dict[str, object] = {}  # name -> SharedMemory (owned)
         self._free: Dict[int, List[str]] = {}  # size -> reusable names
         self._seq = 0
@@ -465,9 +541,12 @@ class SharedMemoryBufferPool(BufferPool):
             self.segments_reused += 1
         else:
             shm = self._new_segment(size)
-        return _views_over(shm.buf, k, capacity, shm.name, shm=shm)
+        block = _views_over(shm.buf, k, capacity, shm.name, shm=shm)
+        self._note_allocate(block)
+        return block
 
     def release(self, block: TupleBlock) -> None:
+        self._note_release(block)
         name = block.segment
         block.lo = block.ids = block.hi = None  # type: ignore[assignment]
         block._shm = None

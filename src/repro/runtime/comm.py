@@ -20,6 +20,8 @@ from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
+
 
 def all_to_all_schedule(n_tasks: int) -> List[List[Tuple[int, int]]]:
     """The P-stage schedule as rounds of ``(sender, receiver)`` pairs.
@@ -129,6 +131,9 @@ def block_exchange_stats(counts: np.ndarray, tuple_bytes: int) -> AllToAllStats:
                 stats.n_messages += 1
                 stage_max = max(stage_max, size)
         stats.max_message_bytes_per_stage.append(stage_max)
+    if telemetry.enabled():
+        telemetry.add_counter("comm.bytes_moved", int(stats.bytes_matrix.sum()))
+        telemetry.add_counter("comm.wire_bytes", stats.wire_bytes_total)
     return stats
 
 

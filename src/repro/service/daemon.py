@@ -48,6 +48,7 @@ CANCEL_DIR = "cancel"
 RESULTS_DIR = "results"
 CHECKPOINTS_DIR = "checkpoints"
 STORE_DIR = "store"
+METRICS_DIR = "metrics"
 
 
 class ServeDaemon:
@@ -87,6 +88,7 @@ class ServeDaemon:
         recovered = self.queue.recover()
         if recovered:
             _LOG.info("daemon restart: %d job(s) re-queued", recovered)
+        self.write_metrics()
 
     # ------------------------------------------------------------------
     # spool protocol
@@ -215,6 +217,54 @@ class ServeDaemon:
         )
 
     # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict:
+        """Live service metrics: job states, queue depth, store counters."""
+        by_state = {state: 0 for state in JobState.ALL}
+        for record in self.queue.records.values():
+            by_state[record.state] = by_state.get(record.state, 0) + 1
+        return {
+            "jobs_by_state": by_state,
+            "queue_depth": len(self.queue.pending()),
+            "running": len(self.scheduler.running),
+            "store": self.store.stats.as_dict(),
+        }
+
+    def write_metrics(self) -> Path:
+        """Publish the metrics snapshot under ``<spool>/metrics/``.
+
+        Two formats from one snapshot: ``metrics.json`` for programmatic
+        consumers and ``metaprep.prom`` for a Prometheus node-exporter
+        textfile collector.  Both writes are atomic, so a scraper never
+        sees a torn file.
+        """
+        from repro.telemetry.exporters import (
+            METRICS_FILENAME,
+            PROM_FILENAME,
+            write_prometheus_textfile,
+        )
+
+        doc = self.metrics()
+        directory = self.spool_dir / METRICS_DIR
+        directory.mkdir(parents=True, exist_ok=True)
+        counters = {
+            f"store.{name}": value for name, value in doc["store"].items()
+        }
+        gauges = {
+            "service.queue_depth": doc["queue_depth"],
+            "service.running_jobs": doc["running"],
+        }
+        for state, n in doc["jobs_by_state"].items():
+            gauges[f"service.jobs_{state}"] = n
+        write_prometheus_textfile(directory / PROM_FILENAME, counters, gauges)
+        path = directory / METRICS_FILENAME
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(doc, sort_keys=True, indent=1))
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
     # drive loops
     # ------------------------------------------------------------------
     def tick(self) -> bool:
@@ -222,7 +272,10 @@ class ServeDaemon:
         True if anything changed."""
         changed = self._ingest() > 0
         self._scan_cancels()
-        return self.scheduler.tick() or changed
+        changed = self.scheduler.tick() or changed
+        if changed:
+            self.write_metrics()
+        return changed
 
     def idle(self) -> bool:
         return (

@@ -40,6 +40,7 @@ from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.checkpoint import config_payload, payload_fingerprint
 from repro.core.config import PipelineConfig
 from repro.index.create import IndexCreateResult
@@ -234,10 +235,12 @@ class ArtifactStore:
         """Look up ``key``; counts a hit/miss and refreshes the LRU clock."""
         if not self.has(key):
             self.stats.misses += 1
+            telemetry.add_counter("store.misses")
             return None
         entry = self._read_entry(key)
         self._touch(key)
         self.stats.hits += 1
+        telemetry.add_counter("store.hits")
         return entry
 
     def _touch(self, key: str) -> None:

@@ -25,6 +25,7 @@ from typing import List
 
 import numpy as np
 
+from repro import telemetry
 from repro.kmers.codec import KmerArray
 from repro.kmers.engine import KmerTuples
 
@@ -178,4 +179,9 @@ def radix_sort_block(
     )
     if stats.passes_executed:
         block.write(lo, sorted_part)
+    if telemetry.enabled():
+        telemetry.add_counter("sort.radix_passes", stats.passes_executed)
+        telemetry.add_counter(
+            "sort.histogram_fills", stats.passes_executed * stats.n_tuples
+        )
     return stats

@@ -217,3 +217,53 @@ class TestMP203SetIteration:
             }
         )
         assert check_determinism(project) == []
+
+
+class TestTelemetryScope:
+    """telemetry/ is result-affecting for MP2xx, with monotonic clocks
+    explicitly allowlisted — the subsystem's whole point is timing."""
+
+    def test_wall_clock_in_telemetry_trips(self, make_project):
+        project = make_project(
+            {
+                "telemetry/runtime.py": """
+                    import time
+
+                    def stamp():
+                        return time.time()
+                """
+            }
+        )
+        findings = check_determinism(project)
+        assert rules(findings) == ["MP201"]
+
+    def test_monotonic_clocks_in_telemetry_pass(self, make_project):
+        project = make_project(
+            {
+                "telemetry/runtime.py": """
+                    import time
+
+                    def now_ns():
+                        return time.perf_counter_ns()
+
+                    def coarse():
+                        return time.monotonic_ns()
+                """
+            }
+        )
+        assert check_determinism(project) == []
+
+    def test_allowlist_disjoint_from_wall_clock(self):
+        from repro.analysis.checkers.determinism import (
+            MONOTONIC_ALLOWED,
+            WALL_CLOCK,
+        )
+
+        assert not (MONOTONIC_ALLOWED & WALL_CLOCK)
+
+    def test_telemetry_is_result_affecting_scope(self):
+        from repro.analysis.checkers.determinism import (
+            RESULT_AFFECTING_SCOPES,
+        )
+
+        assert "telemetry/" in RESULT_AFFECTING_SCOPES

@@ -79,6 +79,15 @@ class TestFormatMemory:
         assert "1.00 GB" in out
         assert "2.00 GB" in out
 
+    def test_total_row_is_last(self):
+        out = format_memory({"fastqpart": 2048, "merhist": 1024})
+        last = out.splitlines()[-1]
+        assert last.startswith("total")
+        assert "3.00 KB" in last
+
+    def test_empty_mapping_still_totals(self):
+        assert format_memory({}).splitlines()[-1].startswith("total")
+
 
 class TestFormatJobTable:
     STATUS = {
@@ -125,6 +134,10 @@ class TestFormatJobTable:
         assert "queued" in out
         assert "1.50" not in out
 
+    def test_missing_fields_render_placeholders(self):
+        out = format_job_table([{}])
+        assert "?" in out.splitlines()[-1]
+
 
 class TestFormatJobMetrics:
     def test_metrics_and_breakdown(self):
@@ -150,3 +163,13 @@ class TestFormatJobMetrics:
         out = format_job_metrics({"state": "queued", "metrics": {}})
         assert "queued" in out
         assert "step times" not in out
+
+    def test_metric_keys_sorted(self):
+        out = format_job_metrics(
+            {"state": "done", "metrics": {"zeta": 1, "alpha": 2}}
+        )
+        assert out.index("alpha") < out.index("zeta")
+
+    def test_no_metrics_key_at_all(self):
+        assert "queued" in format_job_metrics({"state": "queued"})
+

@@ -290,3 +290,71 @@ class TestConstruction:
                 None,
                 np.empty(0, np.uint32),
             )
+
+
+class TestPoolStats:
+    """Public occupancy/HWM accounting — identical across backings."""
+
+    @pytest.fixture(params=["heap", "shared"])
+    def fresh_pool(self, request):
+        p = (
+            HeapBufferPool()
+            if request.param == "heap"
+            else SharedMemoryBufferPool()
+        )
+        yield p
+        close = getattr(p, "close", None)
+        if close:
+            close()
+
+    def test_starts_empty(self, fresh_pool):
+        s = fresh_pool.stats()
+        assert (s.in_use_blocks, s.in_use_bytes) == (0, 0)
+        assert (s.hwm_blocks, s.hwm_bytes) == (0, 0)
+        assert (s.allocated_blocks, s.allocated_bytes) == (0, 0)
+        assert s.kind == fresh_pool.kind
+
+    def test_hwm_tracks_peak_not_current(self, fresh_pool):
+        a = fresh_pool.allocate(27, 10)
+        b = fresh_pool.allocate(27, 10)
+        peak = fresh_pool.stats()
+        assert peak.in_use_blocks == 2
+        assert peak.hwm_bytes == 2 * block_nbytes(27, 10)
+        fresh_pool.release(a)
+        fresh_pool.release(b)
+        after = fresh_pool.stats()
+        assert (after.in_use_blocks, after.in_use_bytes) == (0, 0)
+        assert after.hwm_blocks == 2  # peak survives the releases
+        assert after.hwm_bytes == peak.hwm_bytes
+        assert after.allocated_blocks == 2
+
+    def test_empty_blocks_do_not_count(self, fresh_pool):
+        block = fresh_pool.allocate(27, 0)
+        assert fresh_pool.stats().in_use_blocks == 0
+        fresh_pool.release(block)
+        assert fresh_pool.stats().allocated_blocks == 0
+
+    def test_double_release_does_not_underflow(self, fresh_pool):
+        block = fresh_pool.allocate(27, 4)
+        fresh_pool.release(block)
+        fresh_pool.release(block)  # views already nulled: guarded no-op
+        s = fresh_pool.stats()
+        assert (s.in_use_blocks, s.in_use_bytes) == (0, 0)
+
+    def test_allocate_emits_telemetry_gauges(self, fresh_pool, tmp_path):
+        from repro import telemetry
+        from repro.telemetry.collect import TelemetryCollector
+
+        collector = TelemetryCollector(tmp_path)
+        telemetry.activate(collector.settings)
+        try:
+            block = fresh_pool.allocate(27, 10)
+            fresh_pool.release(block)
+        finally:
+            telemetry.deactivate()
+        run = collector.finalize(n_tasks=1)
+        collector.close()
+        nbytes = block_nbytes(27, 10)
+        assert run.counter_total("buffers.bytes_allocated") == nbytes
+        assert run.gauge_max("buffers.pool_hwm_bytes") == nbytes
+        assert run.gauge_max("buffers.pool_in_use_blocks") == 1

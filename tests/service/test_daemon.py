@@ -264,3 +264,56 @@ class TestCancellationAndSpool:
         )
         assert leftovers == []
         assert not stale.parent.exists()  # emptied job dir removed too
+
+
+class TestServiceMetrics:
+    """``metaprep serve`` publishes scrape-ready metrics under
+    ``<spool>/metrics/`` — a JSON snapshot plus a Prometheus textfile."""
+
+    def test_fresh_daemon_publishes_zeroed_snapshot(self, tmp_path):
+        from repro.service.daemon import METRICS_DIR
+
+        daemon = ServeDaemon(tmp_path / "spool")
+        doc = daemon.metrics()
+        assert doc["queue_depth"] == 0
+        assert doc["running"] == 0
+        assert set(doc["jobs_by_state"]) == set(JobState.ALL)
+        metrics_dir = tmp_path / "spool" / METRICS_DIR
+        assert (metrics_dir / "metrics.json").exists()  # written at boot
+        prom = (metrics_dir / "metaprep.prom").read_text()
+        assert "# TYPE metaprep_service_queue_depth gauge" in prom
+        assert "metaprep_service_queue_depth 0" in prom
+        assert "# TYPE metaprep_store_hits counter" in prom
+
+    def test_metrics_track_jobs_through_lifecycle(self, tiny_hg, tmp_path):
+        from repro.service.daemon import METRICS_DIR
+
+        spool = tmp_path / "spool"
+        client = ServiceClient(spool)
+        client.submit(tiny_hg.units, config=CFG)
+        client.submit(tiny_hg.units, config=CFG)  # cache-hit twin
+        daemon = ServeDaemon(spool)
+        daemon.tick()  # ingest
+        assert sum(daemon.metrics()["jobs_by_state"].values()) == 2
+        daemon.run_until_idle()
+
+        doc = json.loads(
+            (spool / METRICS_DIR / "metrics.json").read_text()
+        )
+        assert doc["jobs_by_state"][JobState.SUCCEEDED] == 2
+        assert doc["queue_depth"] == 0
+        assert doc["running"] == 0
+        assert doc["store"]["hits"] >= 1  # the twin hit the artifact store
+        prom = (spool / METRICS_DIR / "metaprep.prom").read_text()
+        assert "metaprep_service_jobs_succeeded 2" in prom
+        assert f"metaprep_store_hits {doc['store']['hits']}" in prom
+
+    def test_no_torn_files_in_metrics_dir(self, tiny_hg, tmp_path):
+        from repro.service.daemon import METRICS_DIR
+
+        spool = tmp_path / "spool"
+        client = ServiceClient(spool)
+        client.submit(tiny_hg.units, config=CFG)
+        ServeDaemon(spool).run_until_idle()
+        names = sorted(p.name for p in (spool / METRICS_DIR).iterdir())
+        assert names == ["metaprep.prom", "metrics.json"]  # no .tmp litter

@@ -1,0 +1,140 @@
+"""Measured-vs-projected gap report."""
+
+import numpy as np
+import pytest
+
+from repro.core.report import format_gap_report
+from repro.runtime.timing import ProjectedTimes
+from repro.runtime.work import StepNames
+from repro.telemetry.collect import RunTelemetry, SpanEvent
+from repro.telemetry.compare import compare_measured_projected
+from repro.util.timers import TimeBreakdown
+
+
+def projection(**step_seconds):
+    return ProjectedTimes(
+        machine="edison",
+        n_tasks=1,
+        per_task={k: np.array([v]) for k, v in step_seconds.items()},
+    )
+
+
+class TestRatios:
+    def test_in_band_not_drifted(self):
+        measured = TimeBreakdown({StepNames.LOCALSORT: 1.2})
+        report = compare_measured_projected(
+            measured, projection(**{StepNames.LOCALSORT: 1.0})
+        )
+        (row,) = report.rows
+        assert row.ratio == pytest.approx(1.2)
+        assert not row.drifted
+
+    def test_out_of_band_drifts(self):
+        measured = TimeBreakdown({StepNames.LOCALSORT: 5.0})
+        report = compare_measured_projected(
+            measured, projection(**{StepNames.LOCALSORT: 1.0})
+        )
+        assert [r.step for r in report.drifted] == [StepNames.LOCALSORT]
+
+    def test_zero_projection_with_real_measurement_drifts(self):
+        measured = TimeBreakdown({StepNames.LOCALSORT: 1.0})
+        report = compare_measured_projected(
+            measured, projection(**{StepNames.LOCALSORT: 0.0})
+        )
+        (row,) = report.rows
+        assert row.ratio is None
+        assert row.drifted
+
+    def test_negligible_both_sides_never_flagged(self):
+        measured = TimeBreakdown({StepNames.LOCALSORT: 1e-6})
+        report = compare_measured_projected(
+            measured, projection(**{StepNames.LOCALSORT: 1e-9})
+        )
+        assert report.drifted == []
+
+    def test_steps_in_paper_order(self):
+        measured = TimeBreakdown(
+            {StepNames.LOCALSORT: 1.0, StepNames.KMERGEN: 2.0}
+        )
+        report = compare_measured_projected(
+            measured,
+            projection(**{StepNames.KMERGEN: 2.0, StepNames.LOCALSORT: 1.0}),
+        )
+        assert [r.step for r in report.rows] == [
+            StepNames.KMERGEN,
+            StepNames.LOCALSORT,
+        ]
+
+    def test_totals(self):
+        measured = TimeBreakdown(
+            {StepNames.KMERGEN: 2.0, StepNames.LOCALSORT: 2.0}
+        )
+        report = compare_measured_projected(
+            measured,
+            projection(**{StepNames.KMERGEN: 1.0, StepNames.LOCALSORT: 1.0}),
+        )
+        assert report.measured_total == pytest.approx(4.0)
+        assert report.projected_total == pytest.approx(2.0)
+        assert report.total_ratio == pytest.approx(2.0)
+
+
+class TestInputs:
+    def test_run_telemetry_uses_attached_projection(self):
+        run = RunTelemetry(
+            t0_ns=0,
+            n_tasks=1,
+            spans=[
+                SpanEvent(StepNames.LOCALSORT, 0, -1, 0, 2_000_000_000)
+            ],
+            projected=projection(**{StepNames.LOCALSORT: 1.0}),
+        )
+        report = compare_measured_projected(run)
+        (row,) = report.rows
+        assert row.measured_seconds == pytest.approx(2.0)
+        assert row.ratio == pytest.approx(2.0)
+
+    def test_no_projection_anywhere_rejected(self):
+        run = RunTelemetry(t0_ns=0, n_tasks=1)
+        with pytest.raises(ValueError, match="no projection"):
+            compare_measured_projected(run)
+
+    def test_bad_band_rejected(self):
+        measured = TimeBreakdown({StepNames.LOCALSORT: 1.0})
+        with pytest.raises(ValueError, match="band"):
+            compare_measured_projected(
+                measured,
+                projection(**{StepNames.LOCALSORT: 1.0}),
+                band=(2.0, 0.5),
+            )
+
+
+class TestFormatting:
+    def test_gap_table_rows_and_flags(self):
+        measured = TimeBreakdown(
+            {StepNames.KMERGEN: 5.0, StepNames.LOCALSORT: 1.0}
+        )
+        report = compare_measured_projected(
+            measured,
+            projection(**{StepNames.KMERGEN: 1.0, StepNames.LOCALSORT: 1.0}),
+        )
+        out = format_gap_report(report)
+        lines = out.splitlines()
+        assert "measured vs projected" in lines[0]
+        kmergen_line = next(l for l in lines if l.startswith(StepNames.KMERGEN))
+        assert "DRIFT" in kmergen_line
+        localsort_line = next(
+            l for l in lines if l.startswith(StepNames.LOCALSORT)
+        )
+        assert "DRIFT" not in localsort_line
+        assert lines[-1].startswith("Total")
+
+    def test_none_ratio_rendered_as_dash(self):
+        measured = TimeBreakdown({StepNames.KMERGEN: 1.0})
+        report = compare_measured_projected(
+            measured, projection(**{StepNames.KMERGEN: 0.0})
+        )
+        out = format_gap_report(report)
+        row = next(
+            l for l in out.splitlines() if l.startswith(StepNames.KMERGEN)
+        )
+        assert " - " in row or row.rstrip().endswith("DRIFT")

@@ -1,0 +1,129 @@
+"""Exporters: Perfetto trace layout, Prometheus textfile, artifact set."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime.timing import ProjectedTimes
+from repro.runtime.work import StepNames
+from repro.telemetry.collect import RunTelemetry, SpanEvent
+from repro.telemetry.exporters import (
+    METRICS_FILENAME,
+    PROM_FILENAME,
+    RUN_FILENAME,
+    TRACE_FILENAME,
+    export_run_artifacts,
+    measured_trace_events,
+    metrics_snapshot,
+    prometheus_textfile,
+    write_measured_trace,
+    write_prometheus_textfile,
+)
+
+
+@pytest.fixture
+def run():
+    return RunTelemetry(
+        t0_ns=1_000,
+        n_tasks=2,
+        spans=[
+            SpanEvent(StepNames.KMERGEN, 0, 3, 1_000, 2_000),
+            SpanEvent(StepNames.LOCALSORT, 1, 0, 2_000, 5_000),
+            SpanEvent(StepNames.CC_IO, -1, -1, 5_000, 6_000),
+        ],
+        counters={"cc.unions": {0: 10, 1: 20}},
+        gauges={"buffers.pool_hwm_bytes": {-1: 4096}},
+        projected=ProjectedTimes(
+            machine="edison",
+            n_tasks=2,
+            per_task={StepNames.LOCALSORT: np.array([1.0, 2.0])},
+        ),
+    )
+
+
+class TestTraceEvents:
+    def test_one_event_per_span(self, run):
+        events = measured_trace_events(run)
+        assert len(events) == 3
+        assert all(e["ph"] == "X" and e["pid"] == 0 for e in events)
+
+    def test_rows_are_tasks_driver_below(self, run):
+        events = measured_trace_events(run)
+        tids = [e["tid"] for e in events]
+        assert tids == [0, 1, run.n_tasks]  # driver on the extra row
+
+    def test_timestamps_relative_to_run_origin_in_us(self, run):
+        first = measured_trace_events(run)[0]
+        assert first["ts"] == 0.0  # t0 == run origin
+        assert first["dur"] == pytest.approx(1.0)  # 1000 ns == 1 us
+
+    def test_args_carry_attribution(self, run):
+        first = measured_trace_events(run)[0]
+        assert first["args"]["task"] == 0
+        assert first["args"]["aux"] == 3
+
+    def test_write_includes_projection_as_pid1(self, run, tmp_path):
+        path = tmp_path / TRACE_FILENAME
+        n = write_measured_trace(run, path)
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        pids = {e["pid"] for e in events}
+        assert pids == {0, 1}
+        assert n > 3  # measured spans + projection events
+        names = {
+            e["args"]["name"] for e in events if e["name"] == "process_name"
+        }
+        assert any("measured" in n for n in names)
+        assert any("projection" in n for n in names)
+
+    def test_write_without_projection(self, run, tmp_path):
+        run.projected = None
+        path = tmp_path / TRACE_FILENAME
+        assert write_measured_trace(run, path) == 3
+        doc = json.loads(path.read_text())
+        assert {e["pid"] for e in doc["traceEvents"]} == {0}
+
+
+class TestPrometheus:
+    def test_textfile_format(self):
+        text = prometheus_textfile(
+            {"store.hits": 3}, {"service.queue_depth": 2}
+        )
+        lines = text.splitlines()
+        assert "# TYPE metaprep_store_hits counter" in lines
+        assert "metaprep_store_hits 3" in lines
+        assert "# TYPE metaprep_service_queue_depth gauge" in lines
+        assert "metaprep_service_queue_depth 2" in lines
+        assert text.endswith("\n")
+
+    def test_names_sanitized(self):
+        text = prometheus_textfile({"kmergen.tuples-routed": 1}, {})
+        assert "metaprep_kmergen_tuples_routed 1" in text
+
+    def test_atomic_write_no_tmp_left(self, tmp_path):
+        path = write_prometheus_textfile(
+            tmp_path / PROM_FILENAME, {"store.hits": 1}, {}
+        )
+        assert path.read_text().startswith("# TYPE")
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestSnapshotAndArtifacts:
+    def test_metrics_snapshot_shape(self, run):
+        doc = metrics_snapshot(run)
+        assert doc["counters"] == {"cc.unions": 30}
+        assert doc["counters_by_task"]["cc.unions"] == {"0": 10, "1": 20}
+        assert doc["gauges"] == {"buffers.pool_hwm_bytes": 4096}
+        assert StepNames.LOCALSORT in doc["step_seconds"]
+        assert doc["projected_step_seconds"][StepNames.LOCALSORT] == 2.0
+
+    def test_export_writes_full_artifact_set(self, run, tmp_path):
+        paths = export_run_artifacts(run, tmp_path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == sorted(
+            [RUN_FILENAME, TRACE_FILENAME, METRICS_FILENAME, PROM_FILENAME]
+        )
+        # the persisted record reloads into the same content
+        reloaded = RunTelemetry.load(paths["telemetry"])
+        assert reloaded.counters == run.counters
+        json.loads(paths["metrics"].read_text())  # valid JSON

@@ -1,0 +1,121 @@
+"""Thread-local emission API: no-op paths, activation, the fork guard."""
+
+import os
+import pickle
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.events import read_spool
+from repro.telemetry.runtime import _STATE, TelemetrySettings
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    telemetry.deactivate()
+    yield
+    telemetry.deactivate()
+
+
+def spool_records(spool_dir):
+    out = []
+    for path in sorted(spool_dir.glob("*.evt")):
+        records, _ = read_spool(path)
+        out.extend(records)
+    return out
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert not telemetry.enabled()
+        assert telemetry.active_settings() is None
+
+    def test_emissions_are_noops(self, tmp_path):
+        telemetry.add_counter("cc.unions", 5)
+        telemetry.record_span("KmerGen", 0, 10)
+        telemetry.set_gauge("service.queue_depth", 3)
+        with telemetry.span("LocalSort"):
+            pass
+        assert list(tmp_path.iterdir()) == []  # nothing written anywhere
+
+
+class TestActivation:
+    def test_activate_emit_deactivate(self, tmp_path):
+        telemetry.activate(TelemetrySettings(str(tmp_path)))
+        assert telemetry.enabled()
+        telemetry.add_counter("cc.unions", 5, task=2)
+        telemetry.deactivate()
+        assert not telemetry.enabled()
+
+        (record,) = spool_records(tmp_path)
+        assert (record.name, record.task, record.value_a) == ("cc.unions", 2, 5)
+
+    def test_reactivation_same_dir_is_noop(self, tmp_path):
+        settings = TelemetrySettings(str(tmp_path))
+        telemetry.activate(settings)
+        telemetry.add_counter("cc.unions", 1)
+        writer = _STATE.writer
+        telemetry.activate(TelemetrySettings(str(tmp_path)))  # same dir
+        assert _STATE.writer is writer  # not reopened
+
+    def test_switching_dirs_closes_old_writer(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        a.mkdir(), b.mkdir()
+        telemetry.activate(TelemetrySettings(str(a)))
+        telemetry.add_counter("cc.unions", 1)
+        telemetry.activate(TelemetrySettings(str(b)))
+        telemetry.add_counter("cc.unions", 2)
+        assert [r.value_a for r in spool_records(a)] == [1]
+        assert [r.value_a for r in spool_records(b)] == [2]
+
+    def test_span_contextmanager(self, tmp_path):
+        telemetry.activate(TelemetrySettings(str(tmp_path)))
+        with telemetry.span("LocalSort", task=1, aux=0):
+            pass
+        (record,) = spool_records(tmp_path)
+        assert record.name == "LocalSort"
+        assert record.value_b >= record.value_a  # t1 >= t0
+
+    def test_settings_picklable(self, tmp_path):
+        # rides inside the executor's worker context across the pool
+        settings = TelemetrySettings(str(tmp_path))
+        assert pickle.loads(pickle.dumps(settings)) == settings
+
+    def test_swept_spool_disables_quietly(self, tmp_path):
+        gone = tmp_path / "gone"
+        gone.mkdir()
+        telemetry.activate(TelemetrySettings(str(gone)))
+        gone.rmdir()  # the collector swept mid-run (e.g. crash path)
+        telemetry.add_counter("cc.unions", 1)  # must not raise
+        assert not telemetry.enabled()
+
+
+class TestForkGuard:
+    def test_writer_reopened_when_pid_changes(self, tmp_path):
+        telemetry.activate(TelemetrySettings(str(tmp_path)))
+        telemetry.add_counter("cc.unions", 1)
+        inherited = _STATE.writer
+        # simulate a fork: thread-local state survives, pid does not match
+        _STATE.writer_pid = os.getpid() - 1
+        telemetry.add_counter("cc.unions", 2)
+        assert _STATE.writer is not inherited
+        assert _STATE.writer_pid == os.getpid()
+        # both records decodable (same file name in this simulation, but
+        # the reopen went through the append-mode no-duplicate-header path)
+        assert sorted(r.value_a for r in spool_records(tmp_path)) == [1, 2]
+
+    def test_real_fork_writes_child_spool(self, tmp_path):
+        telemetry.activate(TelemetrySettings(str(tmp_path)))
+        telemetry.add_counter("cc.unions", 1)
+        pid = os.fork()
+        if pid == 0:  # child
+            try:
+                telemetry.add_counter("cc.unions", 100)
+                os._exit(0)
+            except BaseException:
+                os._exit(1)
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 0
+        files = sorted(p.name for p in tmp_path.glob("*.evt"))
+        assert len(files) == 2  # parent spool + child spool
+        assert sorted(r.value_a for r in spool_records(tmp_path)) == [1, 100]
