@@ -1,0 +1,156 @@
+"""Out-of-core smoke: the >=4x-budget analogue under a ulimit-style RSS cap.
+
+CI driver for the ``out-of-core-smoke`` job (also runnable locally):
+
+1. builds an HG analogue whose tuple volume is at least 4x the per-task
+   memory budget (the budget is *derived* from the measured volume, so
+   the premise holds by construction and is asserted anyway),
+2. runs the full pipeline in a subprocess with ``--spill always`` on the
+   process engine, and asserts a hard ceiling on the peak RSS of that
+   subprocess tree (``getrusage(RUSAGE_CHILDREN)`` accumulates the
+   workers too): baseline interpreter + 2x budget + a fixed allocator
+   slack.  An in-memory run keeps whole passes (~2x budget each) plus
+   destination blocks resident and regresses through this ceiling,
+3. re-checks the precise bounds from the exported telemetry record:
+   peak resident spilled tuple bytes <= budget, exactly one block
+   resident at a time, and spill traffic covering the full volume.
+
+The telemetry directory is left behind for the job to upload (the gap
+report is re-exported from it with ``metaprep trace``).
+
+Environment knobs::
+
+    METAPREP_OOC_SMOKE_SCALE   dataset depth multiplier (default 24)
+    METAPREP_OOC_SMOKE_DIR     working directory (default ./ooc-smoke)
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import subprocess
+import sys
+from pathlib import Path
+
+K = 27
+M_MER = 6
+N_TASKS = 4
+N_THREADS = 1
+N_PASSES = 2
+TUPLE_BYTES = 12  # one-limb k: 8-byte k-mer + 4-byte read id
+
+#: allowance on top of baseline + 2x budget for allocator fragmentation
+#: and numpy scratch; deliberately far below the 4x-budget tuple volume
+RSS_SLACK_BYTES = 64 << 20
+
+MiB = 1 << 20
+
+
+def _child_peak_rss_bytes() -> int:
+    # ru_maxrss is KiB on Linux; RUSAGE_CHILDREN accumulates the maximum
+    # over all waited-for descendants, workers included
+    return resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * 1024
+
+
+def main() -> int:
+    scale = float(os.environ.get("METAPREP_OOC_SMOKE_SCALE", "24"))
+    root = Path(os.environ.get("METAPREP_OOC_SMOKE_DIR", "ooc-smoke"))
+    root.mkdir(parents=True, exist_ok=True)
+    telemetry_dir = root / "telemetry-ooc"
+
+    from repro.datasets.registry import build_dataset
+    from repro.index.create import index_create
+
+    built = build_dataset("HG", root / "data", seed=23, scale=scale)
+    index = index_create(built.units, k=K, m=M_MER, n_chunks=8)
+    volume = int(index.merhist.total_tuples) * TUPLE_BYTES
+    budget = volume // 4
+    assert volume >= 4 * budget > 0, "premise: tuple volume must be >= 4x budget"
+    print(
+        f"ooc-smoke: HG x{scale:g}: {index.merhist.total_tuples} tuples, "
+        f"volume {volume / MiB:.1f} MiB, budget {budget / MiB:.1f} MiB"
+    )
+
+    # baseline: what an interpreter with the numeric stack loaded costs,
+    # measured the same way the pipeline run is
+    subprocess.run(
+        [sys.executable, "-c", "import numpy, repro.core.pipeline"],
+        check=True,
+    )
+    base = _child_peak_rss_bytes()
+
+    subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "run",
+            "--r1",
+            built.r1_path,
+            "--r2",
+            built.r2_path,
+            "--k",
+            str(K),
+            "--m",
+            str(M_MER),
+            "--tasks",
+            str(N_TASKS),
+            "--threads",
+            str(N_THREADS),
+            "--passes",
+            str(N_PASSES),
+            "--executor",
+            "process",
+            "--workers",
+            "2",
+            "--spill",
+            "always",
+            "--spill-dir",
+            str(root),
+            "--budget-mb",
+            f"{budget / MiB:.6f}",
+            "--telemetry",
+            str(telemetry_dir),
+        ],
+        check=True,
+    )
+
+    peak = _child_peak_rss_bytes()
+    cap = base + 2 * budget + RSS_SLACK_BYTES
+    print(
+        f"ooc-smoke: baseline rss {base / MiB:.1f} MiB, "
+        f"peak rss {peak / MiB:.1f} MiB, cap {cap / MiB:.1f} MiB"
+    )
+    assert peak <= cap, (
+        f"peak RSS {peak / MiB:.1f} MiB exceeds the ulimit-style cap "
+        f"{cap / MiB:.1f} MiB (baseline {base / MiB:.1f} + 2x budget + slack)"
+    )
+
+    # the precise bounds, from the telemetry record the run exported
+    from repro.telemetry.collect import RUN_FILENAME, RunTelemetry
+
+    run = RunTelemetry.load(telemetry_dir / RUN_FILENAME)
+    resident = run.gauge_max("spill.tuple_bytes_resident")
+    assert 0 < resident <= budget, (
+        f"peak resident spilled tuple bytes {resident} not within "
+        f"(0, {budget}]"
+    )
+    assert run.gauge_max("spill.blocks_resident") == 1
+    written = run.counter_total("spill.bytes_written")
+    read = run.counter_total("spill.bytes_read")
+    assert written >= volume and read >= volume, (
+        f"spill traffic (written {written}, read {read}) does not cover "
+        f"the {volume}-byte tuple volume"
+    )
+    # no orphan spill directories after a clean run
+    leftovers = [p for p in os.listdir(root) if p.startswith("metaprep-spill-")]
+    assert leftovers == [], f"orphan spill dirs: {leftovers}"
+    print(
+        f"ooc-smoke: OK — resident {resident / MiB:.2f} MiB <= budget, "
+        f"spilled {written / MiB:.1f} MiB out / {read / MiB:.1f} MiB back"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""MP5xx — executor resource hygiene for shared-memory segments.
+"""MP5xx — executor resource hygiene for shared memory and spill files.
 
 The zero-copy dataplane (:mod:`repro.runtime.buffers`) owns every
 shared-memory segment in the repository: pools create segments with
@@ -24,6 +24,23 @@ exit warning is the only witness.  One rule, two triggers:
 The buffer-pool module itself is exempt — it *is* the API whose
 discipline this rule enforces, and its lifecycle invariants are pinned
 by the dataplane crash-safety tests rather than by syntax.
+
+**MP502** extends the same discipline to the out-of-core dataplane
+(:mod:`repro.runtime.spill`): spill files carry the tupleblock wire
+format and live in crash-swept spill directories, and both guarantees
+hold only while every access routes through the spill module's
+hygiene-managed helpers (``write_spill``/``read_spill``/
+``write_spill_region``/``resident_spill``/``SpillManager``).  Outside
+that module, MP502 flags
+
+* a ``read_table``/``write_table``/``preallocate_table``/
+  ``table_layout`` call handed the tupleblock schema (the
+  ``"metaprep/tupleblock"`` literal or a ``TUPLEBLOCK_SCHEMA``/
+  ``_BLOCK_SCHEMA`` name) — a bespoke reimplementation of the spill
+  format that the torn-write and publish guarantees do not cover;
+* an ``open()`` call whose path argument is a string constant
+  containing ``.spill`` — raw I/O against a spill file, bypassing the
+  fsync'd temp-then-rename publish and the residency accounting.
 """
 
 from __future__ import annotations
@@ -37,6 +54,21 @@ from repro.analysis.checkers.common import dotted_name, import_aliases, terminal
 
 #: the one module allowed to construct SharedMemory objects
 BUFFER_POOL_MODULE = "runtime/buffers.py"
+
+#: the one module allowed to touch the spill wire format directly
+SPILL_MODULE = "runtime/spill.py"
+
+#: the tupleblock container schema tag (kept literal here: the checker
+#: must not import runtime modules to analyze them)
+TUPLEBLOCK_SCHEMA_LITERAL = "metaprep/tupleblock"
+
+#: names that denote the tupleblock schema when referenced symbolically
+TUPLEBLOCK_SCHEMA_NAMES = frozenset({"TUPLEBLOCK_SCHEMA", "_BLOCK_SCHEMA"})
+
+#: table-container entry points that accept a schema argument
+TABLE_FORMAT_CALLS = frozenset(
+    {"read_table", "write_table", "preallocate_table", "table_layout"}
+)
 
 SHARED_MEMORY_PATHS = frozenset(
     {
@@ -206,11 +238,67 @@ def _check_module(module: SourceModule) -> List[Finding]:
     return findings
 
 
+def _mentions_tupleblock_schema(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Constant):
+        return expr.value == TUPLEBLOCK_SCHEMA_LITERAL
+    return terminal_name(expr) in TUPLEBLOCK_SCHEMA_NAMES
+
+
+def _check_spill_hygiene(module: SourceModule) -> List[Finding]:
+    """MP502: direct spill-format/spill-file access outside the spill
+    module."""
+    findings: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func_name = terminal_name(node.func)
+        arguments = list(node.args) + [kw.value for kw in node.keywords]
+        if func_name in TABLE_FORMAT_CALLS and any(
+            _mentions_tupleblock_schema(a) for a in arguments
+        ):
+            findings.append(
+                Finding(
+                    path=module.relpath,
+                    line=node.lineno,
+                    rule="MP502",
+                    message=(
+                        f"{func_name}() handed the tupleblock spill schema "
+                        "outside repro.runtime.spill; use write_spill/"
+                        "read_spill (or the region helpers) so torn-write "
+                        "detection and the publish protocol cover the file"
+                    ),
+                )
+            )
+        elif func_name == "open" and any(
+            isinstance(a, ast.Constant)
+            and isinstance(a.value, str)
+            and ".spill" in a.value
+            for a in arguments
+        ):
+            findings.append(
+                Finding(
+                    path=module.relpath,
+                    line=node.lineno,
+                    rule="MP502",
+                    message=(
+                        "raw open() on a spill file outside "
+                        "repro.runtime.spill; spill files are only valid "
+                        "through the hygiene-managed helpers "
+                        "(resident_spill/write_spill_region/SpillManager)"
+                    ),
+                )
+            )
+    return findings
+
+
 def check_executor_resources(project: Project) -> List[Finding]:
-    """Run the MP501 shared-memory resource analysis over ``project``."""
+    """Run the MP501/MP502 resource-hygiene analyses over ``project``."""
     findings: List[Finding] = []
     for module in project.modules:
-        if module.pkgpath == BUFFER_POOL_MODULE:
-            continue  # the buffer-pool API itself owns segment lifecycle
-        findings.extend(_check_module(module))
+        if module.pkgpath != BUFFER_POOL_MODULE:
+            # the buffer-pool API itself owns segment lifecycle
+            findings.extend(_check_module(module))
+        if module.pkgpath != SPILL_MODULE:
+            # the spill API itself owns the wire format and file I/O
+            findings.extend(_check_spill_hygiene(module))
     return findings

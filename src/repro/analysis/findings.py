@@ -64,6 +64,10 @@ RULES = {
         "SharedMemory segment created outside the buffer-pool API, or "
         "attached without a finally/context-managed release"
     ),
+    "MP502": (
+        "spill file or tupleblock spill schema accessed outside the "
+        "hygiene-managed helpers of repro.runtime.spill"
+    ),
 }
 
 

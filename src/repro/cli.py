@@ -78,12 +78,23 @@ def cmd_run(args) -> int:
     from repro.core.report import format_breakdown, format_partition_summary
     from repro.kmers.filter import FrequencyFilter
 
+    budget = (
+        int(args.budget_mb * 1024 * 1024)
+        if args.budget_mb is not None
+        else None
+    )
+    # --budget-mb without --passes derives the pass count (section 3.7);
+    # with neither, the historical single pass
+    n_passes = args.passes
+    if n_passes is None and budget is None:
+        n_passes = 1
     config = PipelineConfig(
         k=args.k,
         m=args.m,
         n_tasks=args.tasks,
         n_threads=args.threads,
-        n_passes=args.passes,
+        n_passes=n_passes,
+        memory_budget_per_task=budget,
         n_chunks=args.chunks,
         kmer_filter=FrequencyFilter.parse(args.filter),
         machine=args.machine,
@@ -92,8 +103,14 @@ def cmd_run(args) -> int:
         max_workers=args.workers,
         dataplane=args.dataplane,
         telemetry_dir=args.telemetry,
+        spill=args.spill,
+        spill_dir=args.spill_dir,
     )
     result = MetaPrep(config).run(_units_from_args(args), output_dir=args.out)
+    if result.spilled_passes:
+        print(
+            f"out-of-core: pass(es) {result.spilled_passes} spilled to disk"
+        )
     print(format_partition_summary(result.partition.summary))
     print()
     print(format_breakdown(result.measured, "measured step times (this host)"))
@@ -471,7 +488,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--m", type=int, default=8)
     p.add_argument("--tasks", type=int, default=1)
     p.add_argument("--threads", type=int, default=4)
-    p.add_argument("--passes", type=int, default=1)
+    p.add_argument(
+        "--passes",
+        type=int,
+        default=None,
+        help="I/O pass count S (default 1; with --budget-mb and no "
+        "--passes, the fewest passes that fit the budget are derived)",
+    )
     p.add_argument("--chunks", type=int, default=None)
     p.add_argument(
         "--filter",
@@ -506,6 +529,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="collect run telemetry and write the artifacts (Perfetto "
         "trace, metrics snapshot, Prometheus textfile) under DIR",
+    )
+    p.add_argument(
+        "--spill",
+        default="auto",
+        choices=("auto", "never", "always"),
+        help="out-of-core mode: spill per-owner tuple blocks to disk "
+        "between stage barriers (auto: only passes whose in-memory "
+        "residency exceeds --budget-mb)",
+    )
+    p.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="scratch directory for spill files (default: system temp)",
+    )
+    p.add_argument(
+        "--budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="per-task memory budget in MiB; with --passes it drives the "
+        "spill decision only, without --passes it also derives the "
+        "fewest passes that fit (paper section 3.7)",
     )
     _add_common(p)
     p.set_defaults(func=cmd_run)

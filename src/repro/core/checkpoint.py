@@ -29,50 +29,29 @@ from repro.util.logging import get_logger
 
 _LOG = get_logger("core.checkpoint")
 _SCHEMA = "metaprep/checkpoint"
-_BLOCK_SCHEMA = "metaprep/tupleblock"
 
 
 def save_block_spill(path: str | os.PathLike, block, length: int | None = None) -> None:
     """Spill a :class:`~repro.runtime.buffers.TupleBlock` to disk.
 
-    The spill format is the block's descriptor metadata plus the raw
-    column bytes — the on-disk twin of the descriptor wire format, in the
-    same ``MPREPTAB`` container every other table uses.  ``length``
-    limits the spill to the block's first ``length`` tuples (a partially
-    filled block spills only its live prefix).
+    Thin alias for :func:`repro.runtime.spill.write_spill`, which owns
+    the block-spill wire format (the out-of-core pipeline and this
+    checkpoint path share it byte for byte).
     """
-    length = block.capacity if length is None else length
-    view = block.view(0, length)
-    meta = {
-        "k": block.k,
-        "length": length,
-        "two_limb": block.two_limb,
-    }
-    arrays = {"lo": view.kmers.lo, "ids": view.read_ids}
-    if block.two_limb:
-        arrays["hi"] = view.kmers.hi
-    tmp = Path(path).with_suffix(".tmp")
-    write_table(tmp, _BLOCK_SCHEMA, meta, arrays)
-    os.replace(tmp, path)
+    from repro.runtime.spill import write_spill
+
+    write_spill(path, block, length)
 
 
 def load_block_spill(path: str | os.PathLike, pool):
     """Load a spilled TupleBlock into a fresh block from ``pool``.
 
-    The backing is the *loader's* choice — a spill written from a heap
-    block restores into a shared segment and vice versa; only the bytes
-    are contractual.  Returns the filled block (capacity == spilled
-    length).
+    Thin alias for :func:`repro.runtime.spill.read_spill`; returns the
+    filled block (capacity == spilled length).
     """
-    from repro.kmers.codec import KmerArray
-    from repro.kmers.engine import KmerTuples
+    from repro.runtime.spill import read_spill
 
-    meta, arrays = read_table(path, expect_schema=_BLOCK_SCHEMA)
-    k, length = int(meta["k"]), int(meta["length"])
-    block = pool.allocate(k, length)
-    hi = arrays["hi"] if meta["two_limb"] else None
-    block.write(0, KmerTuples(KmerArray(k, arrays["lo"], hi), arrays["ids"]))
-    return block
+    return read_spill(path, pool)
 
 
 def payload_fingerprint(payload: dict) -> str:
@@ -111,6 +90,10 @@ def payload_fingerprint(payload: dict) -> str:
 #: * ``telemetry`` / ``telemetry_dir`` — observability only: spans and
 #:   counters record what the run did, never feed back into it (and the
 #:   telemetry package is wall-clock-free by the MP2xx determinism lint).
+#: * ``spill`` / ``spill_dir`` — out-of-core mode moves tuple bytes to
+#:   disk between stage barriers but carries identical bytes through
+#:   identical stage code; spill and in-memory runs are bit-identical by
+#:   the differential contract of ``tests/integration/test_out_of_core``.
 PARTITION_IRRELEVANT_FIELDS = frozenset(
     {
         "executor",
@@ -125,6 +108,8 @@ PARTITION_IRRELEVANT_FIELDS = frozenset(
         "dataplane",
         "telemetry",
         "telemetry_dir",
+        "spill",
+        "spill_dir",
     }
 )
 

@@ -15,6 +15,7 @@ from repro.kmers.codec import MAX_K_TWO_LIMB, KmerCodec
 from repro.kmers.filter import FrequencyFilter
 from repro.runtime.buffers import DATAPLANE_NAMES
 from repro.runtime.executor import EXECUTOR_NAMES
+from repro.runtime.spill import SPILL_NAMES
 from repro.util.validation import check_in_range, check_positive
 
 
@@ -92,6 +93,21 @@ class PipelineConfig:
     #: on the :class:`~repro.core.pipeline.PipelineResult` only and the
     #: spool lives in a private temp directory.
     telemetry_dir: str | None = None
+    #: out-of-core execution (:mod:`repro.runtime.spill`): ``"never"``
+    #: keeps every pass's tuples in resident blocks (the historical
+    #: behavior); ``"always"`` routes every pass through per-owner spill
+    #: files on disk; ``"auto"`` spills exactly the passes whose
+    #: in-memory residency would exceed ``memory_budget_per_task`` (and
+    #: never spills when no budget is set) — the planner decision rule
+    #: in :func:`repro.index.passplan.spill_schedule`.  Spilling changes
+    #: where tuple bytes live, never what they are: spill runs are
+    #: bit-identical to in-memory runs by the differential contract of
+    #: ``tests/integration/test_out_of_core.py``.
+    spill: str = "auto"
+    #: directory under which the run's private spill directory is
+    #: created (``None`` -> the system temp dir).  Point it at fast
+    #: local scratch for real out-of-core runs.
+    spill_dir: str | None = None
 
     def __post_init__(self) -> None:
         check_in_range("k", self.k, 2, MAX_K_TWO_LIMB)
@@ -104,6 +120,17 @@ class PipelineConfig:
             raise ValueError(
                 "set n_passes or memory_budget_per_task (n_passes=None "
                 "means 'derive from the budget')"
+            )
+        # the budget steers the pass planner *and* the spill schedule;
+        # a zero/negative budget used to slip through here whenever
+        # n_passes was set and only blow up (obscurely) downstream
+        if self.memory_budget_per_task is not None:
+            check_positive(
+                "memory_budget_per_task", self.memory_budget_per_task
+            )
+        if self.spill not in SPILL_NAMES:
+            raise ValueError(
+                f"spill must be one of {SPILL_NAMES}, got {self.spill!r}"
             )
         if self.executor not in EXECUTOR_NAMES:
             raise ValueError(

@@ -30,6 +30,7 @@ Two kinds of timing come out of a run:
 from __future__ import annotations
 
 import os
+import resource
 import time
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
@@ -57,7 +58,12 @@ from repro.index.offsets import (
     recv_write_offsets,
     send_counts_matrix,
 )
-from repro.index.passplan import PassPlan, passes_for_memory_budget, plan_passes
+from repro.index.passplan import (
+    PassPlan,
+    passes_for_memory_budget,
+    plan_passes,
+    spill_schedule,
+)
 from repro.kmers.engine import enumerate_canonical_kmers
 from repro.kmers.filter import FrequencyFilter
 from repro import telemetry
@@ -70,6 +76,14 @@ from repro.runtime.buffers import (
     open_block,
 )
 from repro.runtime.comm import AllToAllStats, block_exchange_stats
+from repro.runtime.spill import (
+    SpillManager,
+    SpillTarget,
+    resident_spill,
+    rewrite_spill_ids,
+    transient_tuples,
+    write_spill_region,
+)
 from repro.runtime.executor import (
     ExecutionBackend,
     create_executor,
@@ -165,8 +179,11 @@ class _ChunkJob:
     expected_counts: np.ndarray
     #: this chunk's write offset in each destination block: (P,)
     write_offsets: np.ndarray
-    #: destination block handles, owner-task order
-    blocks: List[BlockHandle]
+    #: destination block handles, owner-task order (in-memory passes)
+    blocks: List[BlockHandle] | None = None
+    #: destination spill files, owner-task order (out-of-core passes);
+    #: exactly one of ``blocks`` / ``spill_targets`` is set
+    spill_targets: List[SpillTarget] | None = None
 
 
 @dataclass
@@ -238,15 +255,30 @@ def _kmergen_chunk_task(job: _ChunkJob) -> _ChunkResult:
         )
 
     t0 = time.perf_counter_ns()
-    for d, part in enumerate(parts):
-        if len(part):
-            with open_block(job.blocks[d]) as block:
-                block.write(int(job.write_offsets[d]), part)
+    if job.spill_targets is not None:
+        # out-of-core pass: the same statically-offset writes, landing in
+        # the owners' preallocated spill files instead of resident blocks
+        with transient_tuples(kept.nbytes, task=job.task):
+            for d, part in enumerate(parts):
+                if len(part):
+                    write_spill_region(
+                        job.spill_targets[d], int(job.write_offsets[d]), part
+                    )
+    else:
+        for d, part in enumerate(parts):
+            if len(part):
+                with open_block(job.blocks[d]) as block:
+                    block.write(int(job.write_offsets[d]), part)
     t1 = time.perf_counter_ns()
     times.add(StepNames.KMERGEN_COMM, (t1 - t0) / 1e9)
     if tele:
         telemetry.record_span(
             StepNames.KMERGEN_COMM, t0, t1, task=job.task, aux=job.chunk
+        )
+        telemetry.set_gauge(
+            "proc.peak_rss_kb",
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+            task=job.task,
         )
     return _ChunkResult(
         chunk=job.chunk,
@@ -263,9 +295,6 @@ class _OwnerJob:
     task: int
     #: which of the S passes this job belongs to
     pass_index: int
-    #: the task's received-tuple block (sources in rank order — the
-    #: deterministic receive-side layout of the zero-copy exchange)
-    block: BlockHandle
     #: live tuples in the block (== block capacity for this pass)
     n_received: int
     #: the task's forest state; mutated in place by the serial engine,
@@ -273,6 +302,13 @@ class _OwnerJob:
     parent: np.ndarray
     thread_edges: np.ndarray
     span: Tuple[int, int]
+    #: the task's received-tuple block (sources in rank order — the
+    #: deterministic receive-side layout of the zero-copy exchange);
+    #: in-memory passes only
+    block: BlockHandle | None = None
+    #: the task's published spill file (out-of-core passes); the job
+    #: re-attaches it as its one resident block and consumes it
+    spill_target: SpillTarget | None = None
 
 
 @dataclass
@@ -305,7 +341,15 @@ def _owner_sort_cc_task(job: _OwnerJob) -> _OwnerResult:
     times = TimeBreakdown()
     forest = DisjointSetForest.wrap(job.parent)
 
-    with open_block(job.block) as block:
+    if job.spill_target is not None:
+        # lazy re-attachment: this job's spill file becomes its one
+        # resident block, and is consumed (deleted) once folded
+        attach = resident_spill(
+            job.spill_target, task=job.task, consume=True
+        )
+    else:
+        attach = open_block(job.block)
+    with attach as block:
         t0 = time.perf_counter_ns()
         counts = range_partition_block(
             block, job.n_received, ctx.m, job.thread_edges, span=job.span
@@ -337,6 +381,12 @@ def _owner_sort_cc_task(job: _OwnerJob) -> _OwnerResult:
             telemetry.record_span(
                 StepNames.LOCALCC, t0, t1, task=job.task, aux=job.pass_index
             )
+    if tele:
+        telemetry.set_gauge(
+            "proc.peak_rss_kb",
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+            task=job.task,
+        )
     return _OwnerResult(
         task=job.task,
         parent=forest.parent,
@@ -367,6 +417,9 @@ class PipelineResult:
     comm_stats: List[AllToAllStats] = field(default_factory=list)
     #: merged real-run telemetry; None unless the run enabled it
     telemetry: RunTelemetry | None = None
+    #: pass indices that ran out-of-core (the spill schedule's True
+    #: entries); empty for a fully in-memory run
+    spilled_passes: List[int] = field(default_factory=list)
 
     @property
     def n_passes(self) -> int:
@@ -510,6 +563,15 @@ class MetaPrep:
             )
         plan = plan_passes(merhist, n_passes, p_tasks, t_threads)
         assignment = chunk_assignment(table.n_chunks, p_tasks, t_threads)
+        spill_flags = spill_schedule(
+            plan, cfg.tuple_bytes, cfg.memory_budget_per_task, cfg.spill
+        )
+        if any(spill_flags):
+            _LOG.info(
+                "out-of-core: spilling pass(es) %s (mode=%s)",
+                [s for s, f in enumerate(spill_flags) if f],
+                cfg.spill,
+            )
 
         work = RunWork(
             n_tasks=p_tasks,
@@ -578,6 +640,9 @@ class MetaPrep:
         buffers = create_buffer_pool(
             cfg.dataplane, executor.prefers_shared_buffers
         )
+        spill_mgr = (
+            SpillManager(cfg.spill_dir) if any(spill_flags) else None
+        )
         try:
             for spec in plan.passes:
                 if spec.index < start_pass:
@@ -598,6 +663,9 @@ class MetaPrep:
                     executor,
                     buffers,
                     collector,
+                    spill_mgr=(
+                        spill_mgr if spill_flags[spec.index] else None
+                    ),
                 )
                 if store is not None:
                     from repro.core.checkpoint import Checkpoint
@@ -616,9 +684,13 @@ class MetaPrep:
         finally:
             # executor first (workers drop their block attachments when
             # they exit), then the pool unlinks every segment it created
-            # — the crash-safety guarantee the /dev/shm leak tests pin.
+            # — the crash-safety guarantee the /dev/shm leak tests pin —
+            # and the spill dir goes with everything still in it, so an
+            # aborted out-of-core run leaves zero orphan spill files.
             executor.close()
             buffers.close()
+            if spill_mgr is not None:
+                spill_mgr.close()
 
         # ---- MergeCC --------------------------------------------------
         t0_ns = time.perf_counter_ns()
@@ -705,6 +777,7 @@ class MetaPrep:
             cc_stats=cc_stats,
             comm_stats=comm_stats,
             telemetry=run_telemetry,
+            spilled_passes=[s for s, f in enumerate(spill_flags) if f],
         )
 
     # ------------------------------------------------------------------
@@ -722,11 +795,13 @@ class MetaPrep:
         executor: ExecutionBackend,
         buffers: BufferPool,
         collector: TelemetryCollector | None = None,
+        spill_mgr: SpillManager | None = None,
     ) -> None:
         cfg = self.config
         p_tasks, t_threads = cfg.n_tasks, cfg.n_threads
         is_first_pass = spec.index == 0
         use_opt = cfg.localcc_opt and not is_first_pass
+        spilling = spill_mgr is not None
 
         expected = None
         if cfg.verify_static_counts:
@@ -752,10 +827,22 @@ class MetaPrep:
         offsets, sender_splits, totals = recv_write_offsets(
             per_chunk, assignment, p_tasks, t_threads
         )
-        dest_blocks = [
-            buffers.allocate(cfg.k, int(totals[d])) for d in range(p_tasks)
-        ]
-        handles = [block.handle() for block in dest_blocks]
+        if spilling:
+            # out-of-core pass: no destination blocks exist anywhere —
+            # the owners' tuples accumulate in preallocated spill files
+            # whose byte layout every writer derives from (k, totals[d])
+            dest_blocks: List = []
+            handles: List[BlockHandle] = []
+            spill_targets = spill_mgr.create_pass_targets(
+                spec.index, cfg.k, [int(t) for t in totals]
+            )
+        else:
+            dest_blocks = [
+                buffers.allocate(cfg.k, int(totals[d]))
+                for d in range(p_tasks)
+            ]
+            handles = [block.handle() for block in dest_blocks]
+            spill_targets = None
 
         try:
             # ---- KmerGen (+ I/O) ---------------------------------------
@@ -774,7 +861,8 @@ class MetaPrep:
                         task_edges=spec.task_edges,
                         expected_counts=per_chunk[c],
                         write_offsets=offsets[c],
-                        blocks=handles,
+                        blocks=None if spilling else handles,
+                        spill_targets=spill_targets,
                     )
                     for c in range(table.n_chunks)
                 ],
@@ -818,7 +906,21 @@ class MetaPrep:
                     for p in range(p_tasks):
                         lo_i = int(sender_splits[p, d])
                         hi_i = int(sender_splits[p + 1, d])
-                        if hi_i > lo_i:
+                        if hi_i <= lo_i:
+                            continue
+                        if spilling:
+                            # same elementwise mapping, applied to the
+                            # ids column region of the spill file — only
+                            # that region's 4 bytes/tuple are resident
+                            rewrite_spill_ids(
+                                spill_targets[d],
+                                lo_i,
+                                hi_i,
+                                lambda ids, p=p: map_ids_to_components(
+                                    ids, forests[p]
+                                ),
+                            )
+                        else:
                             region = dest_blocks[d].view(lo_i, hi_i)
                             region.read_ids[:] = map_ids_to_components(
                                 region.read_ids, forests[p]
@@ -850,24 +952,34 @@ class MetaPrep:
                 list(stats.max_message_bytes_per_stage)
             )
 
+            if spilling:
+                # stage barrier: fsync + rename every owner's file from
+                # its in-flight name; consumers only ever see complete,
+                # durable spill files
+                spill_targets = spill_mgr.publish(spill_targets)
+
             # ---- LocalSort + LocalCC per owner task ---------------------
             # One job per destination task d; the serial engine mutates
             # forests[d] in place, the process engine round-trips a
             # pickled copy — either way res.parent is the post-pass
-            # forest state.  Tuples stay in the blocks throughout.
+            # forest state.  In-memory passes keep tuples in the blocks
+            # throughout; spill passes re-attach one owner file each.
             owner_results = executor.map(
                 _owner_sort_cc_task,
                 [
                     _OwnerJob(
                         task=d,
                         pass_index=spec.index,
-                        block=handles[d],
                         n_received=int(totals[d]),
                         parent=forests[d].parent,
                         thread_edges=spec.thread_edges[d],
                         span=(
                             int(spec.task_edges[d]),
                             int(spec.task_edges[d + 1]),
+                        ),
+                        block=None if spilling else handles[d],
+                        spill_target=(
+                            spill_targets[d] if spilling else None
                         ),
                     )
                     for d in range(p_tasks)
@@ -896,3 +1008,7 @@ class MetaPrep:
         finally:
             for block in dest_blocks:
                 buffers.release(block)
+            if spilling:
+                # owner jobs consume their files on success; this covers
+                # every failure path so no pass leaves files behind
+                spill_mgr.sweep_pass(spec.index)

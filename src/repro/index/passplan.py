@@ -166,8 +166,19 @@ def passes_for_memory_budget(
 
     The planner uses the *actual worst pass* (max tuples over the balanced
     pass split), not the average, so a skewed histogram is handled.
+
+    Raises ``ValueError`` for a zero/negative budget or ``tuple_bytes``, a
+    negative ``reserved_bytes_per_task``, or a reservation that consumes
+    the whole budget — a nonsensical budget must fail here, loudly, not
+    surface later as a division artifact or an absurd pass count.
     """
     check_positive("memory_budget_per_task", memory_budget_per_task)
+    check_positive("tuple_bytes", tuple_bytes)
+    if reserved_bytes_per_task < 0:
+        raise ValueError(
+            "reserved_bytes_per_task must be >= 0, got "
+            f"{reserved_bytes_per_task}"
+        )
     available = memory_budget_per_task - reserved_bytes_per_task
     if available <= 0:
         raise ValueError(
@@ -188,3 +199,47 @@ def passes_for_memory_budget(
         f"no pass count up to {max_passes} fits the per-task budget of "
         f"{memory_budget_per_task} bytes"
     )
+
+
+def spill_schedule(
+    plan: PassPlan,
+    tuple_bytes: int,
+    memory_budget_per_task: int | None,
+    mode: str = "auto",
+) -> List[bool]:
+    """Decide, per pass, whether tuples go through spill files or RAM.
+
+    The planner decision rule of the out-of-core mode
+    (:mod:`repro.runtime.spill`).  The quantity compared against the
+    budget is what in-memory execution would actually keep resident for
+    pass ``s``: every owner task's destination block at once —
+    ``tuple_bytes * spec.tuples`` — because KmerGen scatters into all P
+    blocks and they stay mapped until LocalCC drains them.  Spilling
+    replaces that with at most one owner's block
+    (``~tuple_bytes * spec.tuples / P``) resident per worker at a time.
+
+    * ``"never"``: all in-memory (the historical behavior);
+    * ``"always"``: every pass spills;
+    * ``"auto"``: pass ``s`` spills iff a budget is configured and the
+      pass's in-memory residency exceeds it.  With no budget, ``auto``
+      never spills — out-of-core is opt-in via the budget, mirroring how
+      ``n_passes=None`` makes the budget drive the pass count.
+
+    Returns one decision per pass, aligned with ``plan.passes``.
+    """
+    from repro.runtime.spill import SPILL_NAMES
+
+    if mode not in SPILL_NAMES:
+        raise ValueError(f"spill must be one of {SPILL_NAMES}, got {mode!r}")
+    check_positive("tuple_bytes", tuple_bytes)
+    if mode == "never":
+        return [False] * plan.n_passes
+    if mode == "always":
+        return [True] * plan.n_passes
+    if memory_budget_per_task is None:
+        return [False] * plan.n_passes
+    check_positive("memory_budget_per_task", memory_budget_per_task)
+    return [
+        tuple_bytes * spec.tuples > memory_budget_per_task
+        for spec in plan.passes
+    ]

@@ -1,0 +1,573 @@
+"""Out-of-core spill pipeline: TupleBlocks on disk between stage barriers.
+
+The §3.7 pass planner bounds *per-pass* tuple volume, but in-memory
+execution still keeps every owner task's :class:`~repro.runtime.buffers.
+TupleBlock` resident for the whole pass — KmerGen writes all P
+destination blocks, and they stay mapped until LocalCC finishes.  Tuple
+volume per pass, not the configured budget, therefore caps dataset
+size.  This module is the external-memory alternative (KMC-style
+disk-partitioned binning): tuples land in per-owner *spill files*
+instead of resident blocks, and each consumer re-attaches **one**
+owner's data at a time.
+
+Wire format
+-----------
+A spill file is exactly the PR-4 checkpoint block-spill format — the
+``MPREPTAB`` container with schema :data:`TUPLEBLOCK_SCHEMA`, a JSON
+header carrying ``{k, length, two_limb}``, and the raw columnar payload
+(``lo``, ``ids``, and for two-limb k-mers ``hi``).  A whole-block spill
+(:func:`write_spill`) and a region-filled preallocated file
+(:func:`create_spill_file` + :func:`write_spill_region`) produce
+byte-identical files, because :func:`repro.seqio.tables.table_layout`
+makes every column's byte offset a pure function of ``(k, length)`` —
+which is what lets KmerGen chunk workers address disjoint file regions
+at their index-precomputed offsets with no coordination, the on-disk
+twin of the zero-copy all-to-all.
+
+Hygiene
+-------
+The discipline mirrors the /dev/shm dataplane (`repro.runtime.buffers`):
+
+* every spill file lives in a :class:`SpillManager` directory
+  (``metaprep-spill-<pid>-...``), swept by the pipeline's ``finally``
+  and by a ``weakref.finalize`` safety net, so a crashed run leaves
+  zero orphan files;
+* files are *published* with an fsync'd temp-then-rename
+  (:meth:`SpillManager.publish`), so a reader never observes a torn
+  file under a final name;
+* stale directories from hard-killed processes are reaped
+  opportunistically (:func:`sweep_stale_spill_dirs`) — the name embeds
+  the creating pid;
+* every open of a spill file routes through this module — rule MP502
+  (``metaprep check``) statically enforces it, exactly as MP501 does
+  for shared-memory segments.
+
+Corruption (truncated header or payload, bad magic, version or schema
+skew) raises :class:`SpillCorruption`; a partial block is never
+returned.
+
+Residency protocol
+------------------
+:func:`resident_spill` is the only way stage code maps spilled tuples
+back into memory: it loads the file into a private heap block, accounts
+the bytes in a per-thread residency ledger (telemetry gauges
+``spill.blocks_resident`` / ``spill.tuple_bytes_resident``, max-merged
+per task), and releases the block — and optionally the file — on exit.
+Each owner job therefore holds exactly one resident block; the
+differential memory-bound suite (``tests/integration/test_out_of_core
+.py``) asserts the resulting high-water mark stays under
+``memory_budget_per_task``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import struct
+import tempfile
+import threading
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Sequence
+
+import numpy as np
+
+from repro import telemetry
+from repro.kmers.codec import MAX_K_ONE_LIMB, MAX_K_TWO_LIMB, KmerArray
+from repro.kmers.engine import KmerTuples
+from repro.runtime.buffers import BufferPool, HeapBufferPool, TupleBlock
+from repro.seqio.tables import (
+    BinaryTableError,
+    read_table,
+    table_layout,
+    preallocate_table,
+    write_table,
+)
+from repro.util.logging import get_logger
+from repro.util.validation import check_in_range
+
+_LOG = get_logger("runtime.spill")
+
+#: recognized spill-mode names, in documentation order (``auto`` spills
+#: a pass only when its in-memory residency exceeds the budget; see
+#: :func:`repro.index.passplan.spill_schedule`)
+SPILL_NAMES = ("auto", "never", "always")
+
+#: schema tag of the block-spill container (PR 4 checkpoint format)
+TUPLEBLOCK_SCHEMA = "metaprep/tupleblock"
+
+#: spill directory name prefix; embeds the creating pid for stale sweep
+SPILL_DIR_PREFIX = "metaprep-spill-"
+
+#: published spill files end with this; in-flight files add ``.tmp``
+SPILL_SUFFIX = ".spill"
+
+_LO_DTYPE = np.dtype(np.uint64)
+_HI_DTYPE = np.dtype(np.uint64)
+_IDS_DTYPE = np.dtype(np.uint32)
+
+
+class SpillError(RuntimeError):
+    """Base class for out-of-core spill failures."""
+
+
+class SpillCorruption(SpillError):
+    """A spill file is torn or inconsistent (truncated header or
+    payload, bad magic, version/schema skew, self-contradictory
+    metadata).  Readers never see a partial block — they see this."""
+
+
+# ----------------------------------------------------------------------
+# wire format layout
+# ----------------------------------------------------------------------
+def _two_limb(k: int) -> bool:
+    return k > MAX_K_ONE_LIMB
+
+
+def _block_meta(k: int, length: int) -> dict:
+    # field set and types match the historical checkpoint writer exactly
+    return {"k": int(k), "length": int(length), "two_limb": _two_limb(k)}
+
+
+def _array_specs(k: int, length: int) -> list:
+    # column order is part of the on-disk layout: lo, ids, then hi —
+    # the order the checkpoint block-spill writer has always emitted
+    specs = [("lo", _LO_DTYPE, (length,)), ("ids", _IDS_DTYPE, (length,))]
+    if _two_limb(k):
+        specs.append(("hi", _HI_DTYPE, (length,)))
+    return specs
+
+
+@dataclass(frozen=True)
+class SpillLayout:
+    """Byte layout of one spill file — pure function of ``(k, length)``.
+
+    ``lo_offset``/``ids_offset``/``hi_offset`` are the file offsets of
+    each column's first data byte (``hi_offset`` is ``-1`` in one-limb
+    mode); ``file_bytes`` is the complete file size.
+    """
+
+    k: int
+    length: int
+    lo_offset: int
+    ids_offset: int
+    hi_offset: int
+    file_bytes: int
+
+    @classmethod
+    def for_block(cls, k: int, length: int) -> "SpillLayout":
+        check_in_range("k", k, 1, MAX_K_TWO_LIMB)
+        if length < 0:
+            raise ValueError(f"length must be >= 0, got {length}")
+        total, offsets = table_layout(
+            TUPLEBLOCK_SCHEMA, _block_meta(k, length), _array_specs(k, length)
+        )
+        return cls(
+            k=int(k),
+            length=int(length),
+            lo_offset=offsets["lo"],
+            ids_offset=offsets["ids"],
+            hi_offset=offsets.get("hi", -1),
+            file_bytes=total,
+        )
+
+
+@dataclass(frozen=True)
+class SpillTarget:
+    """Picklable handle to one spill file — what executor job payloads
+    carry instead of a :class:`~repro.runtime.buffers.BlockDescriptor`.
+    A few hundred bytes regardless of tuple volume, like its shared-
+    memory twin."""
+
+    path: str
+    k: int
+    capacity: int
+
+    def layout(self) -> SpillLayout:
+        return SpillLayout.for_block(self.k, self.capacity)
+
+
+# ----------------------------------------------------------------------
+# whole-block spill / load (the checkpoint-format primitives)
+# ----------------------------------------------------------------------
+def write_spill(
+    path: str | os.PathLike, block: TupleBlock, length: int | None = None
+) -> None:
+    """Spill a block's first ``length`` tuples to ``path``.
+
+    Fsync'd temp-then-rename publish: the bytes are durable and complete
+    under the final name or absent — never torn.  The written file is
+    byte-identical to a preallocated-and-region-filled spill of the same
+    tuples.
+    """
+    length = block.capacity if length is None else length
+    view = block.view(0, length)
+    arrays = {"lo": view.kmers.lo, "ids": view.read_ids}
+    if block.two_limb:
+        arrays["hi"] = view.kmers.hi
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    written = write_table(tmp, TUPLEBLOCK_SCHEMA, _block_meta(block.k, length), arrays)
+    _fsync_path(tmp)
+    os.replace(tmp, path)
+    if telemetry.enabled():
+        telemetry.add_counter("spill.bytes_written", int(written))
+
+
+def read_spill(path: str | os.PathLike, pool: BufferPool) -> TupleBlock:
+    """Load a spill file into a fresh block from ``pool``.
+
+    The backing is the loader's choice — a spill written from a heap
+    block restores into a shared segment and vice versa; only the bytes
+    are contractual.  Raises :class:`SpillCorruption` for any malformed
+    file; never returns a partial block.
+    """
+    try:
+        meta, arrays = read_table(path, expect_schema=TUPLEBLOCK_SCHEMA)
+    except FileNotFoundError:
+        raise
+    except (BinaryTableError, struct.error, KeyError, ValueError, TypeError) as exc:
+        raise SpillCorruption(f"{path}: unreadable spill file: {exc}") from exc
+
+    try:
+        k, length = int(meta["k"]), int(meta["length"])
+        two_limb = bool(meta["two_limb"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SpillCorruption(f"{path}: incomplete spill metadata: {exc}") from exc
+    if not (1 <= k <= MAX_K_TWO_LIMB) or length < 0:
+        raise SpillCorruption(f"{path}: implausible spill metadata k={k}, length={length}")
+    if two_limb != _two_limb(k):
+        raise SpillCorruption(
+            f"{path}: two_limb={two_limb} contradicts k={k}"
+        )
+    expect_cols = {"lo", "ids"} | ({"hi"} if two_limb else set())
+    if set(arrays) != expect_cols or any(
+        arrays[name].shape != (length,) for name in expect_cols
+    ):
+        raise SpillCorruption(
+            f"{path}: column set/shape does not match header "
+            f"(length {length}, columns {sorted(arrays)})"
+        )
+
+    block = pool.allocate(k, length)
+    hi = arrays["hi"] if two_limb else None
+    block.write(0, KmerTuples(KmerArray(k, arrays["lo"], hi), arrays["ids"]))
+    if telemetry.enabled():
+        telemetry.add_counter("spill.bytes_read", int(block.nbytes))
+    return block
+
+
+# ----------------------------------------------------------------------
+# region-addressed writes (the out-of-core all-to-all)
+# ----------------------------------------------------------------------
+def create_spill_file(path: str | os.PathLike, k: int, length: int) -> SpillLayout:
+    """Preallocate a spill file for ``length`` tuples (driver side).
+
+    The header and array length prefixes are written up front; the
+    payload is zero until region writers fill it.  Because the index
+    tables predict every chunk's contribution before any k-mer is
+    enumerated, the region writes tile the payload exactly — after the
+    last one, the file equals a single-shot :func:`write_spill`.
+    """
+    layout = SpillLayout.for_block(k, length)
+    preallocate_table(
+        path, TUPLEBLOCK_SCHEMA, _block_meta(k, length), _array_specs(k, length)
+    )
+    return layout
+
+
+def write_spill_region(
+    target: SpillTarget, at: int, tuples: KmerTuples
+) -> int:
+    """Write ``tuples`` into ``target``'s file starting at tuple ``at``.
+
+    The out-of-core twin of :meth:`TupleBlock.write` — one positioned
+    write per column at offsets derived from the static layout; writers
+    of disjoint regions never contend.  Returns the end tuple position.
+    """
+    if tuples.k != target.k:
+        raise ValueError(f"k mismatch: target {target.k}, tuples {tuples.k}")
+    n = len(tuples)
+    end = at + n
+    if not (0 <= at and end <= target.capacity):
+        raise ValueError(
+            f"region [{at}, {end}) out of range for capacity {target.capacity}"
+        )
+    if n == 0:
+        return end
+    layout = target.layout()
+    nbytes = 0
+    with open(target.path, "r+b") as fh:
+        for offset, itemsize, column in (
+            (layout.lo_offset, _LO_DTYPE.itemsize, tuples.kmers.lo),
+            (layout.ids_offset, _IDS_DTYPE.itemsize, tuples.read_ids),
+            (layout.hi_offset, _HI_DTYPE.itemsize, tuples.kmers.hi),
+        ):
+            if column is None:
+                continue
+            raw = np.ascontiguousarray(column).tobytes()
+            fh.seek(offset + itemsize * at)
+            fh.write(raw)
+            nbytes += len(raw)
+    if telemetry.enabled():
+        telemetry.add_counter("spill.bytes_written", nbytes)
+    return end
+
+
+def rewrite_spill_ids(
+    target: SpillTarget,
+    lo: int,
+    hi: int,
+    fn: Callable[[np.ndarray], np.ndarray],
+) -> None:
+    """Apply ``fn`` to the ids column over tuples ``[lo, hi)`` in place.
+
+    LocalCC-Opt's id→component mapping, run out-of-core: only the 4-byte
+    ids column of the region is ever resident, so the driver can rewrite
+    arbitrarily large spill files one sender region at a time.
+    """
+    if not (0 <= lo <= hi <= target.capacity):
+        raise ValueError(
+            f"region [{lo}, {hi}) out of range for capacity {target.capacity}"
+        )
+    if hi == lo:
+        return
+    layout = target.layout()
+    start = layout.ids_offset + _IDS_DTYPE.itemsize * lo
+    count = hi - lo
+    with open(target.path, "r+b") as fh:
+        fh.seek(start)
+        raw = fh.read(_IDS_DTYPE.itemsize * count)
+        if len(raw) != _IDS_DTYPE.itemsize * count:
+            raise SpillCorruption(
+                f"{target.path}: ids region [{lo}, {hi}) truncated"
+            )
+        ids = np.frombuffer(raw, dtype=_IDS_DTYPE).copy()
+        mapped = np.asarray(fn(ids), dtype=_IDS_DTYPE)
+        if mapped.shape != ids.shape:
+            raise ValueError("ids mapping changed the region length")
+        fh.seek(start)
+        fh.write(mapped.tobytes())
+
+
+def consume_spill(path: str | os.PathLike) -> None:
+    """Delete a spill file after its one consumer is done (idempotent)."""
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# residency ledger
+# ----------------------------------------------------------------------
+_RESIDENT = threading.local()
+
+
+def _resident_state() -> dict:
+    state = getattr(_RESIDENT, "state", None)
+    if state is None:
+        state = {"blocks": 0, "bytes": 0}
+        _RESIDENT.state = state
+    return state
+
+
+def resident_tuple_bytes() -> int:
+    """Currently resident spilled tuple bytes on this thread (the value
+    the ``spill.tuple_bytes_resident`` gauge samples)."""
+    return _resident_state()["bytes"]
+
+
+def note_resident(nbytes: int, blocks: int, task: int = -1) -> None:
+    """Adjust the residency ledger and sample the telemetry gauges.
+
+    Gauges are max-merged per task, so the merged record's maximum *is*
+    the high-water mark the memory-bound tests assert against."""
+    state = _resident_state()
+    state["bytes"] = max(0, state["bytes"] + int(nbytes))
+    state["blocks"] = max(0, state["blocks"] + int(blocks))
+    if telemetry.enabled():
+        telemetry.set_gauge("spill.tuple_bytes_resident", state["bytes"], task=task)
+        telemetry.set_gauge("spill.blocks_resident", state["blocks"], task=task)
+
+
+@contextmanager
+def transient_tuples(nbytes: int, task: int = -1) -> Iterator[None]:
+    """Account a short-lived tuple batch (a chunk's kept tuples while a
+    KmerGen worker routes them to spill files) in the residency ledger."""
+    note_resident(nbytes, 0, task=task)
+    try:
+        yield
+    finally:
+        note_resident(-nbytes, 0, task=task)
+
+
+@contextmanager
+def resident_spill(
+    target: SpillTarget,
+    task: int = -1,
+    pool: BufferPool | None = None,
+    consume: bool = False,
+) -> Iterator[TupleBlock]:
+    """Map one spilled block into memory for the duration of the body.
+
+    The lazy re-attachment primitive of the residency protocol: loads
+    ``target`` into a private heap block (or ``pool``), accounts it in
+    the residency ledger, and on exit releases the block — and, with
+    ``consume=True``, deletes the file (each spill file has exactly one
+    consumer).  Stage code holds at most one resident block per owner at
+    a time by construction.
+    """
+    owned_pool = pool is None
+    pool = pool if pool is not None else HeapBufferPool()
+    block = read_spill(target.path, pool)
+    note_resident(block.nbytes, 1, task=task)
+    try:
+        yield block
+    finally:
+        note_resident(-block.nbytes, -1, task=task)
+        pool.release(block)
+        if owned_pool:
+            pool.close()
+        if consume:
+            consume_spill(target.path)
+
+
+# ----------------------------------------------------------------------
+# spill directory lifecycle
+# ----------------------------------------------------------------------
+def _fsync_path(path: str | os.PathLike) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _sweep_dir(directory: str) -> None:
+    shutil.rmtree(directory, ignore_errors=True)
+
+
+def sweep_stale_spill_dirs(root: str | os.PathLike) -> List[Path]:
+    """Remove spill directories left behind by dead processes.
+
+    A spill directory's name embeds its creating pid; if that pid no
+    longer runs, nothing will ever sweep the directory — the out-of-core
+    analogue of the resource tracker's /dev/shm cleanup.  Unparseable
+    names and live pids are left alone.  Returns the removed paths.
+    """
+    root = Path(root)
+    removed: List[Path] = []
+    if not root.is_dir():
+        return removed
+    for entry in root.glob(f"{SPILL_DIR_PREFIX}*"):
+        if not entry.is_dir():
+            continue
+        tag = entry.name[len(SPILL_DIR_PREFIX):]
+        pid_text = tag.split("-", 1)[0]
+        if not pid_text.isdigit():
+            continue
+        pid = int(pid_text)
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        shutil.rmtree(entry, ignore_errors=True)
+        removed.append(entry)
+    if removed:
+        _LOG.info("swept %d stale spill dir(s) under %s", len(removed), root)
+    return removed
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - someone else's live pid
+        return True
+    return True
+
+
+class SpillManager:
+    """Owns one run's spill directory and its files' lifecycle.
+
+    Creation, publish, and sweep are driver-side; workers only ever
+    write regions of (or load) files the driver handed them as
+    :class:`SpillTarget` payloads.  The directory is removed by
+    :meth:`close` (the pipeline's ``finally``) or, for an abandoned
+    manager, by a ``weakref.finalize`` at GC/interpreter exit — the same
+    two-layer sweep the shared-memory pool uses, so a crashed run leaves
+    zero orphan spill files.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        base = Path(root) if root is not None else Path(tempfile.gettempdir())
+        base.mkdir(parents=True, exist_ok=True)
+        sweep_stale_spill_dirs(base)
+        self.directory = Path(
+            tempfile.mkdtemp(prefix=f"{SPILL_DIR_PREFIX}{os.getpid()}-", dir=base)
+        )
+        self._finalizer = weakref.finalize(self, _sweep_dir, str(self.directory))
+
+    # ------------------------------------------------------------------
+    def _pass_name(self, pass_index: int, task: int) -> str:
+        return f"pass{pass_index}-task{task}{SPILL_SUFFIX}"
+
+    def create_pass_targets(
+        self, pass_index: int, k: int, totals: Sequence[int]
+    ) -> List[SpillTarget]:
+        """Preallocate one in-flight (``.tmp``) spill file per owner
+        task, sized exactly by the index tables."""
+        targets: List[SpillTarget] = []
+        for task, total in enumerate(totals):
+            path = self.directory / (self._pass_name(pass_index, task) + ".tmp")
+            create_spill_file(path, k, int(total))
+            targets.append(SpillTarget(path=str(path), k=int(k), capacity=int(total)))
+        return targets
+
+    def publish(self, targets: Sequence[SpillTarget]) -> List[SpillTarget]:
+        """Fsync and rename each ``.tmp`` file to its final name.
+
+        After publish, a spill file is durable and complete — the
+        barrier between the writers of a stage and its consumers.
+        """
+        published: List[SpillTarget] = []
+        for target in targets:
+            tmp = Path(target.path)
+            if not tmp.name.endswith(".tmp"):
+                published.append(target)
+                continue
+            final = tmp.with_name(tmp.name[: -len(".tmp")])
+            _fsync_path(tmp)
+            os.replace(tmp, final)
+            published.append(
+                SpillTarget(path=str(final), k=target.k, capacity=target.capacity)
+            )
+        return published
+
+    def sweep_pass(self, pass_index: int) -> int:
+        """Remove any files of one pass still on disk (consumers delete
+        their own on success; this covers the failure paths)."""
+        n = 0
+        for path in self.directory.glob(f"pass{pass_index}-task*"):
+            consume_spill(path)
+            n += 1
+        return n
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def close(self) -> None:
+        """Remove the spill directory and everything in it (idempotent;
+        called from the pipeline's ``finally``)."""
+        self._finalizer()
+
+    def __enter__(self) -> "SpillManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -14,16 +14,100 @@ import json
 import os
 import struct
 from pathlib import Path
-from typing import Any, Dict, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
 _MAGIC = b"MPREPTAB"
 _VERSION = 1
 
+#: one array's static description: (name, dtype, shape).  The layout
+#: helpers below take these so callers can reason about a table file's
+#: byte layout without materializing the arrays.
+ArraySpec = Tuple[str, np.dtype, Tuple[int, ...]]
+
 
 class BinaryTableError(IOError):
     """Raised for malformed/corrupt table files."""
+
+
+def _spec_nbytes(dtype: np.dtype, shape: Sequence[int]) -> int:
+    n = 1
+    for dim in shape:
+        n *= int(dim)
+    return np.dtype(dtype).itemsize * n
+
+
+def _header_blob(schema: str, meta: Mapping[str, Any], specs: Sequence[ArraySpec]) -> bytes:
+    """The canonical JSON header for a table holding ``specs``.
+
+    Shared by :func:`write_table` and :func:`preallocate_table` so a
+    preallocated file is byte-identical to one written in a single shot.
+    """
+    header = {
+        "schema": schema,
+        "version": _VERSION,
+        "meta": dict(meta),
+        "arrays": [
+            {
+                "name": name,
+                "dtype": np.lib.format.dtype_to_descr(np.dtype(dtype)),
+                "shape": [int(dim) for dim in shape],
+            }
+            for name, dtype, shape in specs
+        ],
+    }
+    return json.dumps(header, sort_keys=True).encode("utf-8")
+
+
+def table_layout(
+    schema: str, meta: Mapping[str, Any], specs: Sequence[ArraySpec]
+) -> Tuple[int, Dict[str, int]]:
+    """Total file size and per-array payload offsets of a table file.
+
+    The returned offsets point at the first *data* byte of each array
+    (past its ``<Q`` length prefix).  Pure function of the header inputs:
+    every process that knows ``(schema, meta, specs)`` computes the same
+    layout, which is what lets spill writers address disjoint regions of
+    one file without coordination.
+    """
+    blob = _header_blob(schema, meta, specs)
+    offset = len(_MAGIC) + 8 + len(blob)
+    offsets: Dict[str, int] = {}
+    for name, dtype, shape in specs:
+        offset += 8  # the <Q length prefix
+        offsets[name] = offset
+        offset += _spec_nbytes(dtype, shape)
+    return offset, offsets
+
+
+def preallocate_table(
+    path: str | os.PathLike,
+    schema: str,
+    meta: Mapping[str, Any],
+    specs: Sequence[ArraySpec],
+) -> Dict[str, int]:
+    """Create a table file with its full header and a zeroed payload.
+
+    Writes the container prolog and every array's length prefix, then
+    extends the file (sparsely where the filesystem allows) to its final
+    size.  Returns the per-array data offsets of :func:`table_layout`;
+    once every payload byte has been filled in place, the file is
+    byte-identical to a :func:`write_table` of the same arrays.
+    """
+    blob = _header_blob(schema, meta, specs)
+    total, offsets = table_layout(schema, meta, specs)
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as fh:
+        fh.write(_MAGIC)
+        fh.write(struct.pack("<II", _VERSION, len(blob)))
+        fh.write(blob)
+        for name, dtype, shape in specs:
+            nbytes = _spec_nbytes(dtype, shape)
+            fh.write(struct.pack("<Q", nbytes))
+            fh.seek(nbytes, os.SEEK_CUR)
+        fh.truncate(total)
+    return offsets
 
 
 def write_table(
@@ -36,20 +120,15 @@ def write_table(
 
     Returns the number of bytes written.
     """
-    header = {
-        "schema": schema,
-        "version": _VERSION,
-        "meta": dict(meta),
-        "arrays": [
-            {
-                "name": name,
-                "dtype": np.lib.format.dtype_to_descr(arr.dtype),
-                "shape": list(arr.shape),
-            }
-            for name, arr in arrays.items()
-        ],
-    }
-    blob = json.dumps(header, sort_keys=True).encode("utf-8")
+    datas: List[np.ndarray] = []
+    specs: List[ArraySpec] = []
+    for name, arr in arrays.items():
+        data = np.ascontiguousarray(arr)
+        if data.dtype.byteorder == ">":
+            data = data.astype(data.dtype.newbyteorder("<"))
+        datas.append(data)
+        specs.append((name, data.dtype, data.shape))
+    blob = _header_blob(schema, meta, specs)
     Path(path).parent.mkdir(parents=True, exist_ok=True)
     written = 0
     with open(path, "wb") as fh:
@@ -57,10 +136,7 @@ def write_table(
         fh.write(struct.pack("<II", _VERSION, len(blob)))
         fh.write(blob)
         written = len(_MAGIC) + 8 + len(blob)
-        for arr in arrays.values():
-            data = np.ascontiguousarray(arr)
-            if data.dtype.byteorder == ">":
-                data = data.astype(data.dtype.newbyteorder("<"))
+        for data in datas:
             raw = data.tobytes()
             fh.write(struct.pack("<Q", len(raw)))
             fh.write(raw)
@@ -80,11 +156,17 @@ def read_table(
         magic = fh.read(len(_MAGIC))
         if magic != _MAGIC:
             raise BinaryTableError(f"{path}: bad magic {magic!r}")
-        version, hlen = struct.unpack("<II", fh.read(8))
+        prolog = fh.read(8)
+        if len(prolog) < 8:
+            raise BinaryTableError(f"{path}: truncated header")
+        version, hlen = struct.unpack("<II", prolog)
         if version != _VERSION:
             raise BinaryTableError(f"{path}: unsupported version {version}")
+        raw_header = fh.read(hlen)
+        if len(raw_header) < hlen:
+            raise BinaryTableError(f"{path}: truncated header")
         try:
-            header = json.loads(fh.read(hlen).decode("utf-8"))
+            header = json.loads(raw_header.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise BinaryTableError(f"{path}: corrupt header: {exc}") from exc
         schema = header.get("schema")
@@ -95,7 +177,12 @@ def read_table(
             )
         arrays: Dict[str, np.ndarray] = {}
         for spec in header["arrays"]:
-            (nbytes,) = struct.unpack("<Q", fh.read(8))
+            prefix = fh.read(8)
+            if len(prefix) < 8:
+                raise BinaryTableError(
+                    f"{path}: truncated array {spec['name']}"
+                )
+            (nbytes,) = struct.unpack("<Q", prefix)
             raw = fh.read(nbytes)
             if len(raw) != nbytes:
                 raise BinaryTableError(f"{path}: truncated array {spec['name']}")

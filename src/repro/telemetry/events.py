@@ -61,6 +61,8 @@ COUNTER_NAMES = (
     "cc.retries",
     "store.hits",
     "store.misses",
+    "spill.bytes_written",
+    "spill.bytes_read",
 )
 
 #: gauge names (merged by max: high-water marks)
@@ -69,6 +71,9 @@ GAUGE_NAMES = (
     "buffers.pool_in_use_bytes",
     "buffers.pool_hwm_bytes",
     "service.queue_depth",
+    "spill.blocks_resident",
+    "spill.tuple_bytes_resident",
+    "proc.peak_rss_kb",
 )
 
 #: the static name registry; ids are positions in this tuple, so the

@@ -53,3 +53,43 @@ class TestValidation:
     def test_filter_accepted(self):
         cfg = PipelineConfig(kmer_filter=FrequencyFilter(10, 30))
         assert cfg.kmer_filter.describe() == "10 <= KF < 30"
+
+    @pytest.mark.parametrize("budget", [0, -1, -(1 << 30)])
+    def test_nonpositive_budget_rejected_with_fixed_passes(self, budget):
+        """Regression: with n_passes set, a zero/negative budget used to
+        pass validation silently (it still drives the spill schedule)."""
+        with pytest.raises(ValueError, match="memory_budget_per_task"):
+            PipelineConfig(n_passes=2, memory_budget_per_task=budget)
+
+    @pytest.mark.parametrize("budget", [0, -1])
+    def test_nonpositive_budget_rejected_with_derived_passes(self, budget):
+        with pytest.raises(ValueError, match="memory_budget_per_task"):
+            PipelineConfig(n_passes=None, memory_budget_per_task=budget)
+
+
+class TestSpillKnob:
+    def test_default_is_auto(self):
+        assert PipelineConfig().spill == "auto"
+        assert PipelineConfig().spill_dir is None
+
+    @pytest.mark.parametrize("mode", ["auto", "never", "always"])
+    def test_valid_modes_accepted(self, mode):
+        assert PipelineConfig(spill=mode).spill == mode
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="spill"):
+            PipelineConfig(spill="sometimes")
+
+    def test_spill_fields_partition_irrelevant(self):
+        """The spill knobs must never enter the partition fingerprint:
+        spill and in-memory runs are bit-identical by contract."""
+        from repro.core.checkpoint import (
+            PARTITION_IRRELEVANT_FIELDS,
+            config_payload,
+        )
+
+        assert "spill" in PARTITION_IRRELEVANT_FIELDS
+        assert "spill_dir" in PARTITION_IRRELEVANT_FIELDS
+        payload = config_payload(PipelineConfig())
+        assert "spill" not in payload
+        assert "spill_dir" not in payload

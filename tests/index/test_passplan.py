@@ -6,6 +6,7 @@ from repro.index.passplan import (
     balanced_boundaries,
     passes_for_memory_budget,
     plan_passes,
+    spill_schedule,
 )
 
 
@@ -151,3 +152,68 @@ class TestPassesForMemoryBudget:
         assert s == 1
         with pytest.raises(ValueError):
             passes_for_memory_budget(hist, 1, 12, need // 2)
+
+    @pytest.mark.parametrize("budget", [0, -1, -(1 << 30)])
+    def test_zero_or_negative_budget_rejected(self, budget):
+        """Regression: a nonsensical budget must raise a clear error up
+        front, not surface downstream as a division artifact."""
+        hist = hist_of(np.full(256, 1000))
+        with pytest.raises(ValueError, match="memory_budget_per_task"):
+            passes_for_memory_budget(hist, 1, 12, budget)
+
+    def test_nonpositive_tuple_bytes_rejected(self):
+        hist = hist_of(np.full(256, 1000))
+        with pytest.raises(ValueError, match="tuple_bytes"):
+            passes_for_memory_budget(hist, 1, 0, 1 << 20)
+
+    def test_negative_reserved_bytes_rejected(self):
+        hist = hist_of(np.full(256, 1000))
+        with pytest.raises(ValueError, match="reserved_bytes_per_task"):
+            passes_for_memory_budget(
+                hist, 1, 12, 1 << 20, reserved_bytes_per_task=-1
+            )
+
+
+class TestSpillSchedule:
+    def _plan(self, counts, n_passes=2):
+        return plan_passes(hist_of(counts), n_passes, 2, 2)
+
+    def test_never_is_all_false(self):
+        plan = self._plan(np.full(256, 100))
+        assert spill_schedule(plan, 12, 1, "never") == [False, False]
+
+    def test_always_is_all_true(self):
+        plan = self._plan(np.full(256, 100))
+        assert spill_schedule(plan, 12, None, "always") == [True, True]
+
+    def test_auto_without_budget_never_spills(self):
+        plan = self._plan(np.full(256, 100))
+        assert spill_schedule(plan, 12, None, "auto") == [False, False]
+
+    def test_auto_spills_only_overbudget_passes(self):
+        # pass 0 carries the heavy bin; pass 1 is light
+        counts = np.ones(256, dtype=np.uint32)
+        counts[0] = 10_000
+        plan = self._plan(counts)
+        heavy, light = (p.tuples for p in plan.passes)
+        assert heavy > light
+        budget = 12 * (light + 1)
+        assert spill_schedule(plan, 12, budget, "auto") == [True, False]
+
+    def test_auto_compares_whole_pass_residency(self):
+        """The decision quantity is the pass's full in-memory footprint
+        (every owner block at once), not one task's share."""
+        plan = self._plan(np.full(256, 100))
+        volume = 12 * plan.passes[0].tuples
+        assert spill_schedule(plan, 12, volume, "auto") == [False, False]
+        assert spill_schedule(plan, 12, volume - 1, "auto") == [True, True]
+
+    def test_unknown_mode_rejected(self):
+        plan = self._plan(np.full(256, 100))
+        with pytest.raises(ValueError, match="spill"):
+            spill_schedule(plan, 12, None, "sometimes")
+
+    def test_nonpositive_budget_rejected(self):
+        plan = self._plan(np.full(256, 100))
+        with pytest.raises(ValueError, match="memory_budget_per_task"):
+            spill_schedule(plan, 12, 0, "auto")

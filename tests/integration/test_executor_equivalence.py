@@ -45,13 +45,14 @@ GRID = [
 ]
 
 
-def _run(tiny_hg, indexes, grid_point, executor, dataplane="auto"):
+def _run(tiny_hg, indexes, grid_point, executor, dataplane="auto", spill="never"):
     cfg = PipelineConfig(
         m=M,
         write_outputs=False,
         executor=executor,
         max_workers=2,
         dataplane=dataplane,
+        spill=spill,
         **grid_point,
     )
     return MetaPrep(cfg).run(tiny_hg.units, index=indexes[grid_point["k"]])
@@ -125,6 +126,28 @@ class TestBitIdentity:
         assert_runwork_identical(heap.work, shared.work)
         assert heap.sort_stats == shared.sort_stats
         assert heap.cc_stats == shared.cc_stats
+
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_spill_always_matches_never(
+        self, tiny_hg, indexes, grid_point, executor
+    ):
+        """Fourth leg of the differential: the out-of-core path forced
+        on.  Tuples travel through spill files on disk instead of
+        resident blocks — any byte the spill format or the lazy
+        re-attachment moves differently breaks bit-identity here."""
+        inmem = _run(tiny_hg, indexes, grid_point, executor, spill="never")
+        spilled = _run(tiny_hg, indexes, grid_point, executor, spill="always")
+        assert spilled.spilled_passes == list(range(grid_point["n_passes"]))
+        assert np.array_equal(
+            inmem.partition.labels, spilled.partition.labels
+        )
+        assert np.array_equal(
+            inmem.partition.parent, spilled.partition.parent
+        )
+        assert inmem.partition.summary == spilled.partition.summary
+        assert_runwork_identical(inmem.work, spilled.work)
+        assert inmem.sort_stats == spilled.sort_stats
+        assert inmem.cc_stats == spilled.cc_stats
 
 
 class TestStaticChecksActiveInWorkers:

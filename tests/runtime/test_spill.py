@@ -1,0 +1,417 @@
+"""Out-of-core spill module: wire format, torn-write behavior, region
+writes, residency accounting, and spill-directory hygiene."""
+
+import os
+import struct
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.kmers.codec import KmerArray
+from repro.kmers.engine import KmerTuples
+from repro.runtime.buffers import HeapBufferPool, SharedMemoryBufferPool
+from repro.runtime.spill import (
+    SpillCorruption,
+    SpillLayout,
+    SpillManager,
+    SpillTarget,
+    consume_spill,
+    create_spill_file,
+    read_spill,
+    resident_spill,
+    resident_tuple_bytes,
+    rewrite_spill_ids,
+    sweep_stale_spill_dirs,
+    write_spill,
+    write_spill_region,
+)
+
+
+def make_tuples(k, n, seed=0):
+    rng = np.random.default_rng(seed)
+    lo = rng.integers(0, 2**63, n, dtype=np.uint64)
+    hi = rng.integers(0, 2**63, n, dtype=np.uint64) if k > 31 else None
+    ids = rng.integers(0, 2**32, n, dtype=np.uint32)
+    return KmerTuples(KmerArray(k, lo, hi), ids)
+
+
+def make_block(pool, k, n, seed=0):
+    tuples = make_tuples(k, n, seed)
+    block = pool.allocate(k, n)
+    block.write(0, tuples)
+    return block, tuples
+
+
+@pytest.fixture
+def pool():
+    p = HeapBufferPool()
+    yield p
+    p.close()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("k", [15, 31, 33])
+    def test_write_read_bit_identical(self, pool, tmp_path, k):
+        block, tuples = make_block(pool, k, 123)
+        path = tmp_path / "a.spill"
+        write_spill(path, block)
+        got = read_spill(path, pool)
+        view = got.view(0, 123)
+        assert np.array_equal(view.kmers.lo, tuples.kmers.lo)
+        if k > 31:
+            assert np.array_equal(view.kmers.hi, tuples.kmers.hi)
+        assert np.array_equal(view.read_ids, tuples.read_ids)
+        pool.release(block)
+        pool.release(got)
+
+    def test_partial_length_spills_live_prefix(self, pool, tmp_path):
+        block, tuples = make_block(pool, 21, 100)
+        path = tmp_path / "a.spill"
+        write_spill(path, block, length=40)
+        got = read_spill(path, pool)
+        assert got.capacity == 40
+        assert np.array_equal(
+            got.view(0, 40).kmers.lo, tuples.kmers.lo[:40]
+        )
+        pool.release(block)
+        pool.release(got)
+
+    def test_zero_tuple_block(self, pool, tmp_path):
+        block = pool.allocate(27, 0)
+        path = tmp_path / "empty.spill"
+        write_spill(path, block)
+        got = read_spill(path, pool)
+        assert got.capacity == 0
+        pool.release(block)
+        pool.release(got)
+
+    def test_restores_into_shared_pool(self, pool, tmp_path):
+        """Backing is the loader's choice: heap-written spill restores
+        into a shared-memory segment with identical bytes."""
+        block, tuples = make_block(pool, 33, 64)
+        path = tmp_path / "a.spill"
+        write_spill(path, block)
+        shared = SharedMemoryBufferPool()
+        try:
+            got = read_spill(path, shared)
+            view = got.view(0, 64)
+            assert np.array_equal(view.kmers.lo, tuples.kmers.lo)
+            assert np.array_equal(view.kmers.hi, tuples.kmers.hi)
+            assert np.array_equal(view.read_ids, tuples.read_ids)
+            shared.release(got)
+        finally:
+            shared.close()
+        pool.release(block)
+
+    def test_no_tmp_file_left_after_publish(self, pool, tmp_path):
+        block, _ = make_block(pool, 21, 10)
+        write_spill(tmp_path / "a.spill", block)
+        assert [p.name for p in tmp_path.iterdir()] == ["a.spill"]
+        pool.release(block)
+
+
+class TestRegionWrites:
+    @pytest.mark.parametrize("k", [15, 33])
+    def test_region_filled_equals_single_shot(self, pool, tmp_path, k):
+        """The load-bearing layout property: a preallocated file filled
+        region by region is byte-identical to one written in one shot."""
+        n = 97
+        block, tuples = make_block(pool, k, n)
+        one_shot = tmp_path / "one.spill"
+        write_spill(one_shot, block)
+
+        regioned = tmp_path / "regioned.spill"
+        create_spill_file(regioned, k, n)
+        target = SpillTarget(str(regioned), k, n)
+        at = 0
+        for cut in (0, 13, 13, 60, n):  # includes an empty region
+            part = tuples.take(np.arange(at, cut))
+            assert write_spill_region(target, at, part) == cut
+            at = cut
+        assert one_shot.read_bytes() == regioned.read_bytes()
+        pool.release(block)
+
+    def test_out_of_range_region_rejected(self, tmp_path):
+        create_spill_file(tmp_path / "a.spill", 21, 10)
+        target = SpillTarget(str(tmp_path / "a.spill"), 21, 10)
+        with pytest.raises(ValueError, match="out of range"):
+            write_spill_region(target, 5, make_tuples(21, 6))
+
+    def test_k_mismatch_rejected(self, tmp_path):
+        create_spill_file(tmp_path / "a.spill", 21, 10)
+        target = SpillTarget(str(tmp_path / "a.spill"), 21, 10)
+        with pytest.raises(ValueError, match="k mismatch"):
+            write_spill_region(target, 0, make_tuples(27, 5))
+
+    def test_rewrite_ids_region(self, pool, tmp_path):
+        block, tuples = make_block(pool, 21, 50)
+        path = tmp_path / "a.spill"
+        write_spill(path, block)
+        target = SpillTarget(str(path), 21, 50)
+        rewrite_spill_ids(target, 10, 30, lambda ids: ids * np.uint32(2))
+        got = read_spill(path, pool)
+        view = got.view(0, 50)
+        expect = tuples.read_ids.copy()
+        expect[10:30] *= np.uint32(2)
+        assert np.array_equal(view.read_ids, expect)
+        # the k-mer columns are untouched
+        assert np.array_equal(view.kmers.lo, tuples.kmers.lo)
+        pool.release(block)
+        pool.release(got)
+
+    def test_rewrite_ids_length_change_rejected(self, pool, tmp_path):
+        block, _ = make_block(pool, 21, 20)
+        path = tmp_path / "a.spill"
+        write_spill(path, block)
+        target = SpillTarget(str(path), 21, 20)
+        with pytest.raises(ValueError, match="length"):
+            rewrite_spill_ids(target, 0, 10, lambda ids: ids[:-1])
+        pool.release(block)
+
+
+class TestTornWrites:
+    """Corruption must raise the typed error; a partial block is never
+    returned."""
+
+    def _spill(self, pool, tmp_path, k=21, n=40):
+        block, _ = make_block(pool, k, n)
+        path = tmp_path / "a.spill"
+        write_spill(path, block)
+        pool.release(block)
+        return path
+
+    def test_truncated_mid_magic(self, pool, tmp_path):
+        path = self._spill(pool, tmp_path)
+        path.write_bytes(path.read_bytes()[:4])
+        with pytest.raises(SpillCorruption):
+            read_spill(path, pool)
+
+    def test_truncated_header(self, pool, tmp_path):
+        path = self._spill(pool, tmp_path)
+        path.write_bytes(path.read_bytes()[:20])
+        with pytest.raises(SpillCorruption):
+            read_spill(path, pool)
+
+    def test_truncated_payload(self, pool, tmp_path):
+        path = self._spill(pool, tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 7])
+        with pytest.raises(SpillCorruption):
+            read_spill(path, pool)
+
+    def test_bad_magic(self, pool, tmp_path):
+        path = self._spill(pool, tmp_path)
+        data = bytearray(path.read_bytes())
+        data[:8] = b"NOTATABL"
+        path.write_bytes(bytes(data))
+        with pytest.raises(SpillCorruption):
+            read_spill(path, pool)
+
+    def test_version_skew(self, pool, tmp_path):
+        path = self._spill(pool, tmp_path)
+        data = bytearray(path.read_bytes())
+        # the <II (version, hlen) prolog sits right after the magic
+        data[8:12] = struct.pack("<I", 999)
+        path.write_bytes(bytes(data))
+        with pytest.raises(SpillCorruption):
+            read_spill(path, pool)
+
+    def test_wrong_schema(self, pool, tmp_path):
+        from repro.seqio.tables import write_table
+
+        path = tmp_path / "a.spill"
+        write_table(
+            path, "metaprep/other", {"k": 21}, {"lo": np.zeros(3, np.uint64)}
+        )
+        with pytest.raises(SpillCorruption):
+            read_spill(path, pool)
+
+    def test_contradictory_two_limb_flag(self, pool, tmp_path):
+        from repro.seqio.tables import write_table
+
+        path = tmp_path / "a.spill"
+        write_table(
+            path,
+            "metaprep/tupleblock",
+            {"k": 21, "length": 3, "two_limb": True},
+            {
+                "lo": np.zeros(3, np.uint64),
+                "ids": np.zeros(3, np.uint32),
+                "hi": np.zeros(3, np.uint64),
+            },
+        )
+        with pytest.raises(SpillCorruption, match="contradicts"):
+            read_spill(path, pool)
+
+    def test_missing_file_stays_file_not_found(self, pool, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_spill(tmp_path / "absent.spill", pool)
+
+
+class TestResidency:
+    def test_resident_spill_accounts_and_releases(self, pool, tmp_path):
+        block, tuples = make_block(pool, 21, 64)
+        path = tmp_path / "a.spill"
+        write_spill(path, block)
+        target = SpillTarget(str(path), 21, 64)
+        base = resident_tuple_bytes()
+        with resident_spill(target) as got:
+            assert resident_tuple_bytes() == base + got.nbytes
+            assert np.array_equal(got.view(0, 64).read_ids, tuples.read_ids)
+        assert resident_tuple_bytes() == base
+        assert path.exists()
+        pool.release(block)
+
+    def test_consume_deletes_after_exit(self, pool, tmp_path):
+        block, _ = make_block(pool, 21, 8)
+        path = tmp_path / "a.spill"
+        write_spill(path, block)
+        with resident_spill(SpillTarget(str(path), 21, 8), consume=True):
+            assert path.exists()
+        assert not path.exists()
+        pool.release(block)
+
+    def test_consume_is_idempotent(self, tmp_path):
+        consume_spill(tmp_path / "never-existed.spill")
+
+
+class TestSpillLayout:
+    def test_layout_matches_file(self, pool, tmp_path):
+        block, tuples = make_block(pool, 33, 17)
+        path = tmp_path / "a.spill"
+        write_spill(path, block)
+        layout = SpillLayout.for_block(33, 17)
+        data = path.read_bytes()
+        assert len(data) == layout.file_bytes
+        lo = np.frombuffer(
+            data[layout.lo_offset : layout.lo_offset + 8 * 17], np.uint64
+        )
+        assert np.array_equal(lo, tuples.kmers.lo)
+        ids = np.frombuffer(
+            data[layout.ids_offset : layout.ids_offset + 4 * 17], np.uint32
+        )
+        assert np.array_equal(ids, tuples.read_ids)
+        hi = np.frombuffer(
+            data[layout.hi_offset : layout.hi_offset + 8 * 17], np.uint64
+        )
+        assert np.array_equal(hi, tuples.kmers.hi)
+        pool.release(block)
+
+    def test_one_limb_has_no_hi_offset(self):
+        assert SpillLayout.for_block(21, 5).hi_offset == -1
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            SpillLayout.for_block(21, -1)
+
+
+class TestSpillManager:
+    def test_create_publish_consume_cycle(self, pool, tmp_path):
+        with SpillManager(tmp_path) as mgr:
+            targets = mgr.create_pass_targets(0, 21, [10, 0, 5])
+            assert all(t.path.endswith(".tmp") for t in targets)
+            for t in targets:
+                write_spill_region(t, 0, make_tuples(21, t.capacity))
+            published = mgr.publish(targets)
+            assert all(p.path.endswith(".spill") for p in published)
+            for p in published:
+                with resident_spill(p, consume=True) as block:
+                    assert block.capacity == p.capacity
+            assert mgr.sweep_pass(0) == 0  # consumers already cleaned up
+        assert not Path(mgr.directory).exists()
+
+    def test_close_removes_unconsumed_files(self, tmp_path):
+        mgr = SpillManager(tmp_path)
+        mgr.create_pass_targets(0, 21, [4, 4])
+        directory = Path(mgr.directory)
+        assert len(list(directory.iterdir())) == 2
+        mgr.close()
+        assert not directory.exists()
+        assert mgr.closed
+
+    def test_sweep_pass_covers_failure_paths(self, tmp_path):
+        with SpillManager(tmp_path) as mgr:
+            targets = mgr.create_pass_targets(1, 21, [4, 4])
+            mgr.publish(targets[:1])  # one published, one still .tmp
+            assert mgr.sweep_pass(1) == 2
+            assert list(Path(mgr.directory).iterdir()) == []
+
+    def test_publish_is_idempotent_for_final_names(self, tmp_path):
+        with SpillManager(tmp_path) as mgr:
+            targets = mgr.create_pass_targets(0, 21, [3])
+            once = mgr.publish(targets)
+            twice = mgr.publish(once)
+            assert once == twice
+
+    def test_finalizer_sweeps_on_gc(self, tmp_path):
+        mgr = SpillManager(tmp_path)
+        directory = Path(mgr.directory)
+        mgr.create_pass_targets(0, 21, [4])
+        del mgr
+        import gc
+
+        gc.collect()
+        assert not directory.exists()
+
+
+class TestStaleSweep:
+    def test_dead_pid_dir_swept(self, tmp_path):
+        # a pid that existed and is now certainly dead
+        proc = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        dead_pid = int(proc.stdout.strip())
+        stale = tmp_path / f"metaprep-spill-{dead_pid}-abc123"
+        stale.mkdir()
+        (stale / "pass0-task0.spill").write_bytes(b"junk")
+        removed = sweep_stale_spill_dirs(tmp_path)
+        assert stale in removed
+        assert not stale.exists()
+
+    def test_live_pid_dir_kept(self, tmp_path):
+        live = tmp_path / f"metaprep-spill-{os.getpid()}-abc123"
+        live.mkdir()
+        assert sweep_stale_spill_dirs(tmp_path) == []
+        assert live.exists()
+
+    def test_unparseable_names_left_alone(self, tmp_path):
+        odd = tmp_path / "metaprep-spill-notapid"
+        odd.mkdir()
+        assert sweep_stale_spill_dirs(tmp_path) == []
+        assert odd.exists()
+
+    def test_manager_sweeps_stale_on_startup(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        stale = tmp_path / f"metaprep-spill-{int(proc.stdout)}-dead"
+        stale.mkdir()
+        with SpillManager(tmp_path):
+            assert not stale.exists()
+
+
+class TestCheckpointDelegation:
+    def test_checkpoint_aliases_round_trip(self, pool, tmp_path):
+        """The historical checkpoint entry points stay byte-compatible:
+        they are thin aliases of the spill module now."""
+        from repro.core.checkpoint import load_block_spill, save_block_spill
+
+        block, tuples = make_block(pool, 33, 29)
+        path = tmp_path / "ckpt.bin"
+        save_block_spill(path, block)
+        got = load_block_spill(path, pool)
+        view = got.view(0, 29)
+        assert np.array_equal(view.kmers.lo, tuples.kmers.lo)
+        assert np.array_equal(view.kmers.hi, tuples.kmers.hi)
+        assert np.array_equal(view.read_ids, tuples.read_ids)
+        pool.release(block)
+        pool.release(got)
