@@ -1,0 +1,78 @@
+"""Checker-runner benchmark: cold serial vs cold parallel vs warm cache.
+
+``metaprep check`` practices the pipeline's own preprocessing shape —
+fan a per-file pass over a process pool, cache its artifacts by content
+fingerprint — so this bench records the three timings that justify the
+machinery, to ``BENCH_check.json`` at the repo root:
+
+- **cold serial**: every artifact recomputed in-process;
+- **cold parallel**: the same work over ``--jobs N`` workers (process
+  pool start-up is part of the bill, exactly as a user pays it);
+- **warm**: every per-file artifact served from ``.metaprep-cache/``,
+  leaving only parsing and the cross-file driver pass.
+
+All three must agree finding-for-finding — parity is asserted here,
+not just in the unit tests, so the committed numbers are guaranteed to
+describe equivalent runs.
+"""
+
+import json
+import os
+import shutil
+import time
+from pathlib import Path
+
+from repro.analysis.runner import run_checks
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_check.json"
+
+ROUNDS = 3
+JOBS = int(os.environ.get("METAPREP_BENCH_CHECK_JOBS", "4"))
+
+
+def _timed(**kwargs):
+    best, report = float("inf"), None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        report = run_checks(REPO_ROOT, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, report
+
+
+def test_check_runner_bench(tmp_path):
+    cache_dir = tmp_path / "metaprep-cache"
+
+    cold_serial_s, serial = _timed(jobs=1, use_cache=False)
+    cold_parallel_s, parallel = _timed(jobs=JOBS, use_cache=False)
+
+    # one priming run populates the scratch cache, then the warm rounds
+    run_checks(REPO_ROOT, cache_dir=cache_dir)
+    warm_s, warm = _timed(cache_dir=cache_dir)
+    shutil.rmtree(cache_dir, ignore_errors=True)
+
+    serial_log = [f.format() for f in serial.raw]
+    assert serial_log == [f.format() for f in parallel.raw]
+    assert serial_log == [f.format() for f in warm.raw]
+    assert warm.cache_hits == warm.files and warm.cache_misses == 0
+
+    payload = {
+        "files": serial.files,
+        "findings": len(serial.raw),
+        "rounds": ROUNDS,
+        "jobs": JOBS,
+        # parallel speedup is bounded by the cores actually available:
+        # on a 1-cpu container the pool is pure overhead and the honest
+        # number is < 1
+        "cpus": os.cpu_count(),
+        "cold_serial_s": round(cold_serial_s, 4),
+        "cold_parallel_s": round(cold_parallel_s, 4),
+        "parallel_speedup": round(cold_serial_s / cold_parallel_s, 2),
+        "warm_s": round(warm_s, 4),
+        "warm_speedup": round(cold_serial_s / warm_s, 2),
+        "warm_cache_hits": warm.cache_hits,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # the warm path must actually be incremental, not a third cold run
+    assert warm_s < cold_serial_s

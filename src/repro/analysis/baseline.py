@@ -65,11 +65,41 @@ def subtract_baseline(
     findings: List[Finding], baseline: "CounterType[Key]"
 ) -> List[Finding]:
     """Findings not accounted for by the baseline (multiset subtraction)."""
+    new, _used, _stale = partition_baseline(findings, baseline)
+    return new
+
+
+def partition_baseline(
+    findings: List[Finding], baseline: "CounterType[Key]"
+) -> Tuple[List[Finding], "CounterType[Key]", "CounterType[Key]"]:
+    """Split ``findings`` against the baseline multiset.
+
+    Returns ``(new, used, stale)``: findings the baseline does not
+    account for, the baseline keys actually consumed, and the leftover
+    keys no current finding produces.  Stale keys are dead weight — a
+    fixed offender whose entry would silently absorb a *future*
+    regression of the same finding — so the report surfaces them and
+    ``--prune-baseline`` rewrites the file from ``used`` alone.
+    """
     budget = Counter(baseline)
+    used: CounterType[Key] = Counter()
     new: List[Finding] = []
     for finding in sorted(findings):
         if budget[finding.key()] > 0:
             budget[finding.key()] -= 1
+            used[finding.key()] += 1
         else:
             new.append(finding)
-    return new
+    stale = Counter({key: count for key, count in budget.items() if count > 0})
+    return new, used, stale
+
+
+def write_baseline_keys(path: Path, keys: "CounterType[Key]") -> None:
+    """Write a baseline directly from a key multiset (``--prune-baseline``)."""
+    entries = [
+        {"rule": rule, "path": relpath, "message": message}
+        for (rule, relpath, message), count in sorted(keys.items())
+        for _ in range(count)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

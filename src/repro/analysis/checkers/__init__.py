@@ -15,6 +15,7 @@ from repro.analysis.checkers.determinism import check_determinism
 from repro.analysis.checkers.purity import check_executor_purity
 from repro.analysis.checkers.overflow import check_kmer_overflow
 from repro.analysis.checkers.resources import check_executor_resources
+from repro.analysis.checkers.lifecycle import check_lifecycle
 
 #: checker name -> checker function, in run order
 CHECKERS: Dict[str, Callable[[Project], List[Finding]]] = {
@@ -23,13 +24,21 @@ CHECKERS: Dict[str, Callable[[Project], List[Finding]]] = {
     "purity": check_executor_purity,
     "overflow": check_kmer_overflow,
     "resources": check_executor_resources,
+    "lifecycle": check_lifecycle,
 }
+
+#: checkers whose findings depend only on a single file's source —
+#: these run inside the per-file (cacheable, parallelizable) pass of
+#: the runner.  The rest reason across files and always run in-driver.
+MODULE_LOCAL_CHECKERS = ("determinism", "purity", "overflow", "resources")
 
 __all__ = [
     "CHECKERS",
+    "MODULE_LOCAL_CHECKERS",
     "check_fingerprint_coverage",
     "check_determinism",
     "check_executor_purity",
     "check_kmer_overflow",
     "check_executor_resources",
+    "check_lifecycle",
 ]

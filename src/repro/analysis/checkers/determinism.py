@@ -144,49 +144,28 @@ STDLIB_GLOBAL_RNG = frozenset(
 
 
 # ----------------------------------------------------------------------
-# MP201 / MP202
+# MP201 / MP202 — site extraction (shared with the dataflow engine)
 # ----------------------------------------------------------------------
-def _is_unseeded_call(node: ast.Call) -> bool:
-    """No positional seed and no non-``None`` ``seed=`` keyword."""
-    if node.args and not (
-        isinstance(node.args[0], ast.Constant) and node.args[0].value is None
-    ):
-        return False
-    for kw in node.keywords:
-        if kw.arg == "seed" and not (
-            isinstance(kw.value, ast.Constant) and kw.value.value is None
-        ):
-            return False
-    # every remaining form is seedless or an explicit None seed
-    return True
-
-
-def _scan_clocks(module: SourceModule, findings: List[Finding]) -> None:
-    aliases = import_aliases(module.tree)
-    for node in ast.walk(module.tree):
+def wall_clock_sites(scope: ast.AST, aliases) -> List[tuple]:
+    """``(line, dotted-source)`` for every wall-clock read under
+    ``scope``.  Also feeds the per-function effect summaries."""
+    sites = []
+    for node in ast.walk(scope):
         if not isinstance(node, (ast.Attribute, ast.Name)):
             continue
         if not isinstance(getattr(node, "ctx", None), ast.Load):
             continue
         dotted = dotted_name(node, aliases)
         if dotted in WALL_CLOCK:
-            findings.append(
-                Finding(
-                    path=module.relpath,
-                    line=node.lineno,
-                    rule="MP201",
-                    message=(
-                        f"wall-clock source '{dotted}' in a result-affecting "
-                        "path; use a monotonic clock for measurement or move "
-                        "timestamps out of the result"
-                    ),
-                )
-            )
+            sites.append((node.lineno, dotted))
+    return sites
 
 
-def _scan_rng(module: SourceModule, findings: List[Finding]) -> None:
-    aliases = import_aliases(module.tree)
-    for node in ast.walk(module.tree):
+def rng_sites(scope: ast.AST, aliases) -> List[tuple]:
+    """``(line, detail)`` for every unseeded/global RNG use under
+    ``scope``.  Also feeds the per-function effect summaries."""
+    sites = []
+    for node in ast.walk(scope):
         if not isinstance(node, ast.Call):
             continue
         dotted = dotted_name(node.func, aliases)
@@ -214,14 +193,53 @@ def _scan_rng(module: SourceModule, findings: List[Finding]) -> None:
                 "use a seeded random.Random or numpy Generator"
             )
         if message is not None:
-            findings.append(
-                Finding(
-                    path=module.relpath,
-                    line=node.lineno,
-                    rule="MP202",
-                    message=message,
-                )
+            sites.append((node.lineno, message))
+    return sites
+
+
+def _is_unseeded_call(node: ast.Call) -> bool:
+    """No positional seed and no non-``None`` ``seed=`` keyword."""
+    if node.args and not (
+        isinstance(node.args[0], ast.Constant) and node.args[0].value is None
+    ):
+        return False
+    for kw in node.keywords:
+        if kw.arg == "seed" and not (
+            isinstance(kw.value, ast.Constant) and kw.value.value is None
+        ):
+            return False
+    # every remaining form is seedless or an explicit None seed
+    return True
+
+
+def _scan_clocks(module: SourceModule, findings: List[Finding]) -> None:
+    aliases = import_aliases(module.tree)
+    for line, dotted in wall_clock_sites(module.tree, aliases):
+        findings.append(
+            Finding(
+                path=module.relpath,
+                line=line,
+                rule="MP201",
+                message=(
+                    f"wall-clock source '{dotted}' in a result-affecting "
+                    "path; use a monotonic clock for measurement or move "
+                    "timestamps out of the result"
+                ),
             )
+        )
+
+
+def _scan_rng(module: SourceModule, findings: List[Finding]) -> None:
+    aliases = import_aliases(module.tree)
+    for line, message in rng_sites(module.tree, aliases):
+        findings.append(
+            Finding(
+                path=module.relpath,
+                line=line,
+                rule="MP202",
+                message=message,
+            )
+        )
 
 
 # ----------------------------------------------------------------------
@@ -315,10 +333,66 @@ def _scan_set_iteration(module: SourceModule, findings: List[Finding]) -> None:
 
 
 # ----------------------------------------------------------------------
+# transitive MP201 over the call graph
+# ----------------------------------------------------------------------
+def _in_scope(pkgpath: str) -> bool:
+    return any(
+        pkgpath.startswith(scope) if scope.endswith("/") else pkgpath == scope
+        for scope in RESULT_AFFECTING_SCOPES
+    )
+
+
+def _scan_transitive_clocks(project: Project, findings: List[Finding]) -> None:
+    """Wall-clock reads that the per-module scan cannot see: a function
+    in a result-affecting module calling an out-of-scope helper that
+    (transitively) reads the wall clock.
+
+    Emission is restricted to *boundary edges* — the call site where a
+    result-affecting path first leaves scope — and only when the taint
+    source is itself out of scope (in-scope sources are already flagged
+    directly).  One finding per (caller, callee) pair, anchored at the
+    first offending call line; the message carries the witness chain,
+    not line numbers, so baseline identity survives line drift.
+    """
+    from repro.analysis.callgraph import format_chain, project_callgraph
+
+    graph = project_callgraph(project)
+    taints = graph.tainted("wall_clock")
+    relpath_by_pkg = {m.pkgpath: m.relpath for m in project.modules}
+    seen = set()
+    for caller, targets in sorted(graph.edges.items()):
+        if not _in_scope(caller[0]):
+            continue
+        for target, line in targets:
+            if _in_scope(target[0]):
+                continue  # still in scope: its own boundary edge reports
+            taint = taints.get(target)
+            if taint is None or _in_scope(taint.source[0]):
+                continue
+            if (caller, target) in seen:
+                continue
+            seen.add((caller, target))
+            chain = format_chain(graph, target, "wall_clock")
+            findings.append(
+                Finding(
+                    path=relpath_by_pkg[caller[0]],
+                    line=line,
+                    rule="MP201",
+                    message=(
+                        f"'{caller[1]}' reaches wall-clock source "
+                        f"'{taint.site.detail}' via {chain}; use a monotonic "
+                        "clock for measurement or move timestamps out of "
+                        "the result"
+                    ),
+                )
+            )
+
+
+# ----------------------------------------------------------------------
 # the checker
 # ----------------------------------------------------------------------
-def check_determinism(project: Project) -> List[Finding]:
-    """Run the MP2xx determinism lint over ``project``."""
+def check_determinism_direct(project: Project) -> List[Finding]:
+    """Module-local MP2xx scans only (the cacheable per-file half)."""
     findings: List[Finding] = []
     for module in project.select(RESULT_AFFECTING_SCOPES):
         _scan_clocks(module, findings)
@@ -326,3 +400,15 @@ def check_determinism(project: Project) -> List[Finding]:
     for module in project.modules:
         _scan_rng(module, findings)
     return findings
+
+
+def check_determinism_transitive(project: Project) -> List[Finding]:
+    """Call-graph MP201 pass only (runs in-driver, never cached)."""
+    findings: List[Finding] = []
+    _scan_transitive_clocks(project, findings)
+    return findings
+
+
+def check_determinism(project: Project) -> List[Finding]:
+    """Run the MP2xx determinism lint over ``project``."""
+    return check_determinism_direct(project) + check_determinism_transitive(project)

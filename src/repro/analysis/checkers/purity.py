@@ -32,9 +32,15 @@ from repro.analysis.findings import Finding
 from repro.analysis.project import Project, SourceModule
 from repro.analysis.checkers.common import (
     annotation_mentions,
+    dotted_name,
     import_aliases,
     terminal_name,
 )
+
+#: module-level carriers of deliberately per-thread/per-context state —
+#: writing through these is the *sanctioned* alternative to a module
+#: global (the executor's shared-state fix), so they are not MP302 sinks
+_THREAD_LOCAL_FACTORIES = ("threading.local", "contextvars.ContextVar")
 
 BACKEND_TYPES = ("ExecutionBackend", "SerialExecutor", "ProcessExecutor")
 BACKEND_FACTORIES = frozenset(
@@ -81,6 +87,12 @@ class _ModuleContext:
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 self.toplevel_defs[node.name] = node  # type: ignore[assignment]
             elif isinstance(node, ast.Assign):
+                if (
+                    isinstance(node.value, ast.Call)
+                    and dotted_name(node.value.func, self.aliases)
+                    in _THREAD_LOCAL_FACTORIES
+                ):
+                    continue  # sanctioned per-thread carrier, not a global
                 for target in node.targets:
                     if isinstance(target, ast.Name):
                         self.module_names.add(target.id)
@@ -152,11 +164,53 @@ class _ExecutorScanner(ast.NodeVisitor):
 # ----------------------------------------------------------------------
 # MP302: global-write analysis of one module-level function
 # ----------------------------------------------------------------------
+def global_write_sites(fn: ast.AST, module_names: Set[str]) -> List[tuple]:
+    """``(line, detail)`` for every module-global write inside ``fn``.
+
+    Shared by the direct MP302 scan below and the per-function effect
+    summaries (:mod:`repro.analysis.dataflow`), so the direct and
+    transitive passes can never disagree on what counts as a write.
+    """
+    sites = []
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            sites.append((node.lineno, f"declares global {', '.join(node.names)}"))
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                base = target
+                while isinstance(base, (ast.Attribute, ast.Subscript)):
+                    base = base.value
+                if (
+                    target is not base  # an attribute/item write, not a local
+                    and isinstance(base, ast.Name)
+                    and base.id in module_names
+                ):
+                    sites.append(
+                        (node.lineno, f"writes module-level object '{base.id}'")
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATORS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in module_names
+            ):
+                sites.append(
+                    (
+                        node.lineno,
+                        f"mutates module-level object '{func.value.id}."
+                        f"{func.attr}(...)'",
+                    )
+                )
+    return sites
+
+
 def _global_writes(fn: ast.FunctionDef, context: _ModuleContext) -> List[Finding]:
     findings: List[Finding] = []
     module = context.module
-
-    def flag(line: int, detail: str) -> None:
+    for line, detail in global_write_sites(fn, context.module_names):
         findings.append(
             Finding(
                 path=module.relpath,
@@ -168,35 +222,6 @@ def _global_writes(fn: ast.FunctionDef, context: _ModuleContext) -> List[Finding
                 ),
             )
         )
-
-    for node in ast.walk(fn):
-        if isinstance(node, ast.Global):
-            flag(node.lineno, f"declares global {', '.join(node.names)}")
-        elif isinstance(node, (ast.Assign, ast.AugAssign)):
-            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
-            for target in targets:
-                base = target
-                while isinstance(base, (ast.Attribute, ast.Subscript)):
-                    base = base.value
-                if (
-                    target is not base  # an attribute/item write, not a local
-                    and isinstance(base, ast.Name)
-                    and base.id in context.module_names
-                ):
-                    flag(node.lineno, f"writes module-level object '{base.id}'")
-        elif isinstance(node, ast.Call):
-            func = node.func
-            if (
-                isinstance(func, ast.Attribute)
-                and func.attr in MUTATORS
-                and isinstance(func.value, ast.Name)
-                and func.value.id in context.module_names
-            ):
-                flag(
-                    node.lineno,
-                    f"mutates module-level object '{func.value.id}."
-                    f"{func.attr}(...)'",
-                )
     return findings
 
 
@@ -259,10 +284,70 @@ def _classify_submission(
 
 
 # ----------------------------------------------------------------------
+# transitive MP302 over the call graph
+# ----------------------------------------------------------------------
+def _scan_transitive_writes(project: Project, findings: List[Finding]) -> None:
+    """Global writes the per-site scan cannot see: a resolved executor
+    job function that *calls* (at any depth) a function writing module
+    globals, or a job submitted by dotted/attribute reference whose own
+    body writes them.
+
+    Direct writes in a locally-submitted job are skipped — the per-site
+    scan above already reported those at the write line.  Findings are
+    anchored at the job function's ``def`` line in its defining module
+    and carry the witness chain in the message (no embedded line
+    numbers, so baseline identity survives line drift).
+    """
+    from repro.analysis.callgraph import format_chain, project_callgraph
+
+    graph = project_callgraph(project)
+    taints = graph.tainted("global_write")
+    relpath_by_pkg = {m.pkgpath: m.relpath for m in project.modules}
+    reported: Set[tuple] = set()
+    for root in graph.job_roots:
+        if root.submitted_in == "runtime/executor.py":
+            continue  # the backend implementation itself proxies fn through
+        taint = taints.get(root.target)
+        if taint is None or root.target in reported:
+            continue
+        if root.local and taint.depth == 0:
+            continue  # the direct scan already flagged the write itself
+        reported.add(root.target)
+        pkgpath, qualname = root.target
+        if taint.depth == 0:
+            detail = taint.site.detail
+        else:
+            chain = format_chain(graph, root.target, "global_write")
+            detail = (
+                f"transitively {_as_transitive(taint.site.detail)} "
+                f"via {chain}"
+            )
+        findings.append(
+            Finding(
+                path=relpath_by_pkg[pkgpath],
+                line=graph.functions[root.target].line,
+                rule="MP302",
+                message=(
+                    f"executor job '{qualname}' {detail}; job functions must "
+                    "communicate only through payloads and worker_shared()"
+                ),
+            )
+        )
+
+
+def _as_transitive(detail: str) -> str:
+    # "declares global X" reads badly after "transitively"; normalise
+    # the three direct-site spellings to a reached-effect phrasing
+    if detail.startswith("declares global"):
+        return detail.replace("declares global", "writes global", 1)
+    return detail
+
+
+# ----------------------------------------------------------------------
 # the checker
 # ----------------------------------------------------------------------
-def check_executor_purity(project: Project) -> List[Finding]:
-    """Run the MP3xx executor-payload purity analysis over ``project``."""
+def check_executor_purity_direct(project: Project) -> List[Finding]:
+    """Per-site MP3xx scans only (the cacheable per-file half)."""
     findings: List[Finding] = []
     for module in project.modules:
         if module.pkgpath == "runtime/executor.py":
@@ -277,3 +362,17 @@ def check_executor_purity(project: Project) -> List[Finding]:
                 continue
             _classify_submission(fn_expr, site, context, findings, seen_fns)
     return findings
+
+
+def check_executor_purity_transitive(project: Project) -> List[Finding]:
+    """Call-graph MP302 pass only (runs in-driver, never cached)."""
+    findings: List[Finding] = []
+    _scan_transitive_writes(project, findings)
+    return findings
+
+
+def check_executor_purity(project: Project) -> List[Finding]:
+    """Run the MP3xx executor-payload purity analysis over ``project``."""
+    return check_executor_purity_direct(project) + check_executor_purity_transitive(
+        project
+    )

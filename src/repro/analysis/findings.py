@@ -20,6 +20,17 @@ invariant family they guard:
   created by the buffer-pool API (:mod:`repro.runtime.buffers`) and
   attachments must be context-managed or finally-released, so a worker
   crash can never leak ``/dev/shm`` names.
+* ``MP6xx`` — interprocedural resource lifecycle: every acquisition of
+  a shared-memory attachment (MP601), spill residency (MP602), or
+  telemetry spool writer (MP603) must be released on every path out of
+  the acquiring function — exception edges included — unless
+  context-managed or ownership escapes.  Backed by the lite-CFG effect
+  summaries of :mod:`repro.analysis.dataflow` and the call graph of
+  :mod:`repro.analysis.callgraph`, which also upgrade MP2xx/MP3xx to
+  transitive mode.
+* ``MP001`` — meta: a ``# metaprep: ignore[...]`` comment that is
+  malformed, names an unknown rule id, or suppresses nothing on its
+  line is itself a finding, so dead suppressions cannot accumulate.
 """
 
 from __future__ import annotations
@@ -29,6 +40,10 @@ from typing import Tuple
 
 #: rule id -> one-line description (the complete rule catalog)
 RULES = {
+    "MP001": (
+        "metaprep suppression comment is malformed, names an unknown rule "
+        "id, or suppresses nothing on its line"
+    ),
     "MP101": (
         "PipelineConfig field is read by partition-affecting code but is "
         "neither emitted by config_payload nor declared partition-irrelevant"
@@ -67,6 +82,18 @@ RULES = {
     "MP502": (
         "spill file or tupleblock spill schema accessed outside the "
         "hygiene-managed helpers of repro.runtime.spill"
+    ),
+    "MP601": (
+        "shared-memory attachment not released on every path (including "
+        "exception edges) and not context-managed"
+    ),
+    "MP602": (
+        "spill residency or raw spill handle not released on every path "
+        "(including exception edges) and not context-managed"
+    ),
+    "MP603": (
+        "telemetry spool writer not closed on every path (including "
+        "exception edges) and not context-managed"
     ),
 }
 

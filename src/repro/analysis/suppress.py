@@ -15,10 +15,69 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from typing import Dict, FrozenSet
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
 
-#: matches the suppression payload inside a comment token
-_PATTERN = re.compile(r"#\s*metaprep:\s*ignore\[([A-Za-z0-9*,\s]+)\]")
+#: matches the suppression payload; anchored at the start of the
+#: comment token so prose that merely *mentions* the marker text
+#: mid-comment is not a directive
+_PATTERN = re.compile(r"#[#:!]*\s*metaprep:\s*ignore\[([A-Za-z0-9*,\s]+)\]")
+
+#: matches the suppression *intent* — used to catch malformed comments
+#: (missing/empty/unclosed brackets) that the strict pattern rejects
+_MARKER = re.compile(r"#[#:!]*\s*metaprep:\s*ignore")
+
+
+@dataclass(frozen=True)
+class SuppressionComment:
+    """One ``# metaprep: ignore[...]`` comment, parsed or not.
+
+    ``malformed`` comments carry no rules: the marker was present but
+    the bracket payload did not parse, which MP001 reports rather than
+    silently ignoring (the author *believed* they suppressed something).
+    """
+
+    line: int
+    rules: Tuple[str, ...]
+    malformed: bool = False
+
+
+def scan_suppression_comments(text: str) -> List[SuppressionComment]:
+    """Every suppression comment in ``text``, malformed ones included.
+
+    A file that fails to tokenize (which would also fail to parse)
+    yields no comments.
+    """
+    comments: List[SuppressionComment] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except tokenize.TokenizeError:
+        return []
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        if not _MARKER.match(tok.string):
+            continue
+        match = _PATTERN.match(tok.string)
+        rules = (
+            tuple(
+                sorted(
+                    {
+                        part.strip()
+                        for part in match.group(1).split(",")
+                        if part.strip()
+                    }
+                )
+            )
+            if match
+            else ()
+        )
+        comments.append(
+            SuppressionComment(
+                line=tok.start[0], rules=rules, malformed=not rules
+            )
+        )
+    return comments
 
 
 def parse_suppressions(text: str) -> Dict[int, FrozenSet[str]]:
@@ -29,22 +88,12 @@ def parse_suppressions(text: str) -> Dict[int, FrozenSet[str]]:
     tokenize (which would also fail to parse) yields an empty map.
     """
     suppressions: Dict[int, FrozenSet[str]] = {}
-    try:
-        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
-        for tok in tokens:
-            if tok.type != tokenize.COMMENT:
-                continue
-            match = _PATTERN.search(tok.string)
-            if not match:
-                continue
-            rules = frozenset(
-                part.strip() for part in match.group(1).split(",") if part.strip()
-            )
-            if rules:
-                line = tok.start[0]
-                suppressions[line] = suppressions.get(line, frozenset()) | rules
-    except tokenize.TokenizeError:
-        return {}
+    for comment in scan_suppression_comments(text):
+        if comment.malformed:
+            continue
+        suppressions[comment.line] = suppressions.get(
+            comment.line, frozenset()
+        ) | frozenset(comment.rules)
     return suppressions
 
 

@@ -1,0 +1,162 @@
+"""Call-graph resolution and transitive taint propagation."""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.analysis.callgraph import CallGraph, format_chain
+from repro.analysis.dataflow import summarize_module
+from repro.analysis.project import SourceModule
+from repro.analysis.suppress import parse_suppressions
+
+
+def graph_of(files: dict) -> CallGraph:
+    summaries = {}
+    for pkgpath, source in files.items():
+        text = textwrap.dedent(source)
+        module = SourceModule(
+            path=Path(pkgpath),
+            relpath=f"src/repro/{pkgpath}",
+            pkgpath=pkgpath,
+            text=text,
+            tree=ast.parse(text),
+            suppressions=parse_suppressions(text),
+        )
+        summaries[pkgpath] = summarize_module(module)
+    return CallGraph(summaries)
+
+
+class TestResolution:
+    def test_local_name_resolves_same_module(self):
+        graph = graph_of(
+            {
+                "core/a.py": """
+                    def helper():
+                        return 1
+
+                    def f():
+                        return helper()
+                """
+            }
+        )
+        assert (("core/a.py", "helper"), 3) in [
+            (t, _l) for t, _l in graph.edges[("core/a.py", "f")]
+        ] or graph.edges[("core/a.py", "f")][0][0] == ("core/a.py", "helper")
+
+    def test_dotted_import_resolves_across_modules(self):
+        graph = graph_of(
+            {
+                "util/t.py": """
+                    def tick():
+                        return 0
+                """,
+                "core/b.py": """
+                    from repro.util.t import tick
+
+                    def f():
+                        return tick()
+                """,
+            }
+        )
+        targets = [t for t, _l in graph.edges[("core/b.py", "f")]]
+        assert ("util/t.py", "tick") in targets
+
+    def test_self_method_resolves_within_class(self):
+        graph = graph_of(
+            {
+                "core/c.py": """
+                    class Stage:
+                        def run(self):
+                            return self.step()
+
+                        def step(self):
+                            return 1
+                """
+            }
+        )
+        targets = [t for t, _l in graph.edges[("core/c.py", "Stage.run")]]
+        assert ("core/c.py", "Stage.step") in targets
+
+    def test_class_constructor_resolves_to_init(self):
+        graph = graph_of(
+            {
+                "telemetry/spool.py": """
+                    class SpoolWriter:
+                        def __init__(self, path):
+                            self.path = path
+                """,
+                "core/d.py": """
+                    from repro.telemetry.spool import SpoolWriter
+
+                    def f(path):
+                        w = SpoolWriter(path)
+                        w.close()
+                        return 1
+                """,
+            }
+        )
+        targets = [t for t, _l in graph.edges[("core/d.py", "f")]]
+        assert ("telemetry/spool.py", "SpoolWriter.__init__") in targets
+
+    def test_unresolvable_attribute_call_is_dropped(self):
+        graph = graph_of(
+            {
+                "core/e.py": """
+                    def f(store):
+                        return store.get("x")
+                """
+            }
+        )
+        assert graph.edges[("core/e.py", "f")] == []
+
+
+class TestTaint:
+    FILES = {
+        "util/clockish.py": """
+            import time
+
+            def now():
+                return time.time()
+
+            def indirect():
+                return now()
+        """,
+        "core/user.py": """
+            from repro.util.clockish import indirect
+
+            def consume():
+                return indirect()
+
+            def clean():
+                return 1
+        """,
+    }
+
+    def test_direct_and_transitive_taint(self):
+        graph = graph_of(self.FILES)
+        taints = graph.tainted("wall_clock")
+        assert taints[("util/clockish.py", "now")].depth == 0
+        assert taints[("util/clockish.py", "indirect")].depth == 1
+        assert taints[("core/user.py", "consume")].depth == 2
+        assert ("core/user.py", "clean") not in taints
+
+    def test_witness_chain_is_shortest_and_deterministic(self):
+        graph = graph_of(self.FILES)
+        chain = format_chain(graph, ("core/user.py", "consume"), "wall_clock")
+        assert chain == "consume -> indirect -> now"
+
+    def test_job_roots_resolved(self):
+        graph = graph_of(
+            {
+                "core/drive.py": """
+                    def job(x):
+                        return x
+
+                    def drive(executor, items):
+                        return list(executor.map(job, items))
+                """
+            }
+        )
+        (root,) = graph.job_roots
+        assert root.target == ("core/drive.py", "job")
+        assert root.local

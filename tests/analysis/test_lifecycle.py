@@ -1,0 +1,224 @@
+"""MP6xx — interprocedural resource-lifecycle trip/pass fixtures."""
+
+from repro.analysis.checkers.lifecycle import check_lifecycle
+
+
+def rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestShmLifecycle:
+    def test_trip_exception_edge_skips_close(self, make_project):
+        project = make_project(
+            {
+                "core/stage.py": """
+                    from repro.runtime.buffers import attach_block
+
+                    def consume(descriptor):
+                        block = attach_block(descriptor)
+                        total = int(block.lo.sum())
+                        block.close()
+                        return total
+                """
+            }
+        )
+        findings = check_lifecycle(project)
+        assert rules(findings) == ["MP601"]
+        assert "exception edge" in findings[0].message
+
+    def test_pass_try_finally(self, make_project):
+        project = make_project(
+            {
+                "core/stage.py": """
+                    from repro.runtime.buffers import attach_block
+
+                    def consume(descriptor):
+                        block = attach_block(descriptor)
+                        try:
+                            return int(block.lo.sum())
+                        finally:
+                            block.close()
+                """
+            }
+        )
+        assert check_lifecycle(project) == []
+
+    def test_pass_context_managed(self, make_project):
+        project = make_project(
+            {
+                "core/stage.py": """
+                    from repro.runtime.buffers import open_block
+
+                    def consume(handle):
+                        with open_block(handle) as block:
+                            return int(block.lo.sum())
+                """
+            }
+        )
+        assert check_lifecycle(project) == []
+
+    def test_pass_deferred_with_binding(self, make_project):
+        # the pipeline idiom: bind now, enter the context later
+        project = make_project(
+            {
+                "core/stage.py": """
+                    from repro.runtime.buffers import open_block
+                    from repro.runtime.spill import resident_spill
+
+                    def consume(job):
+                        if job.spilled:
+                            attach = resident_spill(job.target, task=job.task)
+                        else:
+                            attach = open_block(job.block)
+                        with attach as block:
+                            return int(block.lo.sum())
+                """
+            }
+        )
+        assert check_lifecycle(project) == []
+
+    def test_pass_ownership_escapes_by_return(self, make_project):
+        project = make_project(
+            {
+                "core/stage.py": """
+                    from repro.runtime.buffers import attach_block
+
+                    def acquire(descriptor):
+                        block = attach_block(descriptor)
+                        return block
+                """
+            }
+        )
+        assert check_lifecycle(project) == []
+
+    def test_defining_module_is_exempt(self, make_project):
+        project = make_project(
+            {
+                "runtime/buffers.py": """
+                    def attach_block(descriptor):
+                        return object()
+
+                    def probe(descriptor):
+                        block = attach_block(descriptor)
+                        return 1
+                """
+            }
+        )
+        assert check_lifecycle(project) == []
+
+
+class TestSpillLifecycle:
+    def test_trip_raw_read_spill_leak(self, make_project):
+        project = make_project(
+            {
+                "sort/merge.py": """
+                    from repro.runtime.spill import read_spill
+
+                    def merge(path, pool):
+                        block = read_spill(path, pool)
+                        return block.hi[0]
+                """
+            }
+        )
+        findings = check_lifecycle(project)
+        assert rules(findings) == ["MP602"]
+
+    def test_trip_through_returning_wrapper(self, make_project):
+        # the acquisition happens two modules away; only the call graph
+        # connects the wrapper's return value to read_spill
+        project = make_project(
+            {
+                "core/checkpointish.py": """
+                    from repro.runtime.spill import read_spill
+
+                    def load_spill(path, pool):
+                        return read_spill(path, pool)
+                """,
+                "sort/merge.py": """
+                    from repro.core.checkpointish import load_spill
+
+                    def merge(path, pool):
+                        block = load_spill(path, pool)
+                        return block.hi[0]
+                """,
+            }
+        )
+        findings = check_lifecycle(project)
+        assert rules(findings) == ["MP602"]
+        assert "load_spill" in findings[0].message
+        assert findings[0].path == "src/repro/sort/merge.py"
+
+    def test_pass_wrapper_consumer_releases(self, make_project):
+        project = make_project(
+            {
+                "core/checkpointish.py": """
+                    from repro.runtime.spill import read_spill
+
+                    def load_spill(path, pool):
+                        return read_spill(path, pool)
+                """,
+                "sort/merge.py": """
+                    from repro.core.checkpointish import load_spill
+
+                    def merge(path, pool):
+                        block = load_spill(path, pool)
+                        try:
+                            return block.hi[0]
+                        finally:
+                            pool.release(block)
+                """,
+            }
+        )
+        assert check_lifecycle(project) == []
+
+
+class TestSpoolLifecycle:
+    def test_trip_spool_writer_leak(self, make_project):
+        project = make_project(
+            {
+                "core/audit.py": """
+                    from repro.telemetry.spool import SpoolWriter
+
+                    def audit(path, events):
+                        writer = SpoolWriter(path)
+                        for event in events:
+                            writer.append(event)
+                """
+            }
+        )
+        findings = check_lifecycle(project)
+        assert rules(findings) == ["MP603"]
+
+    def test_pass_close_in_finally(self, make_project):
+        project = make_project(
+            {
+                "core/audit.py": """
+                    from repro.telemetry.spool import SpoolWriter
+
+                    def audit(path, events):
+                        writer = SpoolWriter(path)
+                        try:
+                            for event in events:
+                                writer.append(event)
+                        finally:
+                            writer.close()
+                """
+            }
+        )
+        assert check_lifecycle(project) == []
+
+    def test_telemetry_package_is_exempt(self, make_project):
+        # the telemetry runtime owns writer lifecycle (attribute escape
+        # plus process-exit close); the rule polices everyone else
+        project = make_project(
+            {
+                "telemetry/runtime.py": """
+                    from repro.telemetry.spool import SpoolWriter
+
+                    def _writer(path):
+                        writer = SpoolWriter(path)
+                        return 1
+                """
+            }
+        )
+        assert check_lifecycle(project) == []

@@ -87,6 +87,96 @@ class TestBrokenInvariantsGate:
         assert "MP301" in capsys.readouterr().out
 
 
+class TestInterproceduralSabotage:
+    """The ISSUE-8 acceptance scenarios: hazards only the call-graph
+    engine can see, with matching pass fixtures proving the clean
+    variants stay clean."""
+
+    def test_helper_global_write_trips_transitive_mp302(self, tmp_path, capsys):
+        # the job function is pure; the helper it calls writes a module
+        # global — invisible to the per-site scan
+        root = broken_copy(tmp_path)
+        pipeline = root / "src" / "repro" / "core" / "pipeline.py"
+        pipeline.write_text(
+            pipeline.read_text()
+            + "\n\n_SAB_COUNTER = {}\n"
+            + "\n\ndef _sab_helper_bump(key):\n"
+            + '    _SAB_COUNTER[key] = _SAB_COUNTER.get(key, 0) + 1\n'
+            + "\n\ndef _sab_job(x):\n"
+            + '    _sab_helper_bump("jobs")\n'
+            + "    return x * 2\n"
+            + "\n\ndef _sab_drive(executor, jobs):\n"
+            + "    return list(executor.map(_sab_job, jobs))\n"
+        )
+
+        report = run_checks(root)
+        trips = [f for f in report.new if f.rule == "MP302"]
+        assert trips, [f.format() for f in report.new]
+        assert any(
+            "_sab_job -> _sab_helper_bump" in f.message for f in trips
+        )
+        rc = cli_main(["check", "--root", str(root), "--strict"])
+        assert rc == 1
+        assert "MP302" in capsys.readouterr().out
+
+    def test_pure_helper_chain_stays_clean(self, tmp_path):
+        root = broken_copy(tmp_path)
+        pipeline = root / "src" / "repro" / "core" / "pipeline.py"
+        pipeline.write_text(
+            pipeline.read_text()
+            + "\n\ndef _sab_helper_double(x):\n"
+            + "    return x * 2\n"
+            + "\n\ndef _sab_job(x):\n"
+            + "    return _sab_helper_double(x)\n"
+            + "\n\ndef _sab_drive(executor, jobs):\n"
+            + "    return list(executor.map(_sab_job, jobs))\n"
+        )
+        report = run_checks(root)
+        assert report.ok, [f.format() for f in report.new]
+
+    def test_attach_without_exception_safe_release_trips_mp601(
+        self, tmp_path, capsys
+    ):
+        # block.close() is present but an exception between attach and
+        # close skips it — only the exception edges of the CFG see that
+        root = broken_copy(tmp_path)
+        stage = root / "src" / "repro" / "core" / "sab_stage.py"
+        stage.write_text(
+            "from repro.runtime.buffers import attach_block\n"
+            "\n\ndef _sab_consume(descriptor):\n"
+            "    block = attach_block(descriptor)\n"
+            "    total = int(block.lo.sum())\n"
+            "    block.close()\n"
+            "    return total\n"
+        )
+
+        report = run_checks(root)
+        trips = [f for f in report.new if f.rule == "MP601"]
+        assert trips, [f.format() for f in report.new]
+        assert "exception edge" in trips[0].message
+        rc = cli_main(["check", "--root", str(root), "--strict"])
+        assert rc == 1
+        assert "MP601" in capsys.readouterr().out
+
+    def test_managed_and_finally_released_attach_stays_clean(self, tmp_path):
+        root = broken_copy(tmp_path)
+        stage = root / "src" / "repro" / "core" / "sab_stage.py"
+        stage.write_text(
+            "from repro.runtime.buffers import attach_block, open_block\n"
+            "\n\ndef _sab_consume(descriptor):\n"
+            "    block = attach_block(descriptor)\n"
+            "    try:\n"
+            "        return int(block.lo.sum())\n"
+            "    finally:\n"
+            "        block.close()\n"
+            "\n\ndef _sab_consume_ctx(handle):\n"
+            "    with open_block(handle) as block:\n"
+            "        return int(block.lo.sum())\n"
+        )
+        report = run_checks(root)
+        assert report.ok, [f.format() for f in report.new]
+
+
 class TestSamplingSeedFingerprinted:
     def test_seed_in_config_payload(self):
         from repro.core.checkpoint import config_payload

@@ -4,12 +4,18 @@ import pytest
 
 from repro.analysis.baseline import (
     load_baseline,
+    partition_baseline,
     subtract_baseline,
     write_baseline,
+    write_baseline_keys,
 )
 from repro.analysis.findings import RULES, Finding
 from repro.analysis.runner import run_checks
-from repro.analysis.suppress import is_suppressed, parse_suppressions
+from repro.analysis.suppress import (
+    is_suppressed,
+    parse_suppressions,
+    scan_suppression_comments,
+)
 
 
 class TestSuppressionParsing:
@@ -35,6 +41,41 @@ class TestSuppressionParsing:
 
     def test_plain_comment_does_not_count(self):
         assert parse_suppressions("x = 1  # a normal comment\n") == {}
+
+    def test_prose_mention_is_not_a_directive(self):
+        # a comment *talking about* the marker mid-text is not a directive
+        text = "x = 1  # findings silenced via `# metaprep: ignore[...]`\n"
+        assert parse_suppressions(text) == {}
+        assert scan_suppression_comments(text) == []
+
+    def test_multiple_rules_deduplicated_and_sorted(self):
+        text = "x = 1  # metaprep: ignore[MP203, MP201, MP203]\n"
+        (comment,) = scan_suppression_comments(text)
+        assert comment.rules == ("MP201", "MP203")
+        assert not comment.malformed
+
+    def test_malformed_missing_brackets(self):
+        (comment,) = scan_suppression_comments("x = 1  # metaprep: ignore\n")
+        assert comment.malformed
+        assert comment.rules == ()
+        assert parse_suppressions("x = 1  # metaprep: ignore\n") == {}
+
+    def test_malformed_empty_brackets(self):
+        (comment,) = scan_suppression_comments("x = 1  # metaprep: ignore[]\n")
+        assert comment.malformed
+
+    def test_malformed_unclosed_bracket(self):
+        (comment,) = scan_suppression_comments("x = 1  # metaprep: ignore[MP203\n")
+        assert comment.malformed
+
+    def test_continuation_line_comment_location(self):
+        # the comment lives on the physical line it is written on — a
+        # suppression on a continuation line does not cover a finding
+        # anchored at the statement's first line
+        text = "value = max(\n    1,  # metaprep: ignore[MP203]\n    2,\n)\n"
+        sup = parse_suppressions(text)
+        assert is_suppressed(sup, 2, "MP203")
+        assert not is_suppressed(sup, 1, "MP203")
 
 
 class TestBaseline:
@@ -70,6 +111,26 @@ class TestBaseline:
         doubled = [self.finding(line=3), self.finding(line=8)]
         new = subtract_baseline(doubled, load_baseline(path))
         assert len(new) == 1
+
+    def test_partition_reports_stale_entries(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        fixed = self.finding(rule="MP201", msg="clock")  # no longer produced
+        write_baseline(path, [self.finding(), fixed])
+        new, used, stale = partition_baseline([self.finding()], load_baseline(path))
+        assert new == []
+        assert sum(used.values()) == 1
+        assert list(stale) == [fixed.key()]
+
+    def test_prune_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        fixed = self.finding(rule="MP201", msg="clock")
+        write_baseline(path, [self.finding(), fixed])
+        current = [self.finding()]
+        _new, used, _stale = partition_baseline(current, load_baseline(path))
+        write_baseline_keys(path, used)
+        pruned = load_baseline(path)
+        assert sum(pruned.values()) == 1
+        assert partition_baseline(current, pruned)[2] == {}  # nothing stale left
 
 
 OFFENDING = {
@@ -124,6 +185,100 @@ class TestRunnerIntegration:
         assert not third.ok
         assert [f.rule for f in third.new] == ["MP201"]
 
+    def test_stale_baseline_reported(self, make_project, project_root):
+        make_project(OFFENDING)
+        baseline_path = project_root / ".metaprep-baseline.json"
+        first = run_checks(project_root)
+        ghost = Finding(
+            path="src/repro/index/build.py",
+            line=1,
+            rule="MP201",
+            message="a finding nothing produces anymore",
+        )
+        write_baseline(baseline_path, list(first.new) + [ghost])
+
+        second = run_checks(project_root)
+        assert second.ok
+        assert list(second.stale_baseline) == [ghost.key()]
+        assert sum(second.baseline_used.values()) == 1
+
+        # pruning keeps only the consumed entries
+        write_baseline_keys(baseline_path, second.baseline_used)
+        third = run_checks(project_root)
+        assert third.ok
+        assert third.stale_baseline == {}
+
+    def test_mp001_unknown_rule_id(self, make_project, project_root):
+        make_project(
+            {
+                "index/build.py": """
+                    def names(items):
+                        seen = set(items)
+                        return [x for x in seen]  # metaprep: ignore[MP999]
+                """
+            }
+        )
+        report = run_checks(project_root)
+        assert not report.ok
+        assert sorted(f.rule for f in report.new) == ["MP001", "MP203"]
+        (audit,) = [f for f in report.new if f.rule == "MP001"]
+        assert "MP999" in audit.message
+
+    def test_mp001_suppresses_nothing(self, make_project, project_root):
+        make_project(
+            {
+                "index/build.py": """
+                    def names(items):  # metaprep: ignore[MP203]
+                        return sorted(items)
+                """
+            }
+        )
+        report = run_checks(project_root)
+        assert [f.rule for f in report.new] == ["MP001"]
+        assert "matches no finding" in report.new[0].message
+
+    def test_mp001_malformed_comment(self, make_project, project_root):
+        make_project(
+            {
+                "index/build.py": """
+                    def names(items):  # metaprep: ignore[MP203
+                        return sorted(items)
+                """
+            }
+        )
+        report = run_checks(project_root)
+        assert [f.rule for f in report.new] == ["MP001"]
+        assert "malformed" in report.new[0].message
+
+    def test_mp001_not_emitted_for_working_suppression(
+        self, make_project, project_root
+    ):
+        make_project(SUPPRESSED)
+        report = run_checks(project_root)
+        assert report.ok
+        assert report.per_checker["suppress"] == 0
+
+    def test_suppression_on_continuation_line_does_not_cover(
+        self, make_project, project_root
+    ):
+        # the MP203 finding anchors at the comprehension's line; a
+        # suppression on the closing-paren continuation line is useless
+        # and is itself reported by MP001
+        make_project(
+            {
+                "index/build.py": """
+                    def names(items):
+                        seen = set(items)
+                        return [
+                            x for x in seen
+                        ]  # metaprep: ignore[MP203]
+                """
+            }
+        )
+        report = run_checks(project_root)
+        assert not report.ok
+        assert sorted(f.rule for f in report.new) == ["MP001", "MP203"]
+
     def test_per_checker_counts(self, make_project, project_root):
         make_project(OFFENDING)
         report = run_checks(project_root)
@@ -134,4 +289,6 @@ class TestRunnerIntegration:
             "purity",
             "overflow",
             "resources",
+            "lifecycle",
+            "suppress",
         }

@@ -1,0 +1,218 @@
+"""Transitive MP2xx/MP3xx — call-graph upgrades of the direct scans."""
+
+from repro.analysis.checkers.determinism import check_determinism
+from repro.analysis.checkers.purity import check_executor_purity
+
+
+def rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestTransitiveGlobalWrites:
+    def test_trip_helper_writes_global(self, make_project):
+        # the job function itself is clean; only the helper it calls
+        # writes module state — invisible to any per-site scan
+        project = make_project(
+            {
+                "core/pipeline.py": """
+                    _COUNTER = {}
+
+                    def _helper_bump(key):
+                        _COUNTER[key] = _COUNTER.get(key, 0) + 1
+
+                    def _sab_job(x):
+                        _helper_bump("jobs")
+                        return x * 2
+
+                    def _sab_drive(executor, jobs):
+                        return list(executor.map(_sab_job, jobs))
+                """
+            }
+        )
+        findings = check_executor_purity(project)
+        assert rules(findings) == ["MP302"]
+        assert "_sab_job -> _helper_bump" in findings[0].message
+        assert "transitively" in findings[0].message
+
+    def test_trip_two_hops_deep(self, make_project):
+        project = make_project(
+            {
+                "core/pipeline.py": """
+                    _STATE = []
+
+                    def _leaf():
+                        _STATE.append(1)
+
+                    def _mid():
+                        _leaf()
+
+                    def _job(x):
+                        _mid()
+                        return x
+
+                    def drive(executor, jobs):
+                        return list(executor.map(_job, jobs))
+                """
+            }
+        )
+        findings = check_executor_purity(project)
+        assert rules(findings) == ["MP302"]
+        assert "_job -> _mid -> _leaf" in findings[0].message
+
+    def test_trip_helper_in_another_module(self, make_project):
+        project = make_project(
+            {
+                "util/ledger.py": """
+                    _LEDGER = {}
+
+                    def note(key):
+                        _LEDGER[key] = True
+                """,
+                "core/pipeline.py": """
+                    from repro.util.ledger import note
+
+                    def _job(x):
+                        note("x")
+                        return x
+
+                    def drive(executor, jobs):
+                        return list(executor.map(_job, jobs))
+                """,
+            }
+        )
+        findings = check_executor_purity(project)
+        assert rules(findings) == ["MP302"]
+        assert findings[0].path == "src/repro/core/pipeline.py"
+
+    def test_pass_pure_helpers(self, make_project):
+        project = make_project(
+            {
+                "core/pipeline.py": """
+                    def _helper(x):
+                        return x * 2
+
+                    def _job(x):
+                        return _helper(x)
+
+                    def drive(executor, jobs):
+                        return list(executor.map(_job, jobs))
+                """
+            }
+        )
+        assert check_executor_purity(project) == []
+
+    def test_pass_thread_local_carrier(self, make_project):
+        # threading.local is the sanctioned shared-state pattern, not a
+        # module-global hazard
+        project = make_project(
+            {
+                "core/pipeline.py": """
+                    import threading
+
+                    _LOCAL = threading.local()
+
+                    def _helper():
+                        _LOCAL.count = getattr(_LOCAL, "count", 0) + 1
+
+                    def _job(x):
+                        _helper()
+                        return x
+
+                    def drive(executor, jobs):
+                        return list(executor.map(_job, jobs))
+                """
+            }
+        )
+        assert check_executor_purity(project) == []
+
+    def test_direct_write_not_double_reported(self, make_project):
+        # a job whose own body writes a global is flagged once (by the
+        # direct scan), not a second time by the transitive pass
+        project = make_project(
+            {
+                "core/pipeline.py": """
+                    _CACHE = {}
+
+                    def _job(x):
+                        _CACHE[x] = x
+                        return x
+
+                    def drive(executor, jobs):
+                        return list(executor.map(_job, jobs))
+                """
+            }
+        )
+        findings = check_executor_purity(project)
+        assert rules(findings) == ["MP302"]
+
+
+class TestTransitiveWallClock:
+    def test_trip_out_of_scope_helper(self, make_project):
+        # util/ is outside the MP201 scopes, so the direct scan cannot
+        # see the wall-clock read a core/ function pulls in
+        project = make_project(
+            {
+                "util/stamp.py": """
+                    import time
+
+                    def stamp():
+                        return time.time()
+                """,
+                "core/emit.py": """
+                    from repro.util.stamp import stamp
+
+                    def emit(record):
+                        record["at"] = stamp()
+                        return record
+                """,
+            }
+        )
+        findings = check_determinism(project)
+        assert rules(findings) == ["MP201"]
+        assert findings[0].path == "src/repro/core/emit.py"
+        assert "via stamp" in findings[0].message
+
+    def test_pass_monotonic_helper(self, make_project):
+        project = make_project(
+            {
+                "util/stamp.py": """
+                    import time
+
+                    def elapsed(start):
+                        return time.perf_counter() - start
+                """,
+                "core/emit.py": """
+                    from repro.util.stamp import elapsed
+
+                    def emit(record, start):
+                        record["elapsed"] = elapsed(start)
+                        return record
+                """,
+            }
+        )
+        assert check_determinism(project) == []
+
+    def test_in_scope_source_not_double_reported(self, make_project):
+        # a wall-clock read inside the scopes is the direct scan's
+        # finding; the transitive pass must not add a second one for
+        # the in-scope caller of an in-scope function
+        project = make_project(
+            {
+                "core/clocky.py": """
+                    import time
+
+                    def now():
+                        return time.time()
+                """,
+                "core/emit.py": """
+                    from repro.core.clocky import now
+
+                    def emit(record):
+                        record["at"] = now()
+                        return record
+                """,
+            }
+        )
+        findings = check_determinism(project)
+        assert rules(findings) == ["MP201"]
+        assert findings[0].path == "src/repro/core/clocky.py"
