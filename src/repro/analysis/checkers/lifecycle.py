@@ -16,6 +16,9 @@ or stored on an owning object).
 * **MP601** — shared-memory attachment leaked (`shm` kind)
 * **MP602** — spill residency or raw spill handle leaked (`spill` kind)
 * **MP603** — telemetry spool writer leaked (`spool` kind)
+* **MP604** — network socket leaked (`socket` kind: the block plane's
+  :func:`repro.runtime.transport.connect_with_retry` or a raw
+  ``socket.create_connection``)
 
 The pass is interprocedural in both directions: a binding is traced to
 an acquirer *through* thin wrappers (a helper whose return value flows
@@ -46,6 +49,7 @@ KIND_RULES = {
     "shm": ("MP601", "shared-memory attachment"),
     "spill": ("MP602", "resident spill block"),
     "spool": ("MP603", "telemetry spool writer"),
+    "socket": ("MP604", "network socket"),
 }
 
 #: kind -> exempt modules/prefixes (the implementations of the lifecycle)
@@ -53,6 +57,9 @@ KIND_EXEMPT = {
     "shm": ("runtime/buffers.py",),
     "spill": ("runtime/spill.py", "core/checkpoint.py"),
     "spool": ("telemetry/",),
+    # connect_with_retry itself wraps socket.create_connection and is
+    # obliged to return the live socket to its caller
+    "socket": ("runtime/transport.py",),
 }
 
 

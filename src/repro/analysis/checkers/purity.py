@@ -42,9 +42,20 @@ from repro.analysis.checkers.common import (
 #: global (the executor's shared-state fix), so they are not MP302 sinks
 _THREAD_LOCAL_FACTORIES = ("threading.local", "contextvars.ContextVar")
 
-BACKEND_TYPES = ("ExecutionBackend", "SerialExecutor", "ProcessExecutor")
+BACKEND_TYPES = (
+    "ExecutionBackend",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "DistributedExecutor",
+)
 BACKEND_FACTORIES = frozenset(
-    {"create_executor", "SerialExecutor", "ProcessExecutor"}
+    {
+        "create_executor",
+        "create_engine",
+        "SerialExecutor",
+        "ProcessExecutor",
+        "DistributedExecutor",
+    }
 )
 EXECUTOR_NAME = "executor"
 

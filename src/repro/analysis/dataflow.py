@@ -50,7 +50,7 @@ from repro.analysis.project import Project, SourceModule
 
 #: bump together with the runner's cache version whenever summary
 #: semantics change (stale cached summaries would silently disagree)
-DATAFLOW_VERSION = 1
+DATAFLOW_VERSION = 2
 
 #: resource-acquiring entry points, by terminal callee name -> kind
 ACQUIRER_KINDS = {
@@ -59,6 +59,8 @@ ACQUIRER_KINDS = {
     "read_spill": "spill",
     "resident_spill": "spill",
     "SpoolWriter": "spool",
+    "connect_with_retry": "socket",
+    "create_connection": "socket",
 }
 
 #: method names that release the receiver (``n.close()``)

@@ -21,8 +21,9 @@ invariant family they guard:
   attachments must be context-managed or finally-released, so a worker
   crash can never leak ``/dev/shm`` names.
 * ``MP6xx`` — interprocedural resource lifecycle: every acquisition of
-  a shared-memory attachment (MP601), spill residency (MP602), or
-  telemetry spool writer (MP603) must be released on every path out of
+  a shared-memory attachment (MP601), spill residency (MP602),
+  telemetry spool writer (MP603), or network socket (MP604) must be
+  released on every path out of
   the acquiring function — exception edges included — unless
   context-managed or ownership escapes.  Backed by the lite-CFG effect
   summaries of :mod:`repro.analysis.dataflow` and the call graph of
@@ -93,6 +94,10 @@ RULES = {
     ),
     "MP603": (
         "telemetry spool writer not closed on every path (including "
+        "exception edges) and not context-managed"
+    ),
+    "MP604": (
+        "network socket or listener not closed on every path (including "
         "exception edges) and not context-managed"
     ),
 }

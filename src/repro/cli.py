@@ -9,6 +9,7 @@ Subcommands::
     metaprep assemble --fastq parts/lc_p0_t0.fastq     # MiniAssembler
     metaprep check    --strict                         # static analysis gate
     metaprep trace   runs/tele/                        # inspect telemetry
+    metaprep worker  --port 9201                       # distributed-engine daemon
 
 Service verbs (the partition job service; see :mod:`repro.service`)::
 
@@ -101,6 +102,7 @@ def cmd_run(args) -> int:
         write_outputs=args.out is not None,
         executor=args.executor,
         max_workers=args.workers,
+        worker_addresses=tuple(args.worker or ()),
         dataplane=args.dataplane,
         telemetry_dir=args.telemetry,
         spill=args.spill,
@@ -405,6 +407,7 @@ def cmd_serve(args) -> int:
         max_concurrent=args.max_jobs,
         executor=args.executor,
         max_workers=args.workers,
+        worker_addresses=tuple(args.worker) if args.worker else None,
     )
     if args.once:
         daemon.run_until_idle(timeout=args.drain_timeout)
@@ -415,6 +418,13 @@ def cmd_serve(args) -> int:
         daemon.serve_forever(poll_seconds=args.poll)
     except KeyboardInterrupt:  # pragma: no cover - interactive
         print("stopped; queue state is persisted and will recover on restart")
+    return 0
+
+
+def cmd_worker(args) -> int:
+    from repro.runtime.worker import serve_worker
+
+    serve_worker(host=args.host, port=args.port, advertise=args.advertise)
     return 0
 
 
@@ -538,9 +548,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--executor",
         default="serial",
-        choices=("serial", "process"),
-        help="execution backend: inline (serial) or a multiprocessing "
-        "pool (process); results are bit-identical",
+        choices=("serial", "process", "distributed"),
+        help="execution backend: inline (serial), a multiprocessing "
+        "pool (process), or metaprep worker daemons (distributed); "
+        "results are bit-identical",
     )
     p.add_argument(
         "--workers",
@@ -548,6 +559,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for --executor process (default: the CPUs "
         "available to this process per its affinity mask)",
+    )
+    p.add_argument(
+        "--worker",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="a running `metaprep worker` daemon for --executor "
+        "distributed; repeat once per worker",
     )
     p.add_argument(
         "--dataplane",
@@ -658,11 +677,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--executor",
         default=None,
-        choices=("serial", "process"),
+        choices=("serial", "process", "distributed"),
         help="override every job's execution backend",
     )
     p.add_argument("--workers", type=int, default=None,
                    help="override worker count for process-backend jobs")
+    p.add_argument(
+        "--worker",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="with --executor distributed: schedule jobs onto this "
+        "running `metaprep worker` daemon; repeat once per worker",
+    )
     p.add_argument("--poll", type=float, default=0.2,
                    help="spool poll interval in seconds")
     p.add_argument("--once", action="store_true",
@@ -673,6 +700,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="artifact store LRU size budget in MiB")
     _add_common(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="run a distributed-engine worker daemon on this host",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="interface to bind (default: loopback)")
+    p.add_argument("--port", type=int, default=0,
+                   help="port to bind (default: 0, kernel-assigned; the "
+                   "bound address is printed on startup)")
+    p.add_argument(
+        "--advertise",
+        default=None,
+        metavar="HOST:PORT",
+        help="address peers should dial if it differs from the bind "
+        "address (NAT, multi-homed hosts)",
+    )
+    _add_common(p)
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser("submit", help="submit a partition job to the service")
     p.add_argument("--spool", required=True)

@@ -94,10 +94,15 @@ def payload_fingerprint(payload: dict) -> str:
 #:   disk between stage barriers but carries identical bytes through
 #:   identical stage code; spill and in-memory runs are bit-identical by
 #:   the differential contract of ``tests/integration/test_out_of_core``.
+#: * ``worker_addresses`` — the distributed engine's host registry:
+#:   placement of jobs and exchange blocks across workers, never their
+#:   content; all engines are bit-identical by the differential contract
+#:   of ``tests/integration/test_distributed_equivalence``.
 PARTITION_IRRELEVANT_FIELDS = frozenset(
     {
         "executor",
         "max_workers",
+        "worker_addresses",
         "write_outputs",
         "machine",
         "verify_static_counts",

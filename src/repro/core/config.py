@@ -74,6 +74,11 @@ class PipelineConfig:
     #: mask; see :func:`repro.runtime.executor.available_cpu_count`).
     #: Ignored by the serial engine.
     max_workers: int | None = None
+    #: ``host:port`` registry of ``metaprep worker`` daemons for the
+    #: ``"distributed"`` engine (one entry per worker; jobs and owner
+    #: blocks are placed by task rank modulo this list).  Required
+    #: non-empty by that engine, ignored by the in-host engines.
+    worker_addresses: tuple[str, ...] = ()
     #: tuple-buffer backing for the stage boundaries
     #: (:mod:`repro.runtime.buffers`): ``"auto"`` picks plain heap
     #: ndarrays under the serial engine and shared-memory segments under
@@ -139,6 +144,18 @@ class PipelineConfig:
             )
         if self.max_workers is not None:
             check_positive("max_workers", self.max_workers)
+        self.worker_addresses = tuple(self.worker_addresses or ())
+        if self.executor == "distributed":
+            if not self.worker_addresses:
+                raise ValueError(
+                    "executor='distributed' needs worker_addresses "
+                    "(host:port of running `metaprep worker` daemons)"
+                )
+            if self.dataplane != "auto":
+                raise ValueError(
+                    "the distributed engine selects its own block plane "
+                    "(socket transport); leave dataplane='auto'"
+                )
         if self.dataplane not in DATAPLANE_NAMES:
             raise ValueError(
                 f"dataplane must be one of {DATAPLANE_NAMES}, "

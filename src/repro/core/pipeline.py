@@ -69,13 +69,14 @@ from repro.kmers.filter import FrequencyFilter
 from repro import telemetry
 from repro.telemetry.collect import TelemetryCollector, RunTelemetry
 from repro.telemetry.runtime import TelemetrySettings
-from repro.runtime.buffers import (
-    BlockHandle,
-    BufferPool,
-    create_buffer_pool,
-    open_block,
-)
+from repro.runtime.buffers import BlockHandle
 from repro.runtime.comm import AllToAllStats, block_exchange_stats
+from repro.runtime.transport import (
+    BlockTransport,
+    create_block_transport,
+    resolve_block,
+    write_block_region,
+)
 from repro.runtime.spill import (
     SpillManager,
     SpillTarget,
@@ -86,7 +87,7 @@ from repro.runtime.spill import (
 )
 from repro.runtime.executor import (
     ExecutionBackend,
-    create_executor,
+    create_engine,
     worker_shared,
 )
 from repro.runtime.machines import get_machine
@@ -265,10 +266,17 @@ def _kmergen_chunk_task(job: _ChunkJob) -> _ChunkResult:
                         job.spill_targets[d], int(job.write_offsets[d]), part
                     )
     else:
+        # the write IS the all-to-all: heap/shm handles land in the
+        # owner's resident block, socket handles in the owning worker's
+        # store (off-diagonal regions cross the wire — net.bytes_sent)
         for d, part in enumerate(parts):
             if len(part):
-                with open_block(job.blocks[d]) as block:
-                    block.write(int(job.write_offsets[d]), part)
+                write_block_region(
+                    job.blocks[d],
+                    int(job.write_offsets[d]),
+                    part,
+                    sender=job.task,
+                )
     t1 = time.perf_counter_ns()
     times.add(StepNames.KMERGEN_COMM, (t1 - t0) / 1e9)
     if tele:
@@ -348,7 +356,10 @@ def _owner_sort_cc_task(job: _OwnerJob) -> _OwnerResult:
             job.spill_target, task=job.task, consume=True
         )
     else:
-        attach = open_block(job.block)
+        # resolves zero-copy on every plane: heap blocks directly, shm
+        # descriptors via segment attach, socket refs against the local
+        # worker's own store (owner jobs run on the hosting worker)
+        attach = resolve_block(job.block)
     with attach as block:
         t0 = time.perf_counter_ns()
         counts = range_partition_block(
@@ -622,7 +633,9 @@ class MetaPrep:
                     n_passes,
                 )
 
-        executor = create_executor(cfg.executor, cfg.max_workers)
+        executor = create_engine(
+            cfg.executor, cfg.max_workers, workers=cfg.worker_addresses
+        )
         executor.set_shared(
             _WorkerContext(
                 table=table,
@@ -637,9 +650,7 @@ class MetaPrep:
                 ),
             )
         )
-        buffers = create_buffer_pool(
-            cfg.dataplane, executor.prefers_shared_buffers
-        )
+        plane = create_block_transport(cfg.dataplane, executor)
         spill_mgr = (
             SpillManager(cfg.spill_dir) if any(spill_flags) else None
         )
@@ -661,7 +672,7 @@ class MetaPrep:
                     cc_stats,
                     comm_stats,
                     executor,
-                    buffers,
+                    plane,
                     collector,
                     spill_mgr=(
                         spill_mgr if spill_flags[spec.index] else None
@@ -683,12 +694,13 @@ class MetaPrep:
                 )
         finally:
             # executor first (workers drop their block attachments when
-            # they exit), then the pool unlinks every segment it created
-            # — the crash-safety guarantee the /dev/shm leak tests pin —
-            # and the spill dir goes with everything still in it, so an
-            # aborted out-of-core run leaves zero orphan spill files.
+            # they exit), then the plane releases everything it backs —
+            # pooled segments are unlinked (the /dev/shm leak guarantee),
+            # remote worker stores are swept best-effort — and the spill
+            # dir goes with everything still in it, so an aborted run
+            # leaves zero orphan segments, sockets, or spill files.
             executor.close()
-            buffers.close()
+            plane.close()
             if spill_mgr is not None:
                 spill_mgr.close()
 
@@ -793,7 +805,7 @@ class MetaPrep:
         cc_stats: LocalCCStats,
         comm_stats: List[AllToAllStats],
         executor: ExecutionBackend,
-        buffers: BufferPool,
+        plane: BlockTransport,
         collector: TelemetryCollector | None = None,
         spill_mgr: SpillManager | None = None,
     ) -> None:
@@ -831,17 +843,19 @@ class MetaPrep:
             # out-of-core pass: no destination blocks exist anywhere —
             # the owners' tuples accumulate in preallocated spill files
             # whose byte layout every writer derives from (k, totals[d])
-            dest_blocks: List = []
             handles: List[BlockHandle] = []
             spill_targets = spill_mgr.create_pass_targets(
                 spec.index, cfg.k, [int(t) for t in totals]
             )
         else:
-            dest_blocks = [
-                buffers.allocate(cfg.k, int(totals[d]))
+            # one published block per owner task, placed by the plane
+            # (resident pool block in-host, hosting worker's store under
+            # the socket plane — owner d's block lives where owner d's
+            # jobs run)
+            handles = [
+                plane.publish(cfg.k, int(totals[d]), owner=d)
                 for d in range(p_tasks)
             ]
-            handles = [block.handle() for block in dest_blocks]
             spill_targets = None
 
         try:
@@ -921,9 +935,12 @@ class MetaPrep:
                                 ),
                             )
                         else:
-                            region = dest_blocks[d].view(lo_i, hi_i)
-                            region.read_ids[:] = map_ids_to_components(
-                                region.read_ids, forests[p]
+                            ids = plane.read_ids(handles[d], lo_i, hi_i)
+                            plane.write_ids(
+                                handles[d],
+                                lo_i,
+                                hi_i,
+                                map_ids_to_components(ids, forests[p]),
                             )
                     if telemetry.enabled():
                         telemetry.record_span(
@@ -1006,8 +1023,8 @@ class MetaPrep:
                 sort_stats.merge(res.sort_stats)
                 cc_stats.merge(res.cc_stats)
         finally:
-            for block in dest_blocks:
-                buffers.release(block)
+            for handle in handles:
+                plane.release(handle)
             if spilling:
                 # owner jobs consume their files on success; this covers
                 # every failure path so no pass leaves files behind

@@ -21,12 +21,15 @@ physical machines with a deterministic simulation:
 """
 
 from repro.runtime.executor import (
+    ENGINES,
     EXECUTOR_NAMES,
+    DistributedExecutor,
     ExecutionBackend,
     ExecutorError,
     ProcessExecutor,
     SerialExecutor,
     available_cpu_count,
+    create_engine,
     create_executor,
 )
 from repro.runtime.machines import MachineSpec, EDISON, GANGA, get_machine
@@ -47,18 +50,41 @@ from repro.runtime.comm import (
     custom_all_to_all,
     all_to_all_schedule,
 )
+from repro.runtime.transport import (
+    TRANSPORT_NAMES,
+    BlockTransport,
+    PoolBlockTransport,
+    SocketBlockRef,
+    SocketBlockTransport,
+    TransportClosed,
+    TransportCorruption,
+    TransportError,
+    create_block_transport,
+)
 from repro.runtime.work import RunWork, StepNames
 from repro.runtime.timing import TimingModel, ProjectedTimes
 from repro.runtime.trace import projection_to_trace_events, write_chrome_trace
 
 __all__ = [
+    "ENGINES",
     "EXECUTOR_NAMES",
+    "DistributedExecutor",
     "ExecutionBackend",
     "ExecutorError",
     "ProcessExecutor",
     "SerialExecutor",
     "available_cpu_count",
+    "create_engine",
     "create_executor",
+    "TRANSPORT_NAMES",
+    "BlockTransport",
+    "PoolBlockTransport",
+    "SocketBlockRef",
+    "SocketBlockTransport",
+    "TransportClosed",
+    "TransportCorruption",
+    "TransportError",
+    "create_block_transport",
     "MachineSpec",
     "EDISON",
     "GANGA",

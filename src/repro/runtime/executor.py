@@ -11,6 +11,13 @@ in the timing model.  This module supplies the missing real concurrency:
   pre-executor pipeline.
 * :class:`ProcessExecutor` — runs jobs on a ``concurrent.futures``
   process pool, exchanging pickled numpy tuple buffers with the workers.
+* :class:`DistributedExecutor` — drains jobs over framed TCP channels
+  to ``metaprep worker`` daemons (one long-lived channel per worker,
+  jobs in submission order per channel), while the block plane's
+  ``socket`` transport moves the tuple traffic peer-to-peer.
+
+Engines register in the :data:`ENGINES` dict; :func:`create_engine`
+instantiates by name and reports the registered names on a miss.
 
 **Determinism contract.**  ``map(fn, jobs)`` always returns results in
 job-submission order, regardless of the order in which workers finish.
@@ -35,9 +42,10 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import pickle
 import threading
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from typing import Callable, List, Sequence, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.util.logging import get_logger
 
@@ -45,9 +53,6 @@ _LOG = get_logger("runtime.executor")
 
 T = TypeVar("T")
 R = TypeVar("R")
-
-#: recognized backend names, in documentation order
-EXECUTOR_NAMES = ("serial", "process")
 
 
 def available_cpu_count() -> int:
@@ -222,14 +227,204 @@ class ProcessExecutor(ExecutionBackend):
             self._pool = None
 
 
-def create_executor(
-    name: str = "serial", max_workers: int | None = None
+class DistributedExecutor(ExecutionBackend):
+    """Multi-host execution against ``metaprep worker`` daemons.
+
+    The driver keeps one long-lived framed channel per worker.  Jobs are
+    routed by their ``task`` rank (``task % n_workers`` — the same
+    placement rule the socket block plane uses for owner blocks, so an
+    owner job always runs on the worker hosting its block) and drained
+    strictly in submission order per channel; results land back in
+    submission order overall, preserving the determinism contract.
+
+    Shared state is broadcast eagerly by :meth:`set_shared` — workers
+    must hold the run context (and its telemetry settings) before any
+    block allocation or job executes, mirroring the pool initializer.
+
+    Failure contract: a job exception comes back pickled and is
+    re-raised as itself; a dead or unreachable worker raises
+    :class:`ExecutorError` after the surviving channels are closed.
+    """
+
+    name = "distributed"
+    #: shared-memory descriptors do not cross hosts; the block plane for
+    #: this engine is the socket transport, selected via this marker
+    prefers_shared_buffers = False
+    transport_name = "socket"
+
+    def __init__(
+        self,
+        worker_addresses: Sequence[str],
+        timeout: float | None = None,
+        retries: int | None = None,
+    ) -> None:
+        from repro.runtime import transport as tp
+
+        addresses = tuple(worker_addresses or ())
+        if not addresses:
+            raise ValueError(
+                "the distributed engine needs at least one worker "
+                "address (host:port); start daemons with `metaprep "
+                "worker` and pass them via --worker"
+            )
+        for address in addresses:
+            tp.parse_address(address)
+        self._tp = tp
+        self.worker_addresses = addresses
+        self.max_workers = len(addresses)
+        self.timeout = tp.CONNECT_TIMEOUT if timeout is None else timeout
+        self.retries = tp.CONNECT_RETRIES if retries is None else retries
+        self._channels: Dict[str, object] = {}
+        self._shared = None
+
+    # ------------------------------------------------------------------
+    def _channel(self, address: str):
+        sock = self._channels.get(address)
+        if sock is None:
+            sock = self._tp.connect_with_retry(
+                address, timeout=self.timeout, retries=self.retries
+            )
+            self._channels[address] = sock
+        return sock
+
+    def _drop_channel(self, address: str) -> None:
+        sock = self._channels.pop(address, None)
+        if sock is not None:
+            sock.close()
+
+    def _roundtrip(self, address: str, kind: int, payload: bytes) -> bytes:
+        """One request/response on the worker's persistent channel."""
+        sock = self._channel(address)
+        self._tp.send_frame(sock, kind, payload)
+        rkind, rpayload = self._tp.recv_frame(sock)
+        if rkind == self._tp.FRAME_ERR:
+            raise pickle.loads(rpayload)
+        return rpayload
+
+    # ------------------------------------------------------------------
+    def set_shared(self, shared) -> None:
+        self._shared = shared
+        payload = pickle.dumps(shared)
+        for address in self.worker_addresses:
+            try:
+                self._roundtrip(address, self._tp.FRAME_SET_SHARED, payload)
+            except (self._tp.TransportError, OSError) as exc:
+                self.close()
+                raise ExecutorError(
+                    f"worker {address} is unreachable while installing "
+                    "run state; is `metaprep worker` running there?"
+                ) from exc
+
+    def map(self, fn: Callable[[T], R], jobs: Sequence[T]) -> List[R]:
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        addresses = self.worker_addresses
+        queues: Dict[str, List[Tuple[int, T]]] = {a: [] for a in addresses}
+        for i, job in enumerate(jobs):
+            rank = int(getattr(job, "task", i))
+            queues[addresses[rank % len(addresses)]].append((i, job))
+
+        results: List[Optional[R]] = [None] * len(jobs)
+        job_errors: Dict[int, BaseException] = {}
+        dead: Dict[str, OSError | RuntimeError] = {}
+        abort = threading.Event()
+
+        def drain(address: str) -> None:
+            for i, job in queues[address]:
+                if abort.is_set():
+                    return
+                try:
+                    payload = self._roundtrip(
+                        address, self._tp.FRAME_JOB, pickle.dumps((fn, job))
+                    )
+                except (self._tp.TransportError, OSError) as exc:
+                    dead[address] = exc
+                    abort.set()
+                    self._drop_channel(address)
+                    return
+                except BaseException as exc:  # noqa: BLE001 - job's own error
+                    job_errors[i] = exc
+                    abort.set()
+                    return
+                results[i] = pickle.loads(payload)
+
+        threads = [
+            threading.Thread(target=drain, args=(a,))
+            for a in addresses
+            if queues[a]
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if job_errors and not dead:
+            raise job_errors[min(job_errors)]
+        if dead:
+            self.close()
+            address, exc = next(iter(dead.items()))
+            raise ExecutorError(
+                f"a '{self.name}' executor worker ({address}) died while "
+                f"running {getattr(fn, '__name__', fn)!r} (abrupt exit, "
+                "signal, or network failure); partial results were "
+                "discarded"
+            ) from exc
+        return results  # type: ignore[return-value]
+
+    def close(self) -> None:
+        for address in list(self._channels):
+            self._drop_channel(address)
+
+
+# ----------------------------------------------------------------------
+# engine registry
+# ----------------------------------------------------------------------
+def _make_serial(max_workers=None, workers=None) -> ExecutionBackend:
+    return SerialExecutor()
+
+
+def _make_process(max_workers=None, workers=None) -> ExecutionBackend:
+    return ProcessExecutor(max_workers=max_workers)
+
+
+def _make_distributed(max_workers=None, workers=None) -> ExecutionBackend:
+    return DistributedExecutor(workers or ())
+
+
+#: name -> factory(max_workers=..., workers=...); new engines plug in
+#: here and become visible to config validation, the CLI choices, and
+#: :func:`create_engine` alike
+ENGINES: Dict[str, Callable[..., ExecutionBackend]] = {
+    "serial": _make_serial,
+    "process": _make_process,
+    "distributed": _make_distributed,
+}
+
+#: recognized backend names, in registration order
+EXECUTOR_NAMES = tuple(ENGINES)
+
+
+def create_engine(
+    name: str = "serial",
+    max_workers: int | None = None,
+    workers: Sequence[str] | None = None,
 ) -> ExecutionBackend:
-    """Instantiate an engine by name (``"serial"`` or ``"process"``)."""
-    if name == "serial":
-        return SerialExecutor()
-    if name == "process":
-        return ProcessExecutor(max_workers=max_workers)
-    raise ValueError(
-        f"unknown executor {name!r}; expected one of {EXECUTOR_NAMES}"
-    )
+    """Instantiate an engine from the :data:`ENGINES` registry.
+
+    ``workers`` is the distributed engine's host:port registry; the
+    in-host engines ignore it.  An unknown name reports what *is*
+    registered instead of a bare ``KeyError``.
+    """
+    try:
+        factory = ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {name!r}; registered engines: "
+            f"{', '.join(sorted(ENGINES))}"
+        ) from None
+    return factory(max_workers=max_workers, workers=workers)
+
+
+#: backwards-compatible alias (pre-registry name)
+create_executor = create_engine

@@ -1,0 +1,622 @@
+"""Transport-agnostic block plane: every stage boundary behind one API.
+
+The paper's stage hops — KmerGen writing into per-owner exchange blocks,
+LocalSort/LocalCC consuming them, the driver's LocalCC-Opt id rewrite —
+were historically wired straight to a :class:`~repro.runtime.buffers.
+BufferPool` (heap ndarrays or ``/dev/shm`` segments).  Both backings
+only work inside one host.  This module abstracts the boundary into a
+:class:`BlockTransport` with three implementations:
+
+* ``heap`` — plain in-process ndarrays (the serial engine's plane);
+* ``shm`` — the pooled shared-memory dataplane (the process engine's
+  plane, behavior-preserving over :class:`SharedMemoryBufferPool`);
+* ``socket`` — blocks hosted in remote ``metaprep worker`` daemons and
+  addressed by :class:`SocketBlockRef`, with tuple regions shipped over
+  length-prefixed TCP frames.
+
+Frame format
+------------
+Every message is one frame: a fixed 20-byte header followed by the
+payload::
+
+    <4sHHIII = magic "MPNT"  version:u16  kind:u16  length:u32
+               payload_crc32:u32  header_crc32:u32
+
+``header_crc32`` covers the first 16 header bytes, ``payload_crc32``
+the payload, so a torn or corrupted frame is detected before any byte
+of it is interpreted — :class:`TransportCorruption` is raised, never a
+mis-parse.  A clean EOF *between* frames raises :class:`TransportClosed`
+(the peer hung up); an EOF *inside* a frame is corruption.
+
+Wire-byte accounting
+--------------------
+The all-to-all contract: tuples from sender task ``p`` to owner task
+``d`` cross the wire iff ``p != d`` (the diagonal is a local write into
+the worker's own store).  ``net.bytes_sent`` / ``net.bytes_recv`` count
+exactly the tuple-column payload bytes of those off-diagonal
+WRITE_REGION frames — framing and pickle overhead excluded — so their
+totals equal ``wire_bytes_total`` of
+:func:`repro.runtime.comm.block_exchange_stats`, byte for byte.
+``net.frames`` counts every frame sent and ``worker.connects`` every
+connection established.
+
+Lifecycle
+---------
+Connections are short-lived and context-managed (one request per
+connection for block operations; the distributed engine keeps one
+long-lived job channel per worker, closed in its ``close()``).  Rule
+MP604 (``metaprep check``) statically enforces that every socket
+acquired via :func:`connect_with_retry` is closed on every path out.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+import time
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.kmers.codec import KmerArray
+from repro.kmers.engine import KmerTuples
+from repro.runtime.buffers import (
+    BlockHandle,
+    BufferPool,
+    HeapBufferPool,
+    TupleBlock,
+    create_buffer_pool,
+    open_block,
+)
+from repro.util.logging import get_logger
+
+_LOG = get_logger("runtime.transport")
+
+#: recognized block-plane names, in documentation order
+TRANSPORT_NAMES = ("heap", "shm", "socket")
+
+MAGIC = b"MPNT"
+VERSION = 1
+
+#: magic, version, kind, payload length, payload crc32, header crc32
+FRAME_HEADER = struct.Struct("<4sHHIII")
+
+# request frame kinds
+FRAME_HELLO = 1
+FRAME_SET_SHARED = 2
+FRAME_JOB = 3
+FRAME_ALLOC = 4
+FRAME_WRITE_REGION = 5
+FRAME_GET_BLOCK = 6
+FRAME_GET_IDS = 7
+FRAME_PUT_IDS = 8
+FRAME_FREE = 9
+FRAME_SWEEP = 10
+FRAME_SHUTDOWN = 11
+# response frame kinds
+FRAME_OK = 64
+FRAME_ERR = 65
+
+#: default connect behavior (retries cover worker daemons still binding)
+CONNECT_TIMEOUT = 10.0
+CONNECT_RETRIES = 20
+CONNECT_DELAY = 0.05
+
+_LO_DTYPE = np.dtype(np.uint64)
+_IDS_DTYPE = np.dtype(np.uint32)
+
+
+class TransportError(RuntimeError):
+    """Base class for block-transport failures."""
+
+
+class TransportCorruption(TransportError):
+    """A frame arrived torn or inconsistent (bad magic, checksum
+    mismatch, EOF inside a frame).  Readers never interpret a partial
+    or corrupted frame — they see this."""
+
+
+class TransportClosed(TransportError):
+    """The peer closed the connection cleanly at a frame boundary."""
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split ``"host:port"``; raises ``ValueError`` on malformed input."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"worker address {address!r} is not of the form host:port"
+        )
+    return host, int(port)
+
+
+# ----------------------------------------------------------------------
+# framed wire protocol
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket, kind: int, payload: bytes = b"") -> None:
+    """Send one checksummed length-prefixed frame."""
+    head = FRAME_HEADER.pack(
+        MAGIC, VERSION, kind, len(payload), zlib.crc32(payload), 0
+    )
+    head = head[:-4] + struct.pack("<I", zlib.crc32(head[:-4]))
+    sock.sendall(head + payload)
+    if telemetry.enabled():
+        telemetry.add_counter("net.frames")
+
+
+def _recv_exact(sock: socket.socket, n: int, at_boundary: bool = False) -> bytes:
+    chunks: List[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if got == 0 and at_boundary:
+                raise TransportClosed("peer closed the connection")
+            raise TransportCorruption(
+                f"torn frame: EOF after {got} of {n} expected bytes"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Tuple[int, bytes]:
+    """Receive one frame; returns ``(kind, payload)``.
+
+    Raises :class:`TransportClosed` on clean EOF at a frame boundary and
+    :class:`TransportCorruption` on a torn or checksum-failing frame.
+    """
+    head = _recv_exact(sock, FRAME_HEADER.size, at_boundary=True)
+    magic, version, kind, length, payload_crc, header_crc = (
+        FRAME_HEADER.unpack(head)
+    )
+    if zlib.crc32(head[:-4]) != header_crc:
+        raise TransportCorruption("frame header checksum mismatch")
+    if magic != MAGIC:
+        raise TransportCorruption(f"bad frame magic {magic!r}")
+    if version != VERSION:
+        raise TransportCorruption(
+            f"frame version {version}, expected {VERSION}"
+        )
+    payload = _recv_exact(sock, length)
+    if zlib.crc32(payload) != payload_crc:
+        raise TransportCorruption("frame payload checksum mismatch")
+    return kind, payload
+
+
+def connect_with_retry(
+    address: str,
+    timeout: float = CONNECT_TIMEOUT,
+    retries: int = CONNECT_RETRIES,
+    delay: float = CONNECT_DELAY,
+) -> socket.socket:
+    """Connect to ``"host:port"`` with bounded retry on refusal/timeout.
+
+    A worker daemon may still be binding when the driver first dials it;
+    each refused or timed-out attempt backs off ``delay`` seconds, up to
+    ``retries`` attempts total.  The returned socket must be closed by
+    the caller (context-manage it) — rule MP604 enforces this.
+    """
+    host, port = parse_address(address)
+    last: Exception | None = None
+    for attempt in range(max(1, retries)):
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            last = exc
+            time.sleep(delay)
+            continue
+        sock.settimeout(timeout)
+        if telemetry.enabled():
+            telemetry.add_counter("worker.connects")
+        return sock
+    raise TransportError(
+        f"could not connect to worker {address} after {retries} attempts"
+    ) from last
+
+
+def request(
+    address: str,
+    kind: int,
+    payload: bytes = b"",
+    timeout: float = CONNECT_TIMEOUT,
+    retries: int = CONNECT_RETRIES,
+) -> bytes:
+    """One request/response round trip on a fresh connection.
+
+    Returns the OK payload; an ERR response re-raises the pickled
+    exception the worker sent back.
+    """
+    with connect_with_retry(address, timeout=timeout, retries=retries) as sock:
+        send_frame(sock, kind, payload)
+        rkind, rpayload = recv_frame(sock)
+    if rkind == FRAME_ERR:
+        raise pickle.loads(rpayload)
+    if rkind != FRAME_OK:
+        raise TransportCorruption(f"unexpected response frame kind {rkind}")
+    return rpayload
+
+
+# ----------------------------------------------------------------------
+# remote block references and the worker-side store
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SocketBlockRef:
+    """Picklable wire reference to a block hosted by a worker daemon.
+
+    The socket plane's analogue of :class:`~repro.runtime.buffers.
+    BlockDescriptor`: everything a job needs to address tuples in a
+    remote block — the hosting worker's address, the store-assigned
+    block id, and the layout (``k``, ``capacity``).  ``owner`` is the
+    owning task rank; writes with ``sender == owner`` are the exchange's
+    diagonal and stay local to the hosting worker.
+    """
+
+    address: str
+    block_id: int
+    k: int
+    capacity: int
+    owner: int
+
+
+class BlockStore:
+    """Worker-side registry of hosted blocks (heap memory, id-keyed).
+
+    Blocks live in the worker process's plain heap — a killed worker
+    takes its blocks with it and can never leak ``/dev/shm`` names or
+    disk files.  Allocation routes through a :class:`HeapBufferPool`
+    so occupancy telemetry matches the in-process planes.
+    """
+
+    def __init__(self) -> None:
+        self._pool = HeapBufferPool()
+        self._blocks: Dict[int, TupleBlock] = {}
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def allocate(self, k: int, capacity: int) -> int:
+        block = self._pool.allocate(k, capacity)
+        with self._lock:
+            block_id = self._seq
+            self._seq += 1
+            self._blocks[block_id] = block
+        return block_id
+
+    def get(self, block_id: int) -> TupleBlock:
+        with self._lock:
+            try:
+                return self._blocks[block_id]
+            except KeyError:
+                raise TransportError(
+                    f"unknown block id {block_id} (freed or never allocated)"
+                ) from None
+
+    def free(self, block_id: int) -> None:
+        with self._lock:
+            block = self._blocks.pop(block_id, None)
+        if block is not None:
+            self._pool.release(block)
+
+    def sweep(self) -> int:
+        """Free every hosted block; returns how many were live."""
+        with self._lock:
+            blocks = list(self._blocks.values())
+            n = len(blocks)
+            self._blocks.clear()
+        for block in blocks:
+            self._pool.release(block)
+        return n
+
+
+#: address -> store of the worker daemon(s) living in *this* process.
+#: Jobs running on a worker resolve that worker's own blocks zero-copy
+#: instead of dialing themselves over loopback.
+_LOCAL_STORES: Dict[str, BlockStore] = {}
+
+
+def register_local_store(address: str, store: BlockStore) -> None:
+    _LOCAL_STORES[address] = store
+
+
+def unregister_local_store(address: str) -> None:
+    _LOCAL_STORES.pop(address, None)
+
+
+# ----------------------------------------------------------------------
+# job-facing helpers (engine-agnostic: the same job functions run under
+# every engine, dispatching on the handle type)
+# ----------------------------------------------------------------------
+def _tuple_columns(tuples: KmerTuples) -> Tuple[bytes, bytes, bytes]:
+    lo = np.ascontiguousarray(tuples.kmers.lo, dtype=_LO_DTYPE).tobytes()
+    hi = (
+        np.ascontiguousarray(tuples.kmers.hi, dtype=_LO_DTYPE).tobytes()
+        if tuples.kmers.hi is not None
+        else b""
+    )
+    ids = np.ascontiguousarray(tuples.read_ids, dtype=_IDS_DTYPE).tobytes()
+    return lo, hi, ids
+
+
+def tuples_from_columns(
+    k: int, n: int, lo: bytes, hi: bytes, ids: bytes
+) -> KmerTuples:
+    """Rebuild a tuple batch from raw column bytes (the frame payload)."""
+    lo_arr = np.frombuffer(lo, dtype=_LO_DTYPE, count=n)
+    hi_arr = np.frombuffer(hi, dtype=_LO_DTYPE, count=n) if hi else None
+    ids_arr = np.frombuffer(ids, dtype=_IDS_DTYPE, count=n)
+    return KmerTuples(KmerArray(k, lo_arr, hi_arr), ids_arr)
+
+
+def write_block_region(
+    handle: "PlaneHandle", at: int, tuples: KmerTuples, sender: int = -1
+) -> None:
+    """Write ``tuples`` into a block at offset ``at`` — the dataplane's
+    one copy per tuple, whatever the plane.
+
+    Heap/shm handles write through :func:`open_block` exactly as before.
+    A :class:`SocketBlockRef` writes into the hosting worker's store:
+    directly when this process *is* that worker and the write is the
+    exchange diagonal (``sender == owner``), over a WRITE_REGION frame
+    otherwise — which is where ``net.bytes_sent`` accrues.
+    """
+    if isinstance(handle, SocketBlockRef):
+        store = _LOCAL_STORES.get(handle.address)
+        if store is not None and sender == handle.owner:
+            store.get(handle.block_id).write(at, tuples)
+            return
+        lo, hi, ids = _tuple_columns(tuples)
+        n = len(tuples)
+        payload = pickle.dumps(
+            (handle.block_id, at, sender, handle.owner, n, lo, hi, ids)
+        )
+        if sender != handle.owner and telemetry.enabled():
+            telemetry.add_counter(
+                "net.bytes_sent",
+                len(lo) + len(hi) + len(ids),
+                task=sender,
+                aux=handle.owner,
+            )
+        request(handle.address, FRAME_WRITE_REGION, payload)
+        return
+    with open_block(handle) as block:
+        block.write(at, tuples)
+
+
+def fetch_block(ref: SocketBlockRef) -> TupleBlock:
+    """Fetch a full copy of a remote block into a private heap block."""
+    payload = request(ref.address, FRAME_GET_BLOCK, pickle.dumps(ref.block_id))
+    k, n, lo, hi, ids = pickle.loads(payload)
+    lo_arr = np.frombuffer(lo, dtype=_LO_DTYPE, count=n).copy()
+    hi_arr = np.frombuffer(hi, dtype=_LO_DTYPE, count=n).copy() if hi else None
+    ids_arr = np.frombuffer(ids, dtype=_IDS_DTYPE, count=n).copy()
+    return TupleBlock(k, n, lo_arr, hi_arr, ids_arr)
+
+
+@contextmanager
+def resolve_block(handle: "PlaneHandle") -> Iterator[TupleBlock]:
+    """Resolve any plane handle into a usable block for the ``with`` body.
+
+    Heap/shm handles delegate to :func:`~repro.runtime.buffers.
+    open_block`.  A :class:`SocketBlockRef` resolves zero-copy against
+    the local store when this process hosts the block (the distributed
+    engine places each owner job on the worker hosting its block), and
+    falls back to fetching a private copy otherwise.
+    """
+    if isinstance(handle, SocketBlockRef):
+        store = _LOCAL_STORES.get(handle.address)
+        if store is not None:
+            yield store.get(handle.block_id)
+        else:
+            yield fetch_block(handle)
+        return
+    with open_block(handle) as block:
+        yield block
+
+
+# ----------------------------------------------------------------------
+# the block plane
+# ----------------------------------------------------------------------
+class BlockTransport:
+    """Interface every stage boundary goes through.
+
+    ``publish`` allocates one owner task's exchange block and returns
+    the handle job payloads carry; ``read_ids``/``write_ids`` are the
+    driver-side LocalCC-Opt window into a block's id column;
+    ``release`` returns one block, ``close`` the whole plane.
+    """
+
+    name: str = "abstract"
+
+    def publish(self, k: int, capacity: int, owner: int) -> "PlaneHandle":
+        raise NotImplementedError
+
+    def read_ids(self, handle: "PlaneHandle", lo: int, hi: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def write_ids(
+        self, handle: "PlaneHandle", lo: int, hi: int, ids: np.ndarray
+    ) -> None:
+        raise NotImplementedError
+
+    def release(self, handle: "PlaneHandle") -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release every block this plane still holds.  Idempotent."""
+
+    def __enter__(self) -> "BlockTransport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class PoolBlockTransport(BlockTransport):
+    """The in-host planes: a :class:`BufferPool` behind the plane API.
+
+    Behavior-preserving over the historical direct pool usage — the
+    ``heap`` plane wraps :class:`HeapBufferPool` (handles are the blocks
+    themselves), the ``shm`` plane wraps
+    :class:`SharedMemoryBufferPool` (handles are descriptors).
+    """
+
+    def __init__(self, pool: BufferPool) -> None:
+        self._pool = pool
+        self.name = "shm" if pool.kind == "shared" else "heap"
+        #: id(handle) -> backing block; handles stay referenced by the
+        #: driver between publish and release, so ids are stable
+        self._blocks: Dict[int, TupleBlock] = {}
+
+    @property
+    def pool(self) -> BufferPool:
+        return self._pool
+
+    def publish(self, k: int, capacity: int, owner: int) -> BlockHandle:
+        block = self._pool.allocate(k, capacity)
+        handle = block.handle()
+        self._blocks[id(handle)] = block
+        return handle
+
+    def read_ids(self, handle: BlockHandle, lo: int, hi: int) -> np.ndarray:
+        return self._blocks[id(handle)].view(lo, hi).read_ids
+
+    def write_ids(
+        self, handle: BlockHandle, lo: int, hi: int, ids: np.ndarray
+    ) -> None:
+        self._blocks[id(handle)].view(lo, hi).read_ids[:] = ids
+
+    def release(self, handle: BlockHandle) -> None:
+        block = self._blocks.pop(id(handle), None)
+        if block is not None:
+            self._pool.release(block)
+
+    def close(self) -> None:
+        for block in self._blocks.values():
+            self._pool.release(block)
+        self._blocks.clear()
+        self._pool.close()
+
+
+class SocketBlockTransport(BlockTransport):
+    """The cross-host plane: blocks hosted by worker daemons.
+
+    ``publish(owner=d)`` allocates on worker ``d % W`` — the same
+    placement rule the distributed engine uses for owner jobs, so every
+    owner job finds its block in its own worker's local store.
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        workers: Sequence[str],
+        timeout: float = CONNECT_TIMEOUT,
+        retries: int = CONNECT_RETRIES,
+    ) -> None:
+        workers = tuple(workers)
+        if not workers:
+            raise ValueError("socket transport needs >= 1 worker address")
+        for address in workers:
+            parse_address(address)
+        self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        #: handles published and not yet released (freed on close)
+        self._live: Dict[Tuple[str, int], SocketBlockRef] = {}
+
+    def _request(self, address: str, kind: int, payload: bytes) -> bytes:
+        return request(
+            address, kind, payload, timeout=self.timeout, retries=self.retries
+        )
+
+    def publish(self, k: int, capacity: int, owner: int) -> SocketBlockRef:
+        address = self.workers[owner % len(self.workers)]
+        payload = self._request(
+            address, FRAME_ALLOC, pickle.dumps((k, capacity, owner))
+        )
+        ref: SocketBlockRef = pickle.loads(payload)
+        self._live[(ref.address, ref.block_id)] = ref
+        return ref
+
+    def read_ids(self, handle: SocketBlockRef, lo: int, hi: int) -> np.ndarray:
+        payload = self._request(
+            handle.address,
+            FRAME_GET_IDS,
+            pickle.dumps((handle.block_id, lo, hi)),
+        )
+        return np.frombuffer(payload, dtype=_IDS_DTYPE, count=hi - lo).copy()
+
+    def write_ids(
+        self, handle: SocketBlockRef, lo: int, hi: int, ids: np.ndarray
+    ) -> None:
+        raw = np.ascontiguousarray(ids, dtype=_IDS_DTYPE).tobytes()
+        self._request(
+            handle.address,
+            FRAME_PUT_IDS,
+            pickle.dumps((handle.block_id, lo, hi, raw)),
+        )
+
+    def release(self, handle: SocketBlockRef) -> None:
+        """Free one block on its owner.  Best-effort like :meth:`close`:
+        release runs from the pipeline's ``finally`` after a failed
+        stage too, and a crashed owner's heap store died with it — an
+        unreachable worker must not mask the stage's own exception."""
+        self._live.pop((handle.address, handle.block_id), None)
+        try:
+            request(
+                handle.address,
+                FRAME_FREE,
+                pickle.dumps(handle.block_id),
+                timeout=self.timeout,
+                retries=1,
+            )
+        except (TransportError, OSError):
+            _LOG.debug(
+                "free skipped: worker %s unreachable", handle.address
+            )
+
+    def close(self) -> None:
+        """Best-effort: free leftover blocks, then sweep every worker.
+
+        Tolerates dead workers — close runs from the pipeline's
+        ``finally``, including after a worker crash, and must never
+        mask the original failure."""
+        self._live.clear()
+        for address in self.workers:
+            try:
+                request(
+                    address, FRAME_SWEEP, timeout=self.timeout, retries=1
+                )
+            except (TransportError, OSError):
+                _LOG.debug("sweep skipped: worker %s unreachable", address)
+
+
+def create_block_transport(
+    dataplane: str, executor
+) -> BlockTransport:
+    """Instantiate the block plane for a run.
+
+    The distributed engine always gets the ``socket`` plane over its
+    own worker registry; other engines resolve ``dataplane`` through
+    :func:`~repro.runtime.buffers.create_buffer_pool` exactly as before
+    (``auto`` -> heap under serial, shm under process).
+    """
+    if getattr(executor, "transport_name", None) == "socket":
+        return SocketBlockTransport(executor.worker_addresses)
+    pool = create_buffer_pool(
+        dataplane, getattr(executor, "prefers_shared_buffers", False)
+    )
+    return PoolBlockTransport(pool)
+
+
+#: what job payloads may carry under any plane
+PlaneHandle = Optional[object]  # TupleBlock | BlockDescriptor | SocketBlockRef

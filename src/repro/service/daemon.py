@@ -62,6 +62,7 @@ class ServeDaemon:
         retry: RetryPolicy | None = None,
         executor: str | None = None,
         max_workers: int | None = None,
+        worker_addresses: tuple[str, ...] | None = None,
         keep_checkpoints: int = 4,
         clock=time.monotonic,
         sleep=time.sleep,
@@ -72,6 +73,10 @@ class ServeDaemon:
         self.store = store or ArtifactStore(self.spool_dir / STORE_DIR)
         self.executor = executor
         self.max_workers = max_workers
+        #: distributed-engine worker registry; jobs scheduled by this
+        #: daemon run their stages on these remote `metaprep worker`
+        #: daemons when the executor override is "distributed"
+        self.worker_addresses = worker_addresses
         self.keep_checkpoints = keep_checkpoints
         self.queue = JobQueue(self.spool_dir)
         self._partition_keys: Dict[str, str] = {}  # job_id -> work key
@@ -141,6 +146,8 @@ class ServeDaemon:
             overrides["executor"] = self.executor
         if self.max_workers is not None:
             overrides["max_workers"] = self.max_workers
+        if self.worker_addresses is not None:
+            overrides["worker_addresses"] = self.worker_addresses
         return record.job.pipeline_config(**overrides)
 
     def _partition_key_of(self, record: JobRecord) -> str:

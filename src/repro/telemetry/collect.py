@@ -63,10 +63,24 @@ class SpanEvent:
     aux: int
     t0_ns: int
     t1_ns: int
+    #: spool host identity (the emitting worker daemon's address);
+    #: "" for in-host spools — see ``TelemetrySettings.host_id``
+    host: str = ""
 
     @property
     def seconds(self) -> float:
         return (self.t1_ns - self.t0_ns) / 1e9
+
+
+def spool_host(filename: str) -> str:
+    """Host identity encoded in a spool filename.
+
+    ``w<pid>-<tid>.evt`` -> ``""`` (in-host spool);
+    ``w<pid>-<tid>@<host>.evt`` -> ``"<host>"``.
+    """
+    stem = filename[: -len(".evt")] if filename.endswith(".evt") else filename
+    _, sep, host = stem.partition("@")
+    return host if sep else ""
 
 
 @dataclass
@@ -116,6 +130,10 @@ class RunTelemetry:
     def tasks_seen(self) -> List[int]:
         return sorted({s.task for s in self.spans})
 
+    def hosts_seen(self) -> List[str]:
+        """Distinct non-empty span host identities (worker addresses)."""
+        return sorted({s.host for s in self.spans if s.host})
+
     # ------------------------------------------------------------------
     # counters / gauges
     # ------------------------------------------------------------------
@@ -140,7 +158,15 @@ class RunTelemetry:
             "t0_ns": self.t0_ns,
             "n_tasks": self.n_tasks,
             "spans": [
-                [s.name, s.task, s.aux, s.t0_ns, s.t1_ns] for s in self.spans
+                # the 6th (host) element appears only on spans merged
+                # from host-stamped spools, keeping in-host documents
+                # byte-compatible with the pre-distributed format
+                (
+                    [s.name, s.task, s.aux, s.t0_ns, s.t1_ns, s.host]
+                    if s.host
+                    else [s.name, s.task, s.aux, s.t0_ns, s.t1_ns]
+                )
+                for s in self.spans
             ],
             "counters": {
                 name: {str(task): v for task, v in sorted(per.items())}
@@ -179,8 +205,15 @@ class RunTelemetry:
             t0_ns=int(doc["t0_ns"]),
             n_tasks=int(doc["n_tasks"]),
             spans=[
-                SpanEvent(name, int(task), int(aux), int(a), int(b))
-                for name, task, aux, a, b in doc.get("spans", [])
+                SpanEvent(
+                    row[0],
+                    int(row[1]),
+                    int(row[2]),
+                    int(row[3]),
+                    int(row[4]),
+                    host=str(row[5]) if len(row) > 5 else "",
+                )
+                for row in doc.get("spans", [])
             ],
             counters={
                 name: {int(task): int(v) for task, v in per.items()}
@@ -264,6 +297,7 @@ class TelemetryCollector:
         n = 0
         for path in sorted(self.spool_dir.glob("*.evt")):
             key = path.name
+            host = spool_host(key)
             records, offset = read_spool(path, self._offsets.get(key, 0))
             self._offsets[key] = offset
             for rec in records:
@@ -275,6 +309,7 @@ class TelemetryCollector:
                             aux=rec.aux,
                             t0_ns=rec.value_a,
                             t1_ns=rec.value_b,
+                            host=host,
                         )
                     )
                 elif rec.kind == KIND_COUNTER:

@@ -76,10 +76,21 @@ GAUGE_NAMES = (
     "proc.peak_rss_kb",
 )
 
+#: network counters of the distributed engine's block plane
+#: (:mod:`repro.runtime.transport`).  A separate tuple appended *after*
+#: the original names: splicing them into COUNTER_NAMES would shift
+#: every gauge's positional id and break existing spool files.
+NET_COUNTER_NAMES = (
+    "net.bytes_sent",
+    "net.bytes_recv",
+    "net.frames",
+    "worker.connects",
+)
+
 #: the static name registry; ids are positions in this tuple, so the
 #: order is part of the wire format — append, never reorder
 WELL_KNOWN_NAMES: Tuple[str, ...] = (
-    tuple(StepNames.ORDER) + COUNTER_NAMES + GAUGE_NAMES
+    tuple(StepNames.ORDER) + COUNTER_NAMES + GAUGE_NAMES + NET_COUNTER_NAMES
 )
 
 _NAME_TO_ID = {name: i for i, name in enumerate(WELL_KNOWN_NAMES)}

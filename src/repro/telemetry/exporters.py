@@ -43,6 +43,10 @@ def measured_trace_events(run: RunTelemetry) -> List[dict]:
     """
     events: List[dict] = []
     for s in run.spans:
+        args = {"task": s.task, "aux": s.aux, "seconds": s.seconds}
+        if s.host:
+            # per-host span attribution for distributed-engine runs
+            args["host"] = s.host
         events.append(
             {
                 "name": s.name,
@@ -52,7 +56,7 @@ def measured_trace_events(run: RunTelemetry) -> List[dict]:
                 "ts": (s.t0_ns - run.t0_ns) / 1e3,  # microseconds
                 "dur": (s.t1_ns - s.t0_ns) / 1e3,
                 "cname": _COLORS.get(s.name, "grey"),
-                "args": {"task": s.task, "aux": s.aux, "seconds": s.seconds},
+                "args": args,
             }
         )
     return events
@@ -157,6 +161,7 @@ def metrics_snapshot(run: RunTelemetry) -> Dict:
     """JSON-ready metrics document for one run."""
     return {
         "n_tasks": run.n_tasks,
+        "hosts": run.hosts_seen(),
         "counters": run.counter_totals(),
         "counters_by_task": {
             name: {str(task): v for task, v in sorted(per.items())}

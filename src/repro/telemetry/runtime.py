@@ -46,9 +46,16 @@ class TelemetrySettings:
 
     Picklable by design — it rides inside the executor's shared worker
     context across the process-pool boundary.
+
+    ``host_id`` disambiguates spools merged from multiple hosts: the
+    (pid, tid) identity in the spool filename can collide across hosts,
+    so a distributed-engine worker daemon stamps its advertised address
+    here before any of its threads open a writer.  Empty for in-host
+    engines (the historical filenames are unchanged).
     """
 
     spool_dir: str
+    host_id: str = ""
 
 
 _STATE = threading.local()
@@ -95,8 +102,10 @@ def _writer() -> Optional[SpoolWriter]:
     if writer is None or getattr(_STATE, "writer_pid", -1) != pid:
         # first event on this thread, or a fork-inherited writer whose
         # fd belongs to the parent's stream: open this process's own file
+        suffix = f"@{settings.host_id}" if settings.host_id else ""
         path = os.path.join(
-            settings.spool_dir, f"w{pid}-{threading.get_native_id()}.evt"
+            settings.spool_dir,
+            f"w{pid}-{threading.get_native_id()}{suffix}.evt",
         )
         try:
             writer = SpoolWriter(path)

@@ -222,3 +222,109 @@ class TestSpoolLifecycle:
             }
         )
         assert check_lifecycle(project) == []
+
+
+class TestSocketLifecycle:
+    def test_trip_socket_leaked_on_exception_edge(self, make_project):
+        project = make_project(
+            {
+                "core/ping.py": """
+                    from repro.runtime.transport import connect_with_retry
+
+                    def ping(address):
+                        sock = connect_with_retry(address)
+                        sock.sendall(b"ping")
+                        reply = sock.recv(4)
+                        sock.close()
+                        return reply
+                """
+            }
+        )
+        findings = check_lifecycle(project)
+        assert rules(findings) == ["MP604"]
+        assert "network socket" in findings[0].message
+
+    def test_trip_raw_create_connection_leak(self, make_project):
+        project = make_project(
+            {
+                "core/probe.py": """
+                    import socket
+
+                    def probe(host, port):
+                        sock = socket.create_connection((host, port))
+                        return sock.getsockname()
+                """
+            }
+        )
+        findings = check_lifecycle(project)
+        assert rules(findings) == ["MP604"]
+
+    def test_pass_context_managed(self, make_project):
+        project = make_project(
+            {
+                "core/ping.py": """
+                    from repro.runtime.transport import connect_with_retry
+
+                    def ping(address):
+                        with connect_with_retry(address) as sock:
+                            sock.sendall(b"ping")
+                            return sock.recv(4)
+                """
+            }
+        )
+        assert check_lifecycle(project) == []
+
+    def test_pass_close_in_finally(self, make_project):
+        project = make_project(
+            {
+                "core/ping.py": """
+                    from repro.runtime.transport import connect_with_retry
+
+                    def ping(address):
+                        sock = connect_with_retry(address)
+                        try:
+                            sock.sendall(b"ping")
+                            return sock.recv(4)
+                        finally:
+                            sock.close()
+                """
+            }
+        )
+        assert check_lifecycle(project) == []
+
+    def test_pass_ownership_escapes_to_channel_cache(self, make_project):
+        # the distributed executor's persistent-channel idiom: the
+        # socket is stored on the owning object and returned
+        project = make_project(
+            {
+                "core/channels.py": """
+                    from repro.runtime.transport import connect_with_retry
+
+                    class Channels:
+                        def __init__(self):
+                            self._channels = {}
+
+                        def channel(self, address):
+                            sock = connect_with_retry(address)
+                            self._channels[address] = sock
+                            return sock
+                """
+            }
+        )
+        assert check_lifecycle(project) == []
+
+    def test_transport_module_is_exempt(self, make_project):
+        # connect_with_retry itself must hand the live socket back
+        project = make_project(
+            {
+                "runtime/transport.py": """
+                    import socket
+
+                    def connect_with_retry(address):
+                        sock = socket.create_connection(address)
+                        sock.setsockopt(1, 1, 1)
+                        return 0
+                """
+            }
+        )
+        assert check_lifecycle(project) == []

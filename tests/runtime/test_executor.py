@@ -11,10 +11,13 @@ import os
 import pytest
 
 from repro.runtime.executor import (
+    ENGINES,
     EXECUTOR_NAMES,
+    DistributedExecutor,
     ExecutorError,
     ProcessExecutor,
     SerialExecutor,
+    create_engine,
     create_executor,
     worker_shared,
 )
@@ -47,11 +50,35 @@ class TestFactory:
     def test_names(self):
         assert create_executor("serial").name == "serial"
         assert create_executor("process").name == "process"
-        assert set(EXECUTOR_NAMES) == {"serial", "process"}
+        assert set(EXECUTOR_NAMES) == {"serial", "process", "distributed"}
+
+    def test_registry_drives_names(self):
+        # EXECUTOR_NAMES is derived from the registry dict, not a
+        # parallel literal that could drift out of sync
+        assert EXECUTOR_NAMES == tuple(ENGINES)
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError, match="unknown executor"):
             create_executor("mpi")
+
+    def test_unknown_name_lists_registered_engines(self):
+        with pytest.raises(
+            ValueError, match="distributed, process, serial"
+        ):
+            create_engine("mpi")
+
+    def test_create_engine_is_create_executor(self):
+        assert create_engine is create_executor
+
+    def test_distributed_needs_workers(self):
+        with pytest.raises(ValueError, match="at least one worker"):
+            create_engine("distributed")
+        with pytest.raises(ValueError, match="at least one worker"):
+            DistributedExecutor(())
+
+    def test_distributed_rejects_malformed_address(self):
+        with pytest.raises(ValueError, match="host:port"):
+            DistributedExecutor(("localhost",))
 
     def test_bad_worker_count_rejected(self):
         with pytest.raises(ValueError, match="max_workers"):
@@ -132,6 +159,82 @@ class TestProcessExecutor:
 
     def test_close_idempotent(self):
         ex = ProcessExecutor(max_workers=1)
+        ex.map(_square, [1])
+        ex.close()
+        ex.close()
+
+
+class TestDistributedExecutor:
+    """Against in-process loopback daemons — the wire is real TCP, the
+    workers just live in this interpreter for speed and cleanup."""
+
+    @pytest.fixture()
+    def daemons(self):
+        from repro.runtime.worker import WorkerDaemon
+
+        started = [WorkerDaemon(), WorkerDaemon()]
+        for d in started:
+            d.start()
+        yield started
+        for d in started:
+            d.stop()
+
+    def _engine(self, daemons):
+        return DistributedExecutor(tuple(d.address for d in daemons))
+
+    def test_map_order_and_values(self, daemons):
+        with self._engine(daemons) as ex:
+            assert ex.map(_square, list(range(10))) == [
+                x * x for x in range(10)
+            ]
+
+    def test_empty_jobs(self, daemons):
+        with self._engine(daemons) as ex:
+            assert ex.map(_square, []) == []
+
+    def test_shared_state_reaches_workers(self, daemons):
+        with self._engine(daemons) as ex:
+            ex.set_shared(100)
+            assert ex.map(_shared_plus, [1, 2, 3]) == [101, 102, 103]
+
+    def test_job_exception_propagates_as_itself(self, daemons):
+        with self._engine(daemons) as ex:
+            with pytest.raises(ValueError, match="injected job failure"):
+                ex.map(_raise_on_three, [1, 2, 3, 4])
+
+    def test_unreachable_worker_fails_at_set_shared(self):
+        # a registry pointing at a port nobody listens on must fail
+        # loudly when run state is installed, not hang in map()
+        ex = DistributedExecutor(("127.0.0.1:9",), timeout=0.2, retries=1)
+        with pytest.raises(ExecutorError, match="unreachable"):
+            ex.set_shared(0)
+
+    @pytest.mark.skipif(not HAS_FORK, reason="requires fork start method")
+    def test_dead_worker_raises_not_hangs(self, daemons):
+        import multiprocessing as _mp
+
+        from repro.runtime.worker import WorkerDaemon
+
+        def _doomed(q):
+            d = WorkerDaemon(_exit_after_jobs=0)
+            q.put(d.address)
+            d.serve_forever()
+
+        ctx = _mp.get_context("fork")
+        q = ctx.Queue()
+        proc = ctx.Process(target=_doomed, args=(q,), daemon=True)
+        proc.start()
+        doomed_address = q.get(timeout=10)
+        try:
+            ex = DistributedExecutor((daemons[0].address, doomed_address))
+            with ex:
+                with pytest.raises(ExecutorError, match="died"):
+                    ex.map(_square, [1, 2, 3, 4])
+        finally:
+            proc.join(timeout=10)
+
+    def test_close_idempotent(self, daemons):
+        ex = self._engine(daemons)
         ex.map(_square, [1])
         ex.close()
         ex.close()
