@@ -16,6 +16,7 @@ from repro.analysis.checkers.purity import check_executor_purity
 from repro.analysis.checkers.overflow import check_kmer_overflow
 from repro.analysis.checkers.resources import check_executor_resources
 from repro.analysis.checkers.lifecycle import check_lifecycle
+from repro.analysis.checkers.gateway import check_gateway_purity
 
 #: checker name -> checker function, in run order
 CHECKERS: Dict[str, Callable[[Project], List[Finding]]] = {
@@ -25,12 +26,19 @@ CHECKERS: Dict[str, Callable[[Project], List[Finding]]] = {
     "overflow": check_kmer_overflow,
     "resources": check_executor_resources,
     "lifecycle": check_lifecycle,
+    "gateway": check_gateway_purity,
 }
 
 #: checkers whose findings depend only on a single file's source —
 #: these run inside the per-file (cacheable, parallelizable) pass of
 #: the runner.  The rest reason across files and always run in-driver.
-MODULE_LOCAL_CHECKERS = ("determinism", "purity", "overflow", "resources")
+MODULE_LOCAL_CHECKERS = (
+    "determinism",
+    "purity",
+    "overflow",
+    "resources",
+    "gateway",
+)
 
 __all__ = [
     "CHECKERS",
@@ -41,4 +49,5 @@ __all__ = [
     "check_kmer_overflow",
     "check_executor_resources",
     "check_lifecycle",
+    "check_gateway_purity",
 ]

@@ -1,0 +1,106 @@
+"""MP605 — purity of gateway request handlers.
+
+The gateway's handlers (``async def`` functions in ``repro.gateway``
+modules) run on one shared asyncio event loop serving every tenant.
+Two classes of bug are cheap to write and expensive to debug there, so
+``metaprep check`` polices them statically:
+
+* **module-global writes** — handler state must live on the app
+  instance (or in the spool), never in module globals: a module global
+  written from a handler is shared across tenants, lost on restart,
+  and invisible to the ownership ledger's replay.  The write detection
+  is :func:`repro.analysis.checkers.purity.global_write_sites` — the
+  same definition MP302 uses for executor jobs, so the two rules can
+  never disagree on what counts as a write.
+* **blocking the event loop with ``time.sleep``** — one sleeping
+  handler stalls every connection.  Handlers must use
+  ``asyncio.sleep`` or push blocking work through
+  ``loop.run_in_executor`` (the convention the shipped handlers follow
+  for dataset hashing and artifact reads).
+
+Scope: only modules under ``gateway/``; only ``async def`` scopes
+(synchronous helpers may sleep — they run on executor threads).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, SourceModule
+from repro.analysis.checkers.common import dotted_name, import_aliases
+from repro.analysis.checkers.purity import (
+    _THREAD_LOCAL_FACTORIES,
+    global_write_sites,
+)
+
+#: the package prefix this rule polices
+GATEWAY_PREFIX = "gateway/"
+
+#: blocking sleep callables (resolved through import aliases)
+_BLOCKING_SLEEPS = ("time.sleep",)
+
+
+def _module_names(module: SourceModule, aliases) -> Set[str]:
+    """Module-level bindings that count as global state (same
+    thread-local carve-out as the MP302 context)."""
+    names: Set[str] = set()
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            if (
+                isinstance(node.value, ast.Call)
+                and dotted_name(node.value.func, aliases)
+                in _THREAD_LOCAL_FACTORIES
+            ):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return names
+
+
+def check_gateway_purity(project: Project) -> List[Finding]:
+    """Run the MP605 handler-purity analysis over ``project``."""
+    findings: List[Finding] = []
+    for module in project.modules:
+        if not module.pkgpath.startswith(GATEWAY_PREFIX):
+            continue
+        aliases = import_aliases(module.tree)
+        module_names = _module_names(module, aliases)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for line, detail in global_write_sites(node, module_names):
+                findings.append(
+                    Finding(
+                        path=module.relpath,
+                        line=line,
+                        rule="MP605",
+                        message=(
+                            f"gateway handler '{node.name}' {detail}; "
+                            "handler state belongs on the app instance, "
+                            "never in module globals"
+                        ),
+                    )
+                )
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                resolved = dotted_name(call.func, aliases)
+                if resolved in _BLOCKING_SLEEPS:
+                    findings.append(
+                        Finding(
+                            path=module.relpath,
+                            line=call.lineno,
+                            rule="MP605",
+                            message=(
+                                f"gateway handler '{node.name}' blocks the "
+                                f"event loop with {resolved}(); use "
+                                "asyncio.sleep or loop.run_in_executor"
+                            ),
+                        )
+                    )
+    return findings

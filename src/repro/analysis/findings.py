@@ -28,7 +28,9 @@ invariant family they guard:
   context-managed or ownership escapes.  Backed by the lite-CFG effect
   summaries of :mod:`repro.analysis.dataflow` and the call graph of
   :mod:`repro.analysis.callgraph`, which also upgrade MP2xx/MP3xx to
-  transitive mode.
+  transitive mode.  MP605 guards the gateway's event loop: ``async``
+  request handlers must not write module globals or block in
+  ``time.sleep``.
 * ``MP001`` — meta: a ``# metaprep: ignore[...]`` comment that is
   malformed, names an unknown rule id, or suppresses nothing on its
   line is itself a finding, so dead suppressions cannot accumulate.
@@ -99,6 +101,10 @@ RULES = {
     "MP604": (
         "network socket or listener not closed on every path (including "
         "exception edges) and not context-managed"
+    ),
+    "MP605": (
+        "gateway request handler writes module-global state or blocks "
+        "the event loop with time.sleep"
     ),
 }
 

@@ -50,6 +50,7 @@ from repro.analysis.checkers.determinism import (
     check_determinism_transitive,
 )
 from repro.analysis.checkers.fingerprint import check_fingerprint_coverage
+from repro.analysis.checkers.gateway import check_gateway_purity
 from repro.analysis.checkers.lifecycle import check_lifecycle
 from repro.analysis.checkers.overflow import check_kmer_overflow
 from repro.analysis.checkers.purity import (
@@ -68,7 +69,7 @@ from repro.analysis.suppress import (
 )
 
 #: bump to invalidate every cached artifact (checker semantics changed)
-ANALYSIS_VERSION = 1
+ANALYSIS_VERSION = 2
 
 #: cache directory name, created under the check root
 CACHE_DIRNAME = ".metaprep-cache"
@@ -79,6 +80,7 @@ _LOCAL_CHECKERS = (
     ("purity", check_executor_purity_direct),
     ("overflow", check_kmer_overflow),
     ("resources", check_executor_resources),
+    ("gateway", check_gateway_purity),
 )
 
 
@@ -345,6 +347,7 @@ def run_checks(
         "overflow": len(per_checker["overflow"]),
         "resources": len(per_checker["resources"]),
         "lifecycle": len(lifecycle),
+        "gateway": len(per_checker["gateway"]),
         "suppress": len(audits),
     }
 

@@ -18,12 +18,14 @@ Service verbs (the partition job service; see :mod:`repro.service`)::
     metaprep status  --spool /var/metaprep [--job j-...]
     metaprep result  --spool /var/metaprep --job j-... [--out labels.txt]
     metaprep cancel  --spool /var/metaprep --job j-...
+    metaprep gateway --spool /var/metaprep --port 9300  # HTTP API front end
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Sequence
 
 from repro.util.logging import set_verbosity
@@ -428,6 +430,55 @@ def cmd_worker(args) -> int:
     return 0
 
 
+def cmd_gateway(args) -> int:
+    from pathlib import Path
+
+    from repro.gateway.app import GatewayApp
+    from repro.gateway.server import GatewayServer
+    from repro.gateway.tenants import TenantRegistry
+    from repro.service.daemon import STORE_DIR, ServeDaemon
+    from repro.service.store import ArtifactStore
+
+    store = None
+    if args.store_budget_mb is not None:
+        store = ArtifactStore(
+            Path(args.spool) / STORE_DIR,
+            size_budget_bytes=int(args.store_budget_mb * 1024 * 1024),
+        )
+    daemon = ServeDaemon(
+        args.spool,
+        store=store,
+        max_concurrent=args.max_jobs,
+        executor=args.executor,
+        max_workers=args.workers,
+    )
+    registry = TenantRegistry.load(args.tenants_file)
+    app = GatewayApp(
+        args.spool,
+        registry=registry,
+        daemon=daemon,
+        max_queue_depth=args.max_queue_depth,
+    )
+    daemon.extra_counters = app.counters.snapshot
+    server = GatewayServer(
+        app, host=args.host, port=args.port, max_inflight=args.max_inflight
+    )
+    daemon.start_background(poll_seconds=args.poll)
+    address = server.start()
+    print(f"metaprep gateway listening on {address}", flush=True)
+    if args.tenants_file:
+        print(f"tenants: {', '.join(registry.tenant_names())}", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        print("stopping gateway")
+    finally:
+        server.stop()
+        daemon.stop_background()
+    return 0
+
+
 def cmd_submit(args) -> int:
     from repro.service.client import ServiceClient
 
@@ -719,6 +770,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p)
     p.set_defaults(func=cmd_worker)
+
+    p = sub.add_parser(
+        "gateway",
+        help="run the HTTP API gateway (daemon + REST front end)",
+    )
+    p.add_argument("--spool", required=True, help="service spool directory")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="interface to bind (default: loopback)")
+    p.add_argument("--port", type=int, default=0,
+                   help="port to bind (default: 0, kernel-assigned; the "
+                   "bound address is printed on startup)")
+    p.add_argument("--tenants-file", default=None,
+                   help="JSON tenants file (bearer tokens, quotas, rates); "
+                   "omit to run open with one permissive tenant")
+    p.add_argument("--max-inflight", type=int, default=64,
+                   help="concurrent in-flight request limit (503 beyond)")
+    p.add_argument("--max-queue-depth", type=int, default=64,
+                   help="queued+running job limit before submissions get 503")
+    p.add_argument("--max-jobs", type=int, default=2,
+                   help="concurrent job limit of the embedded daemon")
+    p.add_argument("--executor", default=None,
+                   choices=("serial", "process", "distributed"),
+                   help="override every job's execution backend")
+    p.add_argument("--workers", type=int, default=None,
+                   help="override worker count for process-backend jobs")
+    p.add_argument("--poll", type=float, default=0.05,
+                   help="spool poll interval of the embedded daemon")
+    p.add_argument("--store-budget-mb", type=float, default=None,
+                   help="artifact store LRU size budget in MiB")
+    _add_common(p)
+    p.set_defaults(func=cmd_gateway)
 
     p = sub.add_parser("submit", help="submit a partition job to the service")
     p.add_argument("--spool", required=True)

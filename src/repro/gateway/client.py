@@ -1,0 +1,232 @@
+"""HTTP-mode service client: :class:`ServiceClient`'s interface over
+the gateway's REST API.
+
+``GatewayClient`` is a drop-in for
+:class:`repro.service.client.ServiceClient` when the spool is behind a
+gateway instead of a shared filesystem: the same
+``submit/status/list_jobs/result/cancel/wait`` surface, the same
+return shapes, and the same exception taxonomy (:class:`JobStateError`
+for unknown/ wrong-state jobs), so calling code does not care which
+transport it holds.  Built on stdlib :mod:`http.client` only — the
+gateway stack stays dependency-free end to end.
+
+The one addition is :meth:`stream_result`, which yields the raw
+artifact bytes as they arrive (``http.client`` decodes the chunked
+framing); ``result()`` spools that stream to a scratch file and decodes
+it with the same ``read_table`` call the spool client uses, which is
+what makes gateway downloads byte-comparable to spool reads in tests.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import tempfile
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.seqio.tables import read_table
+from repro.service.client import poll_schedule
+from repro.service.jobs import JobState, JobStateError, _normalize_units
+from repro.service.store import PARTITION_SCHEMA
+from repro.util.logging import get_logger
+
+_LOG = get_logger("gateway.client")
+
+#: bytes per read while draining a streamed artifact
+_READ_CHUNK = 256 * 1024
+
+
+class GatewayError(RuntimeError):
+    """An HTTP-level gateway failure (auth, rate limit, server error)."""
+
+    def __init__(self, status: int, message: str, retry_after: float | None = None):
+        super().__init__(f"gateway answered {status}: {message}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+class GatewayClient:
+    """Submit/status/result/cancel against one gateway address."""
+
+    def __init__(
+        self,
+        address: str,
+        token: Optional[str] = None,
+        timeout: float = 30.0,
+        clock=None,
+        sleep=None,
+    ) -> None:
+        import time as _time
+
+        host, _, port = address.rpartition(":")
+        self.host = host or "127.0.0.1"
+        self.port = int(port)
+        self.token = token
+        self.timeout = timeout
+        self._clock = clock or _time.monotonic
+        self._sleep = sleep or _time.sleep
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _headers(self) -> Dict[str, str]:
+        headers = {"Accept": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        return headers
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _request(
+        self, method: str, path: str, body: Dict | None = None
+    ) -> http.client.HTTPResponse:
+        payload = None
+        headers = self._headers()
+        if body is not None:
+            payload = json.dumps(body, sort_keys=True).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                return conn.getresponse()
+            except (ConnectionError, http.client.HTTPException, OSError):
+                # a keep-alive connection the server closed between
+                # requests; reconnect once before giving up
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _json(self, response: http.client.HTTPResponse) -> Dict:
+        raw = response.read()
+        try:
+            return json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return {"error": raw[:200].decode("latin-1")}
+
+    def _checked(self, response: http.client.HTTPResponse) -> Dict:
+        doc = self._json(response)
+        if response.status < 400:
+            return doc
+        message = doc.get("error", "")
+        if response.status in (404, 409):
+            raise JobStateError(message or f"HTTP {response.status}")
+        retry_after = response.headers.get("Retry-After")
+        raise GatewayError(
+            response.status,
+            message,
+            retry_after=float(retry_after) if retry_after else None,
+        )
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    # ------------------------------------------------------------------
+    # the ServiceClient interface
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        units: Sequence,
+        config: Dict | None = None,
+        max_retries: int = 2,
+        timeout_seconds: float | None = None,
+    ) -> str:
+        """Queue a partition job through the gateway; returns its id
+        (the id of an already-running identical job when coalesced)."""
+        doc = self._checked(
+            self._request(
+                "POST",
+                "/v1/jobs",
+                body={
+                    "units": _normalize_units(units),
+                    "config": dict(config or {}),
+                    "max_retries": max_retries,
+                    "timeout_seconds": timeout_seconds,
+                },
+            )
+        )
+        if doc.get("coalesced"):
+            _LOG.info("submission coalesced onto job %s", doc["job_id"])
+        return doc["job_id"]
+
+    def status(self, job_id: str) -> Dict:
+        """Current status document of one job."""
+        return self._checked(self._request("GET", f"/v1/jobs/{job_id}"))
+
+    def list_jobs(self) -> List[Dict]:
+        """Status documents of every job this tenant can see."""
+        return self._checked(self._request("GET", "/v1/jobs"))["jobs"]
+
+    def cancel(self, job_id: str) -> None:
+        """Request cancellation."""
+        self._checked(self._request("DELETE", f"/v1/jobs/{job_id}"))
+
+    def stream_result(self, job_id: str) -> Iterator[bytes]:
+        """The raw partition-artifact bytes, as streamed chunks."""
+        response = self._request("GET", f"/v1/jobs/{job_id}/result")
+        if response.status >= 400:
+            self._checked(response)  # raises with the decoded error
+        while True:
+            chunk = response.read(_READ_CHUNK)
+            if not chunk:
+                return
+            yield chunk
+
+    def result(self, job_id: str) -> Tuple[np.ndarray, Dict]:
+        """The finished partition: (global label array, result info)."""
+        status = self.status(job_id)
+        if status["state"] != JobState.SUCCEEDED:
+            raise JobStateError(
+                f"job {job_id} is {status['state']}"
+                + (f": {status['error']}" if status.get("error") else "")
+            )
+        fd, scratch = tempfile.mkstemp(suffix=".partition.bin")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                for chunk in self.stream_result(job_id):
+                    fh.write(chunk)
+            _, arrays = read_table(scratch, expect_schema=PARTITION_SCHEMA)
+        finally:
+            os.unlink(scratch)
+        return arrays["labels"], status["result"]
+
+    def wait(
+        self, job_id: str, timeout: float = 60.0, poll_cap: float = 0.5
+    ) -> Dict:
+        """Block until the job reaches a terminal state; returns it.
+        Same deterministic backoff schedule as the spool client."""
+        deadline = self._clock() + timeout
+        schedule = poll_schedule(cap=poll_cap)
+        while True:
+            status = self.status(job_id)
+            if status["state"] in JobState.TERMINAL:
+                return status
+            now = self._clock()
+            if now > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout}s"
+                )
+            self._sleep(min(next(schedule), max(deadline - now, 0.0)))
+
+    def healthz(self) -> Dict:
+        """Gateway liveness document."""
+        return self._checked(self._request("GET", "/healthz"))
+
+    def metrics_text(self) -> str:
+        """The gateway's Prometheus exposition text."""
+        response = self._request("GET", "/metrics")
+        if response.status >= 400:
+            self._checked(response)
+        return response.read().decode("utf-8")

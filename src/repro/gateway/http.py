@@ -1,0 +1,253 @@
+"""Hand-rolled asyncio HTTP/1.1 framing for the gateway.
+
+The gateway deliberately speaks raw HTTP/1.1 over asyncio streams, in
+the same spirit as :mod:`repro.runtime.transport`'s hand-rolled frame
+protocol: no web framework, no third-party dependency, and an explicit
+taxonomy of how reads can go wrong.  Two failure modes are kept apart
+on purpose:
+
+* :class:`ConnectionClosed` — the peer hung up *between* requests (a
+  clean EOF at a message boundary).  Keep-alive loops treat this as a
+  normal end of conversation and close quietly.
+* :class:`BadRequest` — bytes arrived but do not parse as HTTP, or
+  violate a size cap.  The server answers ``400`` and drops the
+  connection; a malformed client must never crash the accept loop.
+
+Requests are parsed with hard caps on request-line, header block, and
+body size so a misbehaving client cannot balloon server memory.
+Responses use ``Content-Length`` framing for small documents and
+``Transfer-Encoding: chunked`` for artifact streaming, draining the
+writer between chunks so a slow consumer exerts backpressure instead
+of buffering the whole artifact in RAM.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+#: framing caps (bytes) — a request that exceeds one is a BadRequest
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: chunk size used when streaming artifact bodies
+STREAM_CHUNK_BYTES = 256 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class BadRequest(Exception):
+    """Bytes arrived but are not a well-formed request (or exceed a
+    cap).  The connection handler answers 400 and disconnects."""
+
+
+class ConnectionClosed(Exception):
+    """Clean EOF at a message boundary — not an error, just the end of
+    a keep-alive conversation."""
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Dict:
+        """Decode the body as a JSON object, 400 on anything else."""
+        try:
+            doc = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest(f"body is not valid JSON: {exc}") from None
+        if not isinstance(doc, dict):
+            raise BadRequest("JSON body must be an object")
+        return doc
+
+    def bearer_token(self) -> str | None:
+        """The bearer token of the Authorization header, if any."""
+        auth = self.headers.get("authorization", "")
+        scheme, _, token = auth.partition(" ")
+        if scheme.lower() == "bearer" and token.strip():
+            return token.strip()
+        return None
+
+
+async def _read_line(
+    reader: asyncio.StreamReader, cap: int, *, at_boundary: bool
+) -> bytes:
+    """One CRLF-terminated line, capped at ``cap`` bytes."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if at_boundary and not exc.partial:
+            raise ConnectionClosed() from None
+        raise BadRequest("connection torn mid-line") from None
+    except asyncio.LimitOverrunError:
+        raise BadRequest("line exceeds framing cap") from None
+    if len(line) > cap:
+        raise BadRequest(f"line exceeds {cap} byte cap")
+    return line[:-2]
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = MAX_BODY_BYTES
+) -> HttpRequest:
+    """Parse one request off the stream.
+
+    Raises :class:`ConnectionClosed` on clean EOF before any byte of
+    the request, :class:`BadRequest` on everything malformed.
+    """
+    raw = await _read_line(reader, MAX_REQUEST_LINE, at_boundary=True)
+    parts = raw.split()
+    if len(parts) != 3:
+        raise BadRequest(f"malformed request line: {raw[:80]!r}")
+    method, target, version = parts
+    if version not in (b"HTTP/1.1", b"HTTP/1.0"):
+        raise BadRequest(f"unsupported protocol version {version!r}")
+
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        line = await _read_line(reader, MAX_HEADER_BYTES, at_boundary=False)
+        if not line:
+            break
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise BadRequest("header block exceeds cap")
+        name, sep, value = line.partition(b":")
+        if not sep:
+            raise BadRequest(f"malformed header line: {line[:80]!r}")
+        try:
+            headers[name.decode("ascii").strip().lower()] = (
+                value.decode("latin-1").strip()
+            )
+        except UnicodeDecodeError:
+            raise BadRequest("non-ASCII header name") from None
+
+    if "transfer-encoding" in headers:
+        raise BadRequest("chunked request bodies are not supported")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise BadRequest("unparseable Content-Length") from None
+        if length < 0:
+            raise BadRequest("negative Content-Length")
+        if length > max_body:
+            raise BadRequest(f"body of {length} bytes exceeds {max_body} cap")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise BadRequest("connection torn mid-body") from None
+
+    try:
+        split = urlsplit(target.decode("ascii"))
+    except UnicodeDecodeError:
+        raise BadRequest("non-ASCII request target") from None
+    query = {
+        key: values[-1]
+        for key, values in parse_qs(split.query, keep_blank_values=True).items()
+    }
+    return HttpRequest(
+        method=method.decode("ascii").upper(),
+        path=unquote(split.path) or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def _head(status: int, headers: Dict[str, str], length: int | None) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    for name, value in headers.items():
+        lines.append(f"{name}: {value}")
+    if length is not None:
+        lines.append(f"Content-Length: {length}")
+    lines.append("Connection: keep-alive")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def send_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    extra_headers: Dict[str, str] | None = None,
+) -> int:
+    """Write one Content-Length framed response; returns bytes sent."""
+    headers = {"Content-Type": content_type}
+    headers.update(extra_headers or {})
+    payload = _head(status, headers, len(body)) + body
+    writer.write(payload)
+    await writer.drain()
+    return len(payload)
+
+
+async def send_json(
+    writer: asyncio.StreamWriter,
+    status: int,
+    doc: Dict,
+    extra_headers: Dict[str, str] | None = None,
+) -> int:
+    """JSON convenience wrapper over :func:`send_response`."""
+    body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+    return await send_response(
+        writer, status, body, extra_headers=extra_headers
+    )
+
+
+async def send_chunked(
+    writer: asyncio.StreamWriter,
+    status: int,
+    chunks: AsyncIterator[bytes],
+    content_type: str = "application/octet-stream",
+    extra_headers: Dict[str, str] | None = None,
+) -> Tuple[int, int]:
+    """Stream a body with chunked transfer encoding.
+
+    Returns ``(body_bytes, wire_bytes)``.  The writer is drained after
+    every chunk, so a slow client throttles the producer instead of
+    forcing the server to buffer the artifact.
+    """
+    headers = {
+        "Content-Type": content_type,
+        "Transfer-Encoding": "chunked",
+    }
+    headers.update(extra_headers or {})
+    head = _head(status, headers, None)
+    writer.write(head)
+    wire = len(head)
+    body = 0
+    async for chunk in chunks:
+        if not chunk:
+            continue
+        frame = b"%x\r\n" % len(chunk) + chunk + b"\r\n"
+        writer.write(frame)
+        await writer.drain()
+        body += len(chunk)
+        wire += len(frame)
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()
+    return body, wire + 5

@@ -1,0 +1,168 @@
+"""Asyncio TCP front end for the gateway application.
+
+One :class:`GatewayServer` owns one listening socket and a keep-alive
+connection loop per client.  The loop mirrors the worker daemon's
+shape (:mod:`repro.runtime.worker`): ``serve_forever()`` for the CLI
+foreground path and ``start()``/``stop()`` for embedding — ``start``
+spins the event loop on a background thread and blocks until the
+socket is bound, so callers (tests, the smoke harness) can read the
+ephemeral port immediately.
+
+Failure containment per connection:
+
+* clean EOF between requests ends the conversation silently;
+* malformed or oversized frames get a ``400`` and the connection is
+  dropped — the accept loop and every other connection are unaffected;
+* an unexpected handler exception answers ``500`` (if the head was not
+  already sent) and is logged, never propagated to the loop;
+* more than ``max_inflight`` concurrently executing requests answer
+  ``503`` + ``Retry-After`` without closing the connection — that is
+  the deliberate backpressure the load harness counts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional, Tuple
+
+from repro.gateway.app import GatewayApp, send_status
+from repro.gateway.http import BadRequest, ConnectionClosed, read_request
+from repro.util.logging import get_logger
+
+_LOG = get_logger("gateway.server")
+
+
+class GatewayServer:
+    """``asyncio.start_server`` wrapper around one :class:`GatewayApp`."""
+
+    def __init__(
+        self,
+        app: GatewayApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 64,
+    ) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self.max_inflight = max_inflight
+        self._inflight = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop_flag: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._bound: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        """``host:port`` actually bound (resolves port 0)."""
+        if self._bound is None:
+            raise RuntimeError("gateway server is not running")
+        return f"{self._bound[0]}:{self._bound[1]}"
+
+    # ------------------------------------------------------------------
+    async def _serve(self, ready: Optional[threading.Event] = None) -> None:
+        self._stop_flag = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self._bound = (sockname[0], sockname[1])
+        if ready is not None:
+            ready.set()
+        async with self._server:
+            await self._stop_flag.wait()
+        # drain live connection handlers so the loop closes quietly
+        current = asyncio.current_task()
+        tasks = [t for t in asyncio.all_tasks() if t is not current]
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ConnectionClosed:
+                    return
+                except BadRequest as exc:
+                    try:
+                        await send_status(writer, 400, str(exc))
+                    except (ConnectionError, OSError):
+                        pass
+                    self.app.counters.count("rejected")
+                    return
+                if self._inflight >= self.max_inflight:
+                    self.app.counters.count("requests")
+                    self.app.counters.count("rejected")
+                    await send_status(
+                        writer, 503, "gateway at max in-flight requests",
+                        retry_after=0.05,
+                    )
+                    continue
+                self._inflight += 1
+                try:
+                    await self.app.handle(request, writer)
+                except (ConnectionError, OSError):
+                    return  # client went away mid-response
+                except Exception:
+                    _LOG.exception(
+                        "handler error on %s %s", request.method, request.path
+                    )
+                    try:
+                        await send_status(writer, 500, "internal gateway error")
+                    except (ConnectionError, OSError):
+                        pass
+                    return
+                finally:
+                    self._inflight -= 1
+        except asyncio.CancelledError:
+            return  # server shutdown: end the conversation quietly
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    # ------------------------------------------------------------------
+    # foreground (CLI) and embedded (tests/benchmarks) drive modes
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:  # pragma: no cover - CLI foreground loop
+        asyncio.run(self._serve())
+
+    def start(self, timeout: float = 10.0) -> str:
+        """Serve on a background thread; returns the bound address."""
+        if self._thread is not None:
+            raise RuntimeError("gateway server already started")
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            try:
+                loop.run_until_complete(self._serve(self._ready))
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="gateway-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("gateway server failed to bind in time")
+        return self.address
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the background server and join its thread."""
+        if self._loop is None or self._stop_flag is None:
+            return
+        self._loop.call_soon_threadsafe(self._stop_flag.set)
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None

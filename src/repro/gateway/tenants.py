@@ -1,0 +1,161 @@
+"""Tenant registry, quotas, and deterministic token-bucket rate limits.
+
+A *tenant* is a namespace over the shared job service: a bearer token,
+visibility limited to the jobs that token submitted (or attached to by
+coalescing), and admission limits that protect the spool from any one
+client — a cap on concurrently queued/running jobs, a cap on stored
+result bytes, and a token-bucket request rate.
+
+The token bucket takes an injectable monotonic clock and carries no
+jitter, so tests can drive it deterministically: with ``rate`` tokens
+per second and ``burst`` capacity, the retry-after answer for an empty
+bucket is exactly ``(1 - tokens) / rate`` seconds.
+
+The registry loads a JSON tenants file::
+
+    {"tenants": [{"name": "lab-a", "token": "secret-a",
+                  "max_queued_jobs": 4, "max_result_bytes": 1073741824,
+                  "rate": 20.0, "burst": 40}]}
+
+With no tenants file the gateway runs open: every request maps to a
+single permissive ``"public"`` tenant (still rate-limited, still
+quota-bounded, but with generous defaults).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+#: defaults for the anonymous tenant and unspecified per-tenant fields
+DEFAULT_MAX_QUEUED_JOBS = 64
+DEFAULT_MAX_RESULT_BYTES = 16 * 1024 ** 3
+DEFAULT_RATE = 200.0
+DEFAULT_BURST = 400
+
+
+class TenantAuthError(Exception):
+    """Missing or unknown bearer token."""
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One namespace's identity and admission limits."""
+
+    name: str
+    token: Optional[str]
+    max_queued_jobs: int = DEFAULT_MAX_QUEUED_JOBS
+    max_result_bytes: int = DEFAULT_MAX_RESULT_BYTES
+    rate: float = DEFAULT_RATE
+    burst: int = DEFAULT_BURST
+
+
+@dataclass
+class TokenBucket:
+    """Deterministic token bucket: ``rate`` tokens/s up to ``burst``."""
+
+    rate: float
+    burst: float
+    clock: Callable[[], float] = time.monotonic
+    tokens: float = field(init=False)
+    _stamp: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.tokens = float(self.burst)
+        self._stamp = self.clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        self.tokens = min(
+            float(self.burst), self.tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+
+    def admit(self, cost: float = 1.0) -> float:
+        """Take ``cost`` tokens.  Returns 0.0 when admitted, else the
+        deterministic number of seconds until the bucket can admit."""
+        self._refill()
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return 0.0
+        return (cost - self.tokens) / self.rate
+
+
+class TenantRegistry:
+    """Maps bearer tokens to tenants and holds per-tenant buckets."""
+
+    def __init__(
+        self,
+        tenants: Dict[str, Tenant] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._clock = clock
+        self._by_token: Dict[str, Tenant] = {}
+        self._by_name: Dict[str, Tenant] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._open = not tenants
+        for tenant in (tenants or {}).values():
+            self._add(tenant)
+        if self._open:
+            self._add(Tenant(name="public", token=None))
+
+    def _add(self, tenant: Tenant) -> None:
+        self._by_name[tenant.name] = tenant
+        if tenant.token is not None:
+            self._by_token[tenant.token] = tenant
+        self._buckets[tenant.name] = TokenBucket(
+            rate=tenant.rate, burst=tenant.burst, clock=self._clock
+        )
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path | None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "TenantRegistry":
+        """Registry from a tenants file; open mode when ``path`` is
+        None."""
+        if path is None:
+            return cls(clock=clock)
+        doc = json.loads(Path(path).read_text())
+        tenants: Dict[str, Tenant] = {}
+        for spec in doc.get("tenants", []):
+            name = spec["name"]
+            tenants[name] = Tenant(
+                name=name,
+                token=spec["token"],
+                max_queued_jobs=int(
+                    spec.get("max_queued_jobs", DEFAULT_MAX_QUEUED_JOBS)
+                ),
+                max_result_bytes=int(
+                    spec.get("max_result_bytes", DEFAULT_MAX_RESULT_BYTES)
+                ),
+                rate=float(spec.get("rate", DEFAULT_RATE)),
+                burst=int(spec.get("burst", DEFAULT_BURST)),
+            )
+        if not tenants:
+            raise ValueError(f"tenants file {path} defines no tenants")
+        return cls(tenants, clock=clock)
+
+    # ------------------------------------------------------------------
+    def authenticate(self, bearer_token: Optional[str]) -> Tenant:
+        """Tenant of ``bearer_token``; raises TenantAuthError when the
+        token is unknown (or missing, outside open mode)."""
+        if self._open:
+            return self._by_name["public"]
+        if bearer_token is None:
+            raise TenantAuthError("missing bearer token")
+        try:
+            return self._by_token[bearer_token]
+        except KeyError:
+            raise TenantAuthError("unknown bearer token") from None
+
+    def admit(self, tenant: Tenant, cost: float = 1.0) -> float:
+        """Rate-limit check; 0.0 admits, positive is retry-after."""
+        return self._buckets[tenant.name].admit(cost)
+
+    def tenant_names(self) -> list[str]:
+        return sorted(self._by_name)

@@ -30,6 +30,22 @@ from repro.util.logging import get_logger
 _LOG = get_logger("service.client")
 
 
+def poll_schedule(
+    initial: float = 0.01, factor: float = 2.0, cap: float = 0.5
+):
+    """Deterministic jitterless backoff schedule for status polling.
+
+    Yields ``initial, initial*factor, ...`` capped at ``cap`` forever.
+    Shared by :meth:`ServiceClient.wait` and the HTTP-mode
+    :class:`repro.gateway.client.GatewayClient` so both clients poll a
+    fresh job eagerly and a long-running one gently.
+    """
+    delay = initial
+    while True:
+        yield delay
+        delay = min(delay * factor, cap)
+
+
 class ServiceClient:
     """Submit/status/result/cancel against one spool directory."""
 
@@ -57,6 +73,12 @@ class ServiceClient:
             max_retries=max_retries,
             timeout_seconds=timeout_seconds,
         )
+        return self.submit_job(job)
+
+    def submit_job(self, job: PartitionJob) -> str:
+        """Drop an already-built job spec into the spool (the gateway's
+        submission path, which needs the job object for fingerprinting
+        before the drop)."""
         submit_dir = self.spool_dir / SUBMIT_DIR
         final = submit_dir / f"{job.submitted_at:017.6f}-{job.job_id}.json"
         tmp = submit_dir / f".{uuid.uuid4().hex}.part"
@@ -147,16 +169,25 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
     def wait(
-        self, job_id: str, timeout: float = 60.0, poll_seconds: float = 0.05
+        self, job_id: str, timeout: float = 60.0, poll_cap: float = 0.5
     ) -> Dict:
-        """Block until the job reaches a terminal state; returns it."""
+        """Block until the job reaches a terminal state; returns it.
+
+        Polls on the deterministic exponential schedule of
+        :func:`poll_schedule` (10 ms doubling to ``poll_cap``) instead
+        of a fixed interval: a short job is observed within
+        milliseconds, a long one costs a couple of status reads per
+        second instead of twenty.
+        """
         deadline = time.monotonic() + timeout
+        schedule = poll_schedule(cap=poll_cap)
         while True:
             status = self.status(job_id)
             if status["state"] in JobState.TERMINAL:
                 return status
-            if time.monotonic() > deadline:
+            now = time.monotonic()
+            if now > deadline:
                 raise TimeoutError(
                     f"job {job_id} still {status['state']} after {timeout}s"
                 )
-            time.sleep(poll_seconds)
+            time.sleep(min(next(schedule), max(deadline - now, 0.0)))

@@ -78,6 +78,10 @@ class ServeDaemon:
         #: daemons when the executor override is "distributed"
         self.worker_addresses = worker_addresses
         self.keep_checkpoints = keep_checkpoints
+        #: optional callable returning extra counters (name -> value) to
+        #: merge into the published metrics snapshot; the gateway hooks
+        #: its request counters in here so one scrape target covers both
+        self.extra_counters = None
         self.queue = JobQueue(self.spool_dir)
         self._partition_keys: Dict[str, str] = {}  # job_id -> work key
         self.scheduler = Scheduler(
@@ -258,6 +262,10 @@ class ServeDaemon:
         counters = {
             f"store.{name}": value for name, value in doc["store"].items()
         }
+        if self.extra_counters is not None:
+            extra = dict(self.extra_counters())
+            counters.update(extra)
+            doc["extra"] = extra
         gauges = {
             "service.queue_depth": doc["queue_depth"],
             "service.running_jobs": doc["running"],
@@ -317,3 +325,31 @@ class ServeDaemon:
         while stop_event is None or not stop_event.is_set():
             if not self.tick():
                 time.sleep(poll_seconds)
+
+    # ------------------------------------------------------------------
+    # embedded mode (the gateway runs the daemon on a side thread)
+    # ------------------------------------------------------------------
+    def start_background(self, poll_seconds: float = 0.05) -> None:
+        """Run :meth:`serve_forever` on a daemon thread until
+        :meth:`stop_background`.  Used by ``metaprep gateway`` (and the
+        gateway tests) to co-locate the scheduler with the HTTP front
+        end against one spool."""
+        if getattr(self, "_bg_thread", None) is not None:
+            raise RuntimeError("daemon already running in background")
+        self._bg_stop = threading.Event()
+        self._bg_thread = threading.Thread(
+            target=self.serve_forever,
+            kwargs={"poll_seconds": poll_seconds, "stop_event": self._bg_stop},
+            name="serve-daemon",
+            daemon=True,
+        )
+        self._bg_thread.start()
+
+    def stop_background(self, timeout: float = 30.0) -> None:
+        """Signal the background loop to stop and join it."""
+        thread = getattr(self, "_bg_thread", None)
+        if thread is None:
+            return
+        self._bg_stop.set()
+        thread.join(timeout)
+        self._bg_thread = None

@@ -87,10 +87,25 @@ NET_COUNTER_NAMES = (
     "worker.connects",
 )
 
+#: HTTP gateway counters and the per-request span name
+#: (:mod:`repro.gateway`).  Appended after every earlier tuple for the
+#: same reason NET_COUNTER_NAMES was.
+GATEWAY_NAMES = (
+    "gateway.requests",
+    "gateway.bytes_streamed",
+    "gateway.coalesced",
+    "gateway.rejected",
+    "gateway.request",
+)
+
 #: the static name registry; ids are positions in this tuple, so the
 #: order is part of the wire format — append, never reorder
 WELL_KNOWN_NAMES: Tuple[str, ...] = (
-    tuple(StepNames.ORDER) + COUNTER_NAMES + GAUGE_NAMES + NET_COUNTER_NAMES
+    tuple(StepNames.ORDER)
+    + COUNTER_NAMES
+    + GAUGE_NAMES
+    + NET_COUNTER_NAMES
+    + GATEWAY_NAMES
 )
 
 _NAME_TO_ID = {name: i for i, name in enumerate(WELL_KNOWN_NAMES)}

@@ -1,0 +1,161 @@
+"""MP605 — gateway handler-purity trip/pass fixtures."""
+
+from repro.analysis.checkers.gateway import check_gateway_purity
+
+
+def rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestGlobalWrites:
+    def test_trip_handler_writes_module_global(self, make_project):
+        project = make_project(
+            {
+                "gateway/app.py": """
+                    JOBS = {}
+
+                    async def post_job(request):
+                        JOBS["latest"] = request
+                        return 202
+                """
+            }
+        )
+        findings = check_gateway_purity(project)
+        assert rules(findings) == ["MP605"]
+        assert "module globals" in findings[0].message
+
+    def test_trip_handler_declares_global(self, make_project):
+        project = make_project(
+            {
+                "gateway/app.py": """
+                    counter = 0
+
+                    async def get_job(request):
+                        global counter
+                        counter += 1
+                        return counter
+                """
+            }
+        )
+        findings = check_gateway_purity(project)
+        assert "MP605" in rules(findings)
+
+    def test_trip_handler_mutates_module_container(self, make_project):
+        project = make_project(
+            {
+                "gateway/app.py": """
+                    SEEN = []
+
+                    async def list_jobs(request):
+                        SEEN.append(request)
+                        return SEEN
+                """
+            }
+        )
+        assert rules(check_gateway_purity(project)) == ["MP605"]
+
+    def test_pass_state_on_the_app_instance(self, make_project):
+        project = make_project(
+            {
+                "gateway/app.py": """
+                    class App:
+                        def __init__(self):
+                            self.jobs = {}
+
+                        async def post_job(self, request):
+                            self.jobs[request.job_id] = request
+                            return 202
+                """
+            }
+        )
+        assert check_gateway_purity(project) == []
+
+    def test_pass_sync_function_out_of_scope(self, make_project):
+        # only async handlers run on the event loop; a sync helper may
+        # keep a module-level cache (other rules police those)
+        project = make_project(
+            {
+                "gateway/app.py": """
+                    CACHE = {}
+
+                    def warm(key, value):
+                        CACHE[key] = value
+                """
+            }
+        )
+        assert check_gateway_purity(project) == []
+
+
+class TestBlockingSleep:
+    def test_trip_time_sleep_in_handler(self, make_project):
+        project = make_project(
+            {
+                "gateway/server.py": """
+                    import time
+
+                    async def throttle(request):
+                        time.sleep(0.1)
+                        return 429
+                """
+            }
+        )
+        findings = check_gateway_purity(project)
+        assert rules(findings) == ["MP605"]
+        assert "event loop" in findings[0].message
+
+    def test_trip_aliased_sleep(self, make_project):
+        project = make_project(
+            {
+                "gateway/server.py": """
+                    from time import sleep
+
+                    async def throttle(request):
+                        sleep(0.1)
+                """
+            }
+        )
+        assert rules(check_gateway_purity(project)) == ["MP605"]
+
+    def test_pass_asyncio_sleep(self, make_project):
+        project = make_project(
+            {
+                "gateway/server.py": """
+                    import asyncio
+
+                    async def throttle(request):
+                        await asyncio.sleep(0.1)
+                        return 429
+                """
+            }
+        )
+        assert check_gateway_purity(project) == []
+
+    def test_pass_sleep_in_sync_helper(self, make_project):
+        project = make_project(
+            {
+                "gateway/client.py": """
+                    import time
+
+                    def wait_for(predicate):
+                        while not predicate():
+                            time.sleep(0.05)
+                """
+            }
+        )
+        assert check_gateway_purity(project) == []
+
+    def test_other_packages_out_of_scope(self, make_project):
+        project = make_project(
+            {
+                "runtime/worker.py": """
+                    import time
+
+                    GLOBAL = {}
+
+                    async def handler(request):
+                        GLOBAL["x"] = 1
+                        time.sleep(1)
+                """
+            }
+        )
+        assert check_gateway_purity(project) == []

@@ -290,5 +290,6 @@ class TestRunnerIntegration:
             "overflow",
             "resources",
             "lifecycle",
+            "gateway",
             "suppress",
         }

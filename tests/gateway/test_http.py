@@ -1,0 +1,152 @@
+"""Unit tests of the hand-rolled HTTP/1.1 framing layer."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.gateway.http import (
+    MAX_BODY_BYTES,
+    BadRequest,
+    ConnectionClosed,
+    read_request,
+    send_chunked,
+    send_json,
+    send_response,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def parse(payload: bytes):
+    """Parse one request from a pre-fed stream (loop-local reader)."""
+
+    async def _parse():
+        reader = asyncio.StreamReader()
+        reader.feed_data(payload)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return run(_parse())
+
+
+class CollectingWriter:
+    """Just enough of a StreamWriter for the response helpers."""
+
+    def __init__(self):
+        self.buffer = bytearray()
+
+    def write(self, data: bytes) -> None:
+        self.buffer.extend(data)
+
+    async def drain(self) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------
+# request parsing
+# ----------------------------------------------------------------------
+class TestReadRequest:
+    def test_parses_request_line_headers_and_body(self):
+        payload = (
+            b"POST /v1/jobs?dry=1 HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"Authorization: Bearer tok-a\r\n"
+            b"Content-Length: 14\r\n"
+            b"\r\n"
+            b'{"units": []}\n'
+        )
+        request = parse(payload)
+        assert request.method == "POST"
+        assert request.path == "/v1/jobs"
+        assert request.query == {"dry": "1"}
+        assert request.headers["host"] == "localhost"
+        assert request.bearer_token() == "tok-a"
+        assert request.json() == {"units": []}
+
+    def test_clean_eof_at_boundary_is_connection_closed(self):
+        with pytest.raises(ConnectionClosed):
+            parse(b"")
+
+    def test_torn_request_line_is_bad_request(self):
+        with pytest.raises(BadRequest):
+            parse(b"GET /healthz HT")
+
+    def test_torn_body_is_bad_request(self):
+        payload = (
+            b"POST /v1/jobs HTTP/1.1\r\n"
+            b"Content-Length: 100\r\n\r\n"
+            b"only twenty bytes..."
+        )
+        with pytest.raises(BadRequest):
+            parse(payload)
+
+    def test_garbage_is_bad_request(self):
+        with pytest.raises(BadRequest):
+            parse(b"\x00\x01\x02 binary trash\r\n\r\n")
+
+    def test_oversized_body_is_bad_request(self):
+        payload = (
+            b"POST /v1/jobs HTTP/1.1\r\n"
+            + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+        )
+        with pytest.raises(BadRequest, match="exceeds"):
+            parse(payload)
+
+    def test_oversized_request_line_is_bad_request(self):
+        payload = b"GET /" + b"x" * 70_000 + b" HTTP/1.1\r\n\r\n"
+        with pytest.raises(BadRequest):
+            parse(payload)
+
+    def test_unsupported_version_is_bad_request(self):
+        with pytest.raises(BadRequest, match="version"):
+            parse(b"GET / HTTP/0.9\r\n\r\n")
+
+    def test_non_json_body_raises_on_decode(self):
+        payload = (
+            b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyz"
+        )
+        request = parse(payload)
+        with pytest.raises(BadRequest):
+            request.json()
+
+
+# ----------------------------------------------------------------------
+# response writing
+# ----------------------------------------------------------------------
+class TestResponses:
+    def test_send_json_frames_with_content_length(self):
+        writer = CollectingWriter()
+        run(send_json(writer, 200, {"ok": True}))
+        raw = bytes(writer.buffer)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert json.loads(body) == {"ok": True}
+
+    def test_send_response_carries_extra_headers(self):
+        writer = CollectingWriter()
+        run(
+            send_response(
+                writer, 429, b"{}", extra_headers={"Retry-After": "0.250"}
+            )
+        )
+        assert b"Retry-After: 0.250\r\n" in bytes(writer.buffer)
+
+    def test_chunked_round_trip(self):
+        writer = CollectingWriter()
+
+        async def chunks():
+            yield b"abc"
+            yield b""
+            yield b"defgh"
+
+        body, wire = run(send_chunked(writer, 200, chunks()))
+        raw = bytes(writer.buffer)
+        assert body == 8
+        assert wire == len(raw)
+        head, _, tail = raw.partition(b"\r\n\r\n")
+        assert b"Transfer-Encoding: chunked" in head
+        assert tail == b"3\r\nabc\r\n5\r\ndefgh\r\n0\r\n\r\n"

@@ -1,0 +1,106 @@
+"""Unit tests of tenant auth, quotas metadata, and the token bucket."""
+
+import json
+
+import pytest
+
+from repro.gateway.tenants import (
+    DEFAULT_MAX_QUEUED_JOBS,
+    Tenant,
+    TenantAuthError,
+    TenantRegistry,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestTokenBucket:
+    def test_burst_then_deterministic_retry_after(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+        assert [bucket.admit() for _ in range(3)] == [0.0, 0.0, 0.0]
+        # empty: next token arrives in exactly 1/rate seconds
+        assert bucket.admit() == pytest.approx(0.5)
+        clock.now += 0.5
+        assert bucket.admit() == 0.0
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        bucket.admit()
+        bucket.admit()
+        clock.now += 100.0
+        assert [bucket.admit() for _ in range(2)] == [0.0, 0.0]
+        assert bucket.admit() > 0.0
+
+
+class TestRegistry:
+    def test_open_mode_maps_everything_to_public(self):
+        registry = TenantRegistry()
+        tenant = registry.authenticate(None)
+        assert tenant.name == "public"
+        assert registry.authenticate("any-token").name == "public"
+
+    def test_tokens_resolve_and_unknown_rejected(self):
+        registry = TenantRegistry(
+            {"a": Tenant(name="a", token="tok-a")}
+        )
+        assert registry.authenticate("tok-a").name == "a"
+        with pytest.raises(TenantAuthError):
+            registry.authenticate("tok-b")
+        with pytest.raises(TenantAuthError):
+            registry.authenticate(None)
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "tenants": [
+                        {
+                            "name": "lab",
+                            "token": "s3cret",
+                            "max_queued_jobs": 7,
+                            "max_result_bytes": 1234,
+                            "rate": 5.0,
+                            "burst": 9,
+                        },
+                        {"name": "other", "token": "t2"},
+                    ]
+                }
+            )
+        )
+        registry = TenantRegistry.load(path)
+        lab = registry.authenticate("s3cret")
+        assert (lab.max_queued_jobs, lab.max_result_bytes) == (7, 1234)
+        assert (lab.rate, lab.burst) == (5.0, 9)
+        other = registry.authenticate("t2")
+        assert other.max_queued_jobs == DEFAULT_MAX_QUEUED_JOBS
+        assert registry.tenant_names() == ["lab", "other"]
+
+    def test_empty_tenants_file_rejected(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(json.dumps({"tenants": []}))
+        with pytest.raises(ValueError):
+            TenantRegistry.load(path)
+
+    def test_per_tenant_buckets_are_independent(self):
+        clock = FakeClock()
+        registry = TenantRegistry(
+            {
+                "a": Tenant(name="a", token="ta", rate=1.0, burst=1),
+                "b": Tenant(name="b", token="tb", rate=1.0, burst=1),
+            },
+            clock=clock,
+        )
+        a, b = registry.authenticate("ta"), registry.authenticate("tb")
+        assert registry.admit(a) == 0.0
+        assert registry.admit(a) > 0.0  # a exhausted...
+        assert registry.admit(b) == 0.0  # ...b unaffected

@@ -1,0 +1,48 @@
+"""The deterministic wait() poll schedule (shared by both clients)."""
+
+import itertools
+
+from repro.service.client import poll_schedule
+
+
+class TestPollSchedule:
+    def test_deterministic_exponential_with_cap(self):
+        delays = list(itertools.islice(poll_schedule(), 10))
+        assert delays == [
+            0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.5, 0.5, 0.5, 0.5
+        ]
+
+    def test_two_instances_agree(self):
+        # jitterless: every schedule is the same schedule
+        a = list(itertools.islice(poll_schedule(), 50))
+        b = list(itertools.islice(poll_schedule(), 50))
+        assert a == b
+
+    def test_custom_cap(self):
+        delays = list(itertools.islice(poll_schedule(cap=0.05), 6))
+        assert delays == [0.01, 0.02, 0.04, 0.05, 0.05, 0.05]
+
+    def test_sum_grows_slowly_early(self):
+        # a job finishing within 100 ms is observed after at most ~70 ms
+        # of cumulative sleep (4 polls), not the 2 s a 0.5 s fixed
+        # interval would cost
+        early = list(itertools.islice(poll_schedule(), 4))
+        assert sum(early) < 0.2
+
+
+class TestWaitUsesSchedule:
+    def test_wait_sleeps_on_the_schedule(self, tmp_path, monkeypatch):
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(tmp_path)
+        states = iter(["queued", "queued", "queued", "succeeded"])
+        monkeypatch.setattr(
+            client, "status", lambda job_id: {"state": next(states)}
+        )
+        slept = []
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", lambda s: slept.append(s)
+        )
+        status = client.wait("j-x", timeout=60.0)
+        assert status["state"] == "succeeded"
+        assert slept == [0.01, 0.02, 0.04]
